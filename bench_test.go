@@ -1,0 +1,323 @@
+package wpinq
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation benchmarks for the design choices DESIGN.md calls out. The
+// table/figure benchmarks run the same code paths as `cmd/wpinq` at
+// reduced scale so `go test -bench=.` completes on one machine; raise the
+// scale through cmd/wpinq flags to approach the paper's setup.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"wpinq/internal/budget"
+	"wpinq/internal/core"
+	"wpinq/internal/datasets"
+	"wpinq/internal/experiments"
+	"wpinq/internal/graph"
+	"wpinq/internal/incremental"
+	"wpinq/internal/mcmc"
+	"wpinq/internal/queries"
+	"wpinq/internal/weighted"
+)
+
+// benchOptions shrinks the experiments to benchmark-friendly sizes.
+func benchOptions() experiments.Options {
+	o := experiments.Defaults(io.Discard)
+	o.Scale = 0.05
+	o.EpinionsScale = 0.015
+	o.Steps = 2000
+	o.Samples = 5
+	o.Repeats = 2
+	o.Eps = 0.5
+	return o
+}
+
+func BenchmarkTable1GraphStats(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table1(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1WorstBestCase(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig1(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3TbDBucketing(b *testing.B) {
+	o := benchOptions()
+	o.Steps = 500
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig3(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2TbIFit(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table2(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4TbITrajectories(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig4(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5EpsilonSweep(b *testing.B) {
+	o := benchOptions()
+	o.Steps = 500
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig5(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3BarabasiStats(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table3(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6Scalability(b *testing.B) {
+	o := benchOptions()
+	o.Scale = 0.006 // fig6Size: n = 600
+	o.Steps = 1000
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig6(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// tbiFixture wires a TbI pipeline over a clustered graph and returns the
+// MCMC runner, for per-step benchmarks.
+func tbiFixture(b *testing.B, fastPath bool) *mcmc.Runner {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g, err := graph.HolmeKim(400, 5, 0.6, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := queries.NewEdgeInput()
+	// Inline the TbI pipeline so the join node is reachable for SetFastPath.
+	joined := incremental.Join(in, in,
+		func(e graph.Edge) graph.Node { return e.Dst },
+		func(e graph.Edge) graph.Node { return e.Src },
+		func(x, y graph.Edge) queries.Path { return queries.Path{A: x.Src, B: x.Dst, C: y.Dst} })
+	joined.SetFastPath(fastPath)
+	paths := incremental.Where[queries.Path](joined, func(p queries.Path) bool { return p.A != p.C })
+	rotated := incremental.Select[queries.Path](paths, func(p queries.Path) queries.Path { return p.Rotate() })
+	tris := incremental.Intersect[queries.Path](rotated, paths)
+	unit := incremental.Select[queries.Path](tris, func(queries.Path) queries.Unit { return queries.Unit{} })
+	sink := incremental.NewNoisyCountSink[queries.Unit](
+		unit,
+		incremental.MapObservations[queries.Unit]{{}: queries.TbISignal(g) * 1.5},
+		[]queries.Unit{{}},
+		0.5)
+	state := mcmc.NewGraphState(g, in)
+	runner, err := mcmc.NewRunner(state, incremental.NewScorer(sink), mcmc.Config{
+		Pow:            1000,
+		RecomputeEvery: 1 << 15,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return runner
+}
+
+// BenchmarkAblationJoinFastPath measures the norm-unchanged Join fast path
+// (Appendix B): edge swaps preserve every key group's norm, so with the
+// fast path on each step touches only the changed records; with it off the
+// join rescales whole key groups.
+func BenchmarkAblationJoinFastPath(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"on", true}, {"off", false}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			runner := tbiFixture(b, mode.on)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runner.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationIncrementalVsRescore compares one incremental MCMC step
+// against re-evaluating the TbI query from scratch on the mutated graph —
+// the paper's core systems claim (Section 4.3).
+func BenchmarkAblationIncrementalVsRescore(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := graph.HolmeKim(400, 5, 0.6, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("incremental", func(b *testing.B) {
+		runner := tbiFixture(b, true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runner.Step()
+		}
+	})
+	b.Run("fromScratch", func(b *testing.B) {
+		work := g.Clone()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// One swap + full one-shot re-evaluation of TbI.
+			graph.Rewire(work, 1, rng)
+			edges := core.FromPublic(graph.SymmetricEdges(work))
+			snapshot := queries.TbI(edges).Snapshot()
+			_ = snapshot.Weight(queries.Unit{})
+		}
+	})
+}
+
+// BenchmarkAblationBucketWidth measures TbD pipeline step cost across
+// bucket widths (Figure 3's remedy): wider buckets coalesce output records
+// and shrink the measured domain.
+func BenchmarkAblationBucketWidth(b *testing.B) {
+	for _, bucket := range []int{1, 5, 20, 50} {
+		bucket := bucket
+		b.Run(map[int]string{1: "k1", 5: "k5", 20: "k20", 50: "k50"}[bucket], func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			g, err := graph.HolmeKim(200, 4, 0.6, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := queries.NewEdgeInput()
+			stream := queries.TbDPipeline(in, bucket)
+			sink := incremental.NewNoisyCountSink[queries.DegTriple](
+				stream, incremental.MapObservations[queries.DegTriple]{}, nil, 0.5)
+			state := mcmc.NewGraphState(g, in)
+			runner, err := mcmc.NewRunner(state, incremental.NewScorer(sink), mcmc.Config{
+				Pow: 1000,
+			}, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runner.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLazyNoise compares Histogram reads of materialized
+// records against first-touch reads that must draw and memoize noise
+// (Section 2.2's dictionary).
+func BenchmarkAblationLazyNoise(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	data := weighted.New[int]()
+	for i := 0; i < 1000; i++ {
+		data.Add(i, float64(i%10)+1)
+	}
+	c := core.FromDataset(data, budget.NewUnlimitedSource("u"))
+	hist, err := core.NoisyCount(c, 0.5, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("materialized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hist.Get(i % 1000)
+		}
+	})
+	b.Run("firstTouch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hist.Get(1000 + i) // never seen: draws and memoizes
+		}
+	})
+}
+
+// --- Operator microbenchmarks --------------------------------------------
+
+func BenchmarkWeightedJoinReference(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := graph.HolmeKim(300, 4, 0.5, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := graph.SymmetricEdges(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		weighted.Join(d, d,
+			func(e graph.Edge) graph.Node { return e.Dst },
+			func(e graph.Edge) graph.Node { return e.Src },
+			func(x, y graph.Edge) queries.Path { return queries.Path{A: x.Src, B: x.Dst, C: y.Dst} })
+	}
+}
+
+func BenchmarkIncrementalSwapThroughTbI(b *testing.B) {
+	runner := tbiFixture(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner.Step()
+	}
+}
+
+func BenchmarkNoisyCountRelease(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	data := weighted.New[int]()
+	for i := 0; i < 10000; i++ {
+		data.Add(i, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := core.FromDataset(data, budget.NewUnlimitedSource("u"))
+		if _, err := core.NoisyCount(c, 0.5, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGraphGenerators(b *testing.B) {
+	b.Run("collaboration", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := datasets.Generate(datasets.GrQc, 0.1, rand.New(rand.NewSource(int64(i)))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("barabasi", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := datasets.BarabasiForBeta(0.6, 2000, 8, rand.New(rand.NewSource(int64(i)))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkRegressionPostprocessing(b *testing.B) {
+	o := benchOptions()
+	o.Repeats = 2
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Regression(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

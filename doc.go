@@ -1,0 +1,12 @@
+// Package wpinq is a Go reproduction of "Calibrating Data to Sensitivity
+// in Private Data Analysis" (Proserpio, Goldberg, McSherry; VLDB 2014):
+// the wPINQ platform for differentially-private analysis of weighted
+// datasets, its incremental query engine, and the MCMC workflow for
+// synthesizing datasets from noisy measurements.
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// inventory); cmd/wpinq regenerates the paper's tables and figures, and
+// examples/ holds runnable demonstrations. bench_test.go at this root maps
+// one benchmark to each table and figure, plus ablations of the design
+// choices DESIGN.md calls out.
+package wpinq

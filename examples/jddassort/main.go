@@ -1,0 +1,64 @@
+// Jddassort: estimating graph assortativity from a differentially private
+// joint degree distribution (paper Sections 1.2 and 3.2).
+//
+// The JDD query releases a noisy weight for each degree pair (da, db);
+// dividing out the closed-form record weight 1/(2+2da+2db) recovers edge
+// counts per degree pair, from which Newman's assortativity coefficient
+// follows — a quantity never queried directly, constrained by the
+// measurement (the paper's third motivation for probabilistic inference).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"wpinq/internal/budget"
+	"wpinq/internal/core"
+	"wpinq/internal/graph"
+	"wpinq/internal/postprocess"
+	"wpinq/internal/queries"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+
+	// An assortative collaboration graph and its degree-preserving
+	// randomization (near-neutral assortativity).
+	g, err := graph.Collaboration(graph.CollaborationConfig{
+		Authors:     3000,
+		Papers:      2800,
+		MeanAuthors: 3.0,
+		MaxAuthors:  10,
+		PrefAttach:  0.55,
+	}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	random := g.Clone()
+	graph.Rewire(random, 25*random.NumEdges(), rng)
+
+	const eps = 2.0 // JDD uses the edges four times: total cost 8.0
+	for _, run := range []struct {
+		name string
+		g    *graph.Graph
+	}{{"collaboration graph", g}, {"degree-matched random", random}} {
+		src := budget.NewSource("edges", 4*eps)
+		edges := core.FromDataset(graph.SymmetricEdges(run.g), src)
+		hist, err := core.NoisyCount(queries.JDD(edges), eps, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Suppress records whose released weight sits below several noise
+		// scales before inverting the per-record weights: inversion
+		// multiplies noise by 2+2da+2db, so noise-only records would
+		// otherwise dominate the degree moments.
+		counts := queries.JDDCountsThresholded(hist.Materialized(), 4/eps)
+		est := postprocess.AssortativityFromCounts(counts)
+		fmt.Printf("%-22s true r = %+.3f   DP estimate = %+.3f   (cost %.1f)\n",
+			run.name+":", run.g.Assortativity(), est, src.Spent())
+	}
+	fmt.Println("\nthe direct estimate is coarse (the paper fits assortativity through")
+	fmt.Println("MCMC instead; see examples/trianglesynth) but separates the")
+	fmt.Println("assortative graph from its degree-matched randomization.")
+}

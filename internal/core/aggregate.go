@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"wpinq/internal/laplace"
+	"wpinq/internal/weighted"
+)
+
+// Histogram is the result of a NoisyCount aggregation (paper Section 2.2):
+// a dictionary mapping records to noisy weights. To preserve differential
+// privacy, a Histogram must answer for *every* record in the (possibly
+// unbounded) domain, including records absent from the data. It does so by
+// drawing fresh Laplace noise on first access to an unseen record and
+// memoizing it, so repeated queries for the same record are consistent.
+//
+// Histogram is safe for concurrent use.
+type Histogram[T comparable] struct {
+	mu     sync.Mutex
+	counts map[T]float64
+	dist   laplace.Dist
+	rng    *rand.Rand
+}
+
+// Get returns the released noisy count for record x, drawing and recording
+// fresh noise if x has never been requested and had zero true weight.
+func (h *Histogram[T]) Get(x T) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if v, ok := h.counts[x]; ok {
+		return v
+	}
+	v := h.dist.Sample(h.rng)
+	h.counts[x] = v
+	return v
+}
+
+// Materialized returns a copy of every (record, noisy count) pair released
+// so far: the records with non-zero true weight plus any zero-weight
+// records previously requested through Get.
+func (h *Histogram[T]) Materialized() map[T]float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[T]float64, len(h.counts))
+	for k, v := range h.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Epsilon returns the per-use privacy parameter of the aggregation.
+func (h *Histogram[T]) Epsilon() float64 { return 1 / h.dist.Scale() }
+
+// HistogramFromMaterialized reconstructs a Histogram from previously
+// released (record, noisy count) pairs — e.g. measurements loaded from
+// disk after the protected dataset was discarded. Unseen records continue
+// to draw fresh memoized noise at the same eps, preserving NoisyCount's
+// semantics across serialization. No privacy budget is charged: the values
+// were already released.
+func HistogramFromMaterialized[T comparable](counts map[T]float64, eps float64, rng *rand.Rand) (*Histogram[T], error) {
+	dist, err := laplace.FromEpsilon(eps)
+	if err != nil {
+		return nil, err
+	}
+	h := &Histogram[T]{
+		counts: make(map[T]float64, len(counts)),
+		dist:   dist,
+		rng:    rng,
+	}
+	for k, v := range counts {
+		h.counts[k] = v
+	}
+	return h, nil
+}
+
+// NoisyCount releases the weight of every record with Laplace(1/eps) noise:
+//
+//	NoisyCount(A, eps)(x) = A(x) + Laplace(1/eps)
+//
+// It charges every source in the collection's plan uses*eps of budget and
+// fails (releasing nothing) if any budget would be overdrawn. The noise
+// magnitude never depends on the query: wPINQ scales record weights down
+// instead of scaling noise up.
+func NoisyCount[T comparable](c *Collection[T], eps float64, rng *rand.Rand) (*Histogram[T], error) {
+	dist, err := laplace.FromEpsilon(eps)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.uses.ChargeAll(eps); err != nil {
+		return nil, err
+	}
+	h := &Histogram[T]{
+		counts: make(map[T]float64, c.data.Len()),
+		dist:   dist,
+		rng:    rng,
+	}
+	c.data.Range(func(x T, w float64) {
+		h.counts[x] = w + dist.Sample(rng)
+	})
+	return h, nil
+}
+
+// NoisySum releases sum_x f(x)*A(x) for a 1-Lipschitz valuation
+// f : T -> [-1, 1], with Laplace(1/eps) noise. Values of f outside [-1, 1]
+// are clamped, preserving the privacy guarantee regardless of the supplied
+// function (paper Section 2.2 notes sum generalizes to weighted datasets).
+func NoisySum[T comparable](c *Collection[T], eps float64, f func(T) float64, rng *rand.Rand) (float64, error) {
+	dist, err := laplace.FromEpsilon(eps)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.uses.ChargeAll(eps); err != nil {
+		return 0, err
+	}
+	var sum float64
+	c.data.Range(func(x T, w float64) {
+		v := f(x)
+		if v > 1 {
+			v = 1
+		} else if v < -1 {
+			v = -1
+		}
+		sum += v * w
+	})
+	return sum + dist.Sample(rng), nil
+}
+
+// ExponentialMechanism releases one of the candidate outputs r with
+// probability proportional to exp(eps * score(r, A) / 2), for scoring
+// functions that are 1-Lipschitz in the dataset (paper Section 2.2 notes
+// the mechanism of McSherry-Talwar generalizes to weighted datasets).
+func ExponentialMechanism[T comparable, R any](
+	c *Collection[T], eps float64,
+	candidates []R,
+	score func(R, *weighted.Dataset[T]) float64,
+	rng *rand.Rand,
+) (R, error) {
+	var zero R
+	if len(candidates) == 0 {
+		return zero, errNoCandidates
+	}
+	if err := c.uses.ChargeAll(eps); err != nil {
+		return zero, err
+	}
+	// Gumbel-max sampling: argmax(eps*score/2 + Gumbel) is distributed as
+	// the exponential mechanism, and avoids overflow in exp().
+	best := 0
+	bestVal := 0.0
+	for i, r := range candidates {
+		g := gumbel(rng)
+		v := eps*score(r, c.data)/2 + g
+		if i == 0 || v > bestVal {
+			best, bestVal = i, v
+		}
+	}
+	return candidates[best], nil
+}
+
+type noCandidatesError struct{}
+
+func (noCandidatesError) Error() string { return "core: exponential mechanism requires candidates" }
+
+var errNoCandidates = noCandidatesError{}
+
+// gumbel samples from the standard Gumbel distribution.
+func gumbel(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return -math.Log(-math.Log(u))
+}

@@ -1,0 +1,142 @@
+// Package core implements the wPINQ language: differentially-private
+// declarative queries over weighted datasets (paper Section 2).
+//
+// A Collection wraps a weighted dataset together with the static use-counts
+// of every protected Source it derives from. Transformations are stable
+// (Definition 2) and therefore free; information is only released through
+// differentially-private aggregations (NoisyCount), which charge each
+// source uses*eps of privacy budget.
+//
+// Transformations are package-level generic functions rather than methods
+// because Go methods cannot introduce new type parameters:
+//
+//	edges := core.FromDataset(data, src)
+//	paths := core.Join(edges, edges, dstKey, srcKey, makePath)
+//	hist, err := core.NoisyCount(paths, 0.1, rng)
+package core
+
+import (
+	"wpinq/internal/budget"
+	"wpinq/internal/weighted"
+)
+
+// Collection is a weighted dataset flowing through a wPINQ query plan,
+// carrying the per-source use counts needed for privacy accounting.
+// Collections are immutable: every transformation returns a new Collection.
+type Collection[T comparable] struct {
+	data *weighted.Dataset[T]
+	uses budget.Uses
+}
+
+// FromDataset introduces a protected dataset into a query. The dataset is
+// cloned so later mutation of data cannot bypass privacy accounting.
+func FromDataset[T comparable](data *weighted.Dataset[T], src *budget.Source) *Collection[T] {
+	return &Collection[T]{data: data.Clone(), uses: budget.Single(src)}
+}
+
+// FromPublic introduces a dataset with no privacy cost (public or already
+// released data). Aggregating a public collection charges nothing.
+func FromPublic[T comparable](data *weighted.Dataset[T]) *Collection[T] {
+	return &Collection[T]{data: data.Clone(), uses: nil}
+}
+
+// fromDerived builds the result of a transformation.
+func fromDerived[T comparable](data *weighted.Dataset[T], uses budget.Uses) *Collection[T] {
+	return &Collection[T]{data: data, uses: uses}
+}
+
+// Uses returns a copy of the collection's per-source use counts.
+func (c *Collection[T]) Uses() budget.Uses { return c.uses.Clone() }
+
+// Size returns ||A||, the norm of the underlying dataset. Note that for a
+// protected collection the exact size is itself sensitive; Size exists for
+// tests and for public collections. Use NoisyCount to release information.
+func (c *Collection[T]) Size() float64 { return c.data.Norm() }
+
+// snapshot returns a defensive copy of the underlying data, for tests and
+// for the synthesis engine operating on public data.
+func (c *Collection[T]) snapshot() *weighted.Dataset[T] { return c.data.Clone() }
+
+// Snapshot returns a copy of the underlying dataset. It must only be used
+// on public collections (no protected sources); calling it on a protected
+// collection panics, preventing accidental privacy bypass.
+func (c *Collection[T]) Snapshot() *weighted.Dataset[T] {
+	if len(c.uses) > 0 {
+		panic("core: Snapshot on a protected collection would bypass differential privacy")
+	}
+	return c.snapshot()
+}
+
+// Select applies f to every record, accumulating weights of records that
+// collide (paper Section 2.4).
+func Select[T, U comparable](c *Collection[T], f func(T) U) *Collection[U] {
+	return fromDerived(weighted.Select(c.data, f), c.uses.Clone())
+}
+
+// Where keeps records satisfying p (paper Section 2.4).
+func Where[T comparable](c *Collection[T], p func(T) bool) *Collection[T] {
+	return fromDerived(weighted.Where(c.data, p), c.uses.Clone())
+}
+
+// SelectMany maps each record to a weighted dataset, rescaled to unit norm
+// per input record (paper Section 2.4).
+func SelectMany[T, U comparable](c *Collection[T], f func(T) *weighted.Dataset[U]) *Collection[U] {
+	return fromDerived(weighted.SelectMany(c.data, f), c.uses.Clone())
+}
+
+// SelectManySlice is SelectMany for unit-weight output lists.
+func SelectManySlice[T, U comparable](c *Collection[T], f func(T) []U) *Collection[U] {
+	return fromDerived(weighted.SelectManySlice(c.data, f), c.uses.Clone())
+}
+
+// GroupBy groups records by key and reduces weight-ordered prefixes of each
+// group (paper Section 2.5). For unit-weight inputs the output carries half
+// the input weight.
+func GroupBy[T comparable, K comparable, R comparable](c *Collection[T], key func(T) K, reduce func([]T) R) *Collection[weighted.Grouped[K, R]] {
+	return fromDerived(weighted.GroupBy(c.data, key, reduce), c.uses.Clone())
+}
+
+// Shave decomposes heavy records into indexed slices following the weight
+// sequence f (paper Section 2.8).
+func Shave[T comparable](c *Collection[T], f func(x T, i int) float64) *Collection[weighted.Indexed[T]] {
+	return fromDerived(weighted.Shave(c.data, f), c.uses.Clone())
+}
+
+// ShaveConst is Shave with a constant weight sequence.
+func ShaveConst[T comparable](c *Collection[T], w float64) *Collection[weighted.Indexed[T]] {
+	return fromDerived(weighted.ShaveConst(c.data, w), c.uses.Clone())
+}
+
+// Join matches records by key with per-key norm rescaling (paper Section
+// 2.7, eq. 1). The output's use counts are the sums of the inputs': a
+// self-join doubles the privacy multiplier automatically.
+func Join[A, B comparable, K comparable, R comparable](
+	a *Collection[A], b *Collection[B],
+	keyA func(A) K, keyB func(B) K,
+	reduce func(A, B) R,
+) *Collection[R] {
+	return fromDerived(
+		weighted.Join(a.data, b.data, keyA, keyB, reduce),
+		a.uses.Plus(b.uses),
+	)
+}
+
+// Union takes the element-wise maximum of weights (paper Section 2.6).
+func Union[T comparable](a, b *Collection[T]) *Collection[T] {
+	return fromDerived(weighted.Union(a.data, b.data), a.uses.Plus(b.uses))
+}
+
+// Intersect takes the element-wise minimum of weights (paper Section 2.6).
+func Intersect[T comparable](a, b *Collection[T]) *Collection[T] {
+	return fromDerived(weighted.Intersect(a.data, b.data), a.uses.Plus(b.uses))
+}
+
+// Concat adds weights element-wise (paper Section 2.6).
+func Concat[T comparable](a, b *Collection[T]) *Collection[T] {
+	return fromDerived(weighted.Concat(a.data, b.data), a.uses.Plus(b.uses))
+}
+
+// Except subtracts weights element-wise (paper Section 2.6).
+func Except[T comparable](a, b *Collection[T]) *Collection[T] {
+	return fromDerived(weighted.Except(a.data, b.data), a.uses.Plus(b.uses))
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"wpinq/internal/budget"
+	"wpinq/internal/weighted"
+)
+
+// Additional Collection-level tests: use-count algebra through every
+// binary operator, and transformation semantics at the language layer.
+
+func TestBinaryOpsAccumulateUses(t *testing.T) {
+	sa := budget.NewSource("a", 10)
+	sb := budget.NewSource("b", 10)
+	a := FromDataset(weighted.FromItems(1, 2), sa)
+	b := FromDataset(weighted.FromItems(2, 3), sb)
+
+	type binop func(x, y *Collection[int]) *Collection[int]
+	ops := map[string]binop{
+		"Union":     Union[int],
+		"Intersect": Intersect[int],
+		"Concat":    Concat[int],
+		"Except":    Except[int],
+	}
+	for name, op := range ops {
+		out := op(a, b)
+		if got := out.Uses().Count(sa); got != 1 {
+			t.Errorf("%s count(a) = %d, want 1", name, got)
+		}
+		if got := out.Uses().Count(sb); got != 1 {
+			t.Errorf("%s count(b) = %d, want 1", name, got)
+		}
+		// Self-application doubles.
+		self := op(a, a)
+		if got := self.Uses().Count(sa); got != 2 {
+			t.Errorf("%s self count = %d, want 2", name, got)
+		}
+	}
+}
+
+func TestDeepPlanUseCount(t *testing.T) {
+	// A three-way self-join ladder like TbD's final stage: uses add up
+	// through nested plans.
+	s := budget.NewSource("edges", 100)
+	e := FromDataset(weighted.FromItems(1, 2, 3), s)
+	id := func(x int) int { return x }
+	pair := func(x, y int) int { return x }
+	j1 := Join(e, e, id, id, pair)   // 2
+	j2 := Join(j1, e, id, id, pair)  // 3
+	j3 := Join(j2, j1, id, id, pair) // 5
+	if got := j3.Uses().Count(s); got != 5 {
+		t.Errorf("ladder uses = %d, want 5", got)
+	}
+}
+
+func TestGroupByAtLanguageLayer(t *testing.T) {
+	s := budget.NewSource("s", 10)
+	c := FromDataset(weighted.FromItems("aa", "ab", "ba"), s)
+	grouped := GroupBy(c,
+		func(x string) byte { return x[0] },
+		func(xs []string) int { return len(xs) })
+	if got := grouped.Uses().Count(s); got != 1 {
+		t.Errorf("GroupBy uses = %d, want 1", got)
+	}
+	snap := grouped.snapshot()
+	if w := snap.Weight(weighted.Grouped[byte, int]{Key: 'a', Result: 2}); math.Abs(w-0.5) > 1e-12 {
+		t.Errorf("group(a, 2) weight = %v, want 0.5", w)
+	}
+	if w := snap.Weight(weighted.Grouped[byte, int]{Key: 'b', Result: 1}); math.Abs(w-0.5) > 1e-12 {
+		t.Errorf("group(b, 1) weight = %v, want 0.5", w)
+	}
+}
+
+func TestShaveAtLanguageLayer(t *testing.T) {
+	s := budget.NewSource("s", 10)
+	c := FromDataset(weighted.FromPairs(weighted.Pair[string]{Record: "x", Weight: 1.2}), s)
+	shaved := ShaveConst(c, 0.5)
+	snap := shaved.snapshot()
+	if w := snap.Weight(weighted.Indexed[string]{Value: "x", Index: 0}); math.Abs(w-0.5) > 1e-12 {
+		t.Errorf("slice 0 = %v, want 0.5", w)
+	}
+	if w := snap.Weight(weighted.Indexed[string]{Value: "x", Index: 2}); math.Abs(w-0.2) > 1e-12 {
+		t.Errorf("slice 2 = %v, want 0.2", w)
+	}
+	custom := Shave(c, func(_ string, i int) float64 { return 1.0 })
+	if got := custom.snapshot().Len(); got != 2 {
+		t.Errorf("custom shave slices = %d, want 2", got)
+	}
+}
+
+func TestSelectManyAtLanguageLayer(t *testing.T) {
+	s := budget.NewSource("s", 10)
+	c := FromDataset(weighted.FromItems(3), s)
+	out := SelectMany(c, func(x int) *weighted.Dataset[int] {
+		return weighted.FromItems(1, 2, 3) // norm 3: scaled to 1/3 each
+	})
+	snap := out.snapshot()
+	for _, r := range []int{1, 2, 3} {
+		if w := snap.Weight(r); math.Abs(w-1.0/3) > 1e-12 {
+			t.Errorf("record %d weight = %v, want 1/3", r, w)
+		}
+	}
+}
+
+func TestTransformationsDoNotChargeBudget(t *testing.T) {
+	s := budget.NewSource("s", 0.5) // tiny budget
+	c := FromDataset(weighted.FromItems(1, 2, 3, 4, 5), s)
+	// A deep chain of transformations must charge nothing.
+	x := Select(c, func(v int) int { return v * 2 })
+	x = Where(x, func(v int) bool { return v > 2 })
+	y := Union(x, x)
+	y = Concat(y, Except(y, x))
+	_ = Intersect(y, x)
+	if s.Spent() != 0 {
+		t.Errorf("transformations charged %v", s.Spent())
+	}
+}
+
+func TestEmptyCollectionPipeline(t *testing.T) {
+	s := budget.NewSource("s", 10)
+	c := FromDataset(weighted.New[int](), s)
+	j := Join(c, c, func(x int) int { return x }, func(x int) int { return x },
+		func(x, y int) int { return x })
+	if j.Size() != 0 {
+		t.Errorf("empty join size = %v, want 0", j.Size())
+	}
+	h, err := NoisyCount(j, 1.0, newRng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Histogram over an empty result still answers (with pure noise).
+	if h.Get(42) == 0 {
+		t.Error("empty-result histogram should return fresh noise")
+	}
+}

@@ -1,0 +1,62 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wpinq/internal/budget"
+	"wpinq/internal/core"
+	"wpinq/internal/weighted"
+)
+
+func ExampleNoisyCount() {
+	rng := rand.New(rand.NewSource(7))
+	src := budget.NewSource("people", 1.0)
+	// A single record keeps the example deterministic: noise draws happen
+	// in dataset iteration order, which is unspecified for multiple records.
+	data := weighted.FromItems("bob", "bob")
+	c := core.FromDataset(data, src)
+
+	hist, err := core.NoisyCount(c, 0.5, rng)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Released values are true weights plus Laplace(1/0.5) noise; with a
+	// fixed seed the release is reproducible.
+	fmt.Printf("bob ~ %.2f\n", hist.Get("bob"))
+	fmt.Printf("spent %.1f of 1.0\n", src.Spent())
+	// Output:
+	// bob ~ 5.64
+	// spent 0.5 of 1.0
+}
+
+func ExampleJoin() {
+	// A self-join charges the source twice: the use count is visible on
+	// the result's plan before any budget is spent.
+	src := budget.NewSource("edges", 1.0)
+	edges := core.FromDataset(weighted.FromItems([2]int{1, 2}, [2]int{2, 3}), src)
+	paths := core.Join(edges, edges,
+		func(e [2]int) int { return e[1] },
+		func(e [2]int) int { return e[0] },
+		func(x, y [2]int) [3]int { return [3]int{x[0], x[1], y[1]} })
+	fmt.Println("uses:", paths.Uses().Count(src))
+	fmt.Println("path weight:", paths.Size()) // (1,2,3) at 1*1/(1+1)
+	// Output:
+	// uses: 2
+	// path weight: 0.5
+}
+
+func ExampleCollection_budgetExhaustion() {
+	rng := rand.New(rand.NewSource(1))
+	src := budget.NewSource("secret", 0.4)
+	c := core.FromDataset(weighted.FromItems("x"), src)
+	if _, err := core.NoisyCount(c, 0.3, rng); err != nil {
+		fmt.Println("first:", err)
+	}
+	if _, err := core.NoisyCount(c, 0.3, rng); err != nil {
+		fmt.Println("second refused")
+	}
+	// Output:
+	// second refused
+}

@@ -1,0 +1,134 @@
+package datasets
+
+import (
+	"math/rand"
+	"testing"
+
+	"wpinq/internal/graph"
+)
+
+func testRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Stand-in acceptance bands: the experiments need the right orders of
+// magnitude and signs, not exact replication (see DESIGN.md).
+func TestStandInsMatchTable1Shape(t *testing.T) {
+	const scale = 0.25
+	for _, name := range All() {
+		name := name
+		t.Run(string(name), func(t *testing.T) {
+			paper, ok := PaperStats(name)
+			if !ok {
+				t.Fatal("missing paper stats")
+			}
+			g, err := Generate(name, scale, testRng(42))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := graph.ComputeStats(g)
+
+			wantNodes := float64(paper.Nodes) * scale
+			if ratio := float64(s.Nodes) / wantNodes; ratio < 0.6 || ratio > 1.4 {
+				t.Errorf("nodes = %d, want ~%.0f", s.Nodes, wantNodes)
+			}
+			wantEdges := float64(paper.DirectedEdges) * scale
+			if ratio := float64(s.DirectedEdges) / wantEdges; ratio < 0.5 || ratio > 2.0 {
+				t.Errorf("directed edges = %d, want ~%.0f", s.DirectedEdges, wantEdges)
+			}
+			// Triangle-rich: the real/random gap is what the experiments
+			// consume. Require plenty of triangles...
+			if s.Triangles < 50 {
+				t.Errorf("triangles = %d; stand-in too triangle-poor", s.Triangles)
+			}
+			// ...and the right assortativity sign.
+			if paper.Assortativity > 0.2 && s.Assortativity < 0.05 {
+				t.Errorf("assortativity = %v, want clearly positive (paper %v)",
+					s.Assortativity, paper.Assortativity)
+			}
+			if paper.Assortativity < 0.0 && s.Assortativity > 0.25 {
+				t.Errorf("assortativity = %v, want near/below zero (paper %v)",
+					s.Assortativity, paper.Assortativity)
+			}
+		})
+	}
+}
+
+func TestRandomizedDestroysTriangles(t *testing.T) {
+	// Table 1's lower block: Random(X) has far fewer triangles at equal
+	// degrees.
+	g, err := Generate(GrQc, 0.25, testRng(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Randomized(g, testRng(8))
+	if r.NumEdges() != g.NumEdges() || r.NumNodes() != g.NumNodes() {
+		t.Fatal("randomization changed size")
+	}
+	if r.Triangles()*5 > g.Triangles() {
+		t.Errorf("random triangles = %d vs real %d; want a large gap",
+			r.Triangles(), g.Triangles())
+	}
+	// Degree sequences identical.
+	gs, rs := g.DegreeSequence(), r.DegreeSequence()
+	for i := range gs {
+		if gs[i] != rs[i] {
+			t.Fatal("randomization changed the degree sequence")
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(GrQc, 0, testRng(1)); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := Generate(Name("nope"), 1, testRng(1)); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestBarabasiSweepMonotone(t *testing.T) {
+	// Table 3's shape: sum d^2 (and generally dmax) rises with beta.
+	const n, m = 4000, 10
+	var prevSumD2 int64
+	for i, beta := range Table3Betas() {
+		g, err := BarabasiForBeta(beta, n, m, testRng(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := graph.ComputeStats(g)
+		if s.Nodes != n {
+			t.Fatalf("beta=%v: nodes = %d, want %d", beta, s.Nodes, n)
+		}
+		if i > 0 && s.SumDegSquares <= prevSumD2 {
+			t.Errorf("beta=%v: sum d^2 = %d did not rise (prev %d)",
+				beta, s.SumDegSquares, prevSumD2)
+		}
+		prevSumD2 = s.SumDegSquares
+	}
+	if _, err := BarabasiForBeta(0.9, n, m, testRng(1)); err == nil {
+		t.Error("beta outside sweep accepted")
+	}
+}
+
+func TestPaperRandomTriangles(t *testing.T) {
+	v, ok := PaperRandomTriangles(GrQc)
+	if !ok || v != 586 {
+		t.Errorf("PaperRandomTriangles(GrQc) = %d, %v; want 586, true", v, ok)
+	}
+	if _, ok := PaperRandomTriangles(Name("nope")); ok {
+		t.Error("unknown name should report !ok")
+	}
+}
+
+func TestStandInsDeterministic(t *testing.T) {
+	a, err := Generate(Caltech, 0.2, testRng(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Caltech, 0.2, testRng(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() || a.Triangles() != b.Triangles() {
+		t.Error("same seed produced different stand-ins")
+	}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyOptions shrinks every experiment far enough to run in test time
+// while still exercising the full code path.
+func tinyOptions(buf *bytes.Buffer) Options {
+	o := Defaults(buf)
+	o.Scale = 0.04
+	o.EpinionsScale = 0.01
+	o.Steps = 400
+	o.Samples = 4
+	o.Repeats = 2
+	o.Eps = 1.0
+	return o
+}
+
+func TestTable1Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(tinyOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"CA-GrQc", "Random(CA-GrQc)", "Epinions", "paperTri"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig1Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig1(tinyOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "worst(Fig1-left)") || !strings.Contains(out, "best(Fig1-right)") {
+		t.Errorf("fig1 output incomplete:\n%s", out)
+	}
+}
+
+func TestFig3Runs(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.Steps = 200
+	if err := Fig3(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"CA-GrQc+buckets", "Random+buckets", "# series:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig3 output missing %q", want)
+		}
+	}
+}
+
+func TestFig4AndTable2Run(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.Steps = 200
+	if err := Fig4(o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "CA-GrQc/real") || !strings.Contains(buf.String(), "CA-GrQc/random") {
+		t.Error("fig4 output incomplete")
+	}
+	buf.Reset()
+	if err := Table2(o); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Seed", "MCMC", "Truth", "Caltech"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("table2 output missing %q", want)
+		}
+	}
+}
+
+func TestFig5Runs(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.Steps = 100
+	o.Repeats = 2
+	if err := Fig5(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"0.01", "10", "meanTriangles", "stddev"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig5 output missing %q", want)
+		}
+	}
+}
+
+func TestTable3Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table3(tinyOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"0.5", "0.7", "sum d^2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table3 output missing %q", want)
+		}
+	}
+}
+
+func TestFig6Runs(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.Scale = 0.004 // fig6Size floor: n = 500
+	o.Steps = 200
+	if err := Fig6(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"steps/sec", "heapMB", "Epinions/real", "Epinions/random"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig6 output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRegressionRuns(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.Repeats = 2
+	if err := Regression(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"rawL1", "isotonicL1", "gridPathL1", "0.1", "2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("regression output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegressionGridBeatsRaw(t *testing.T) {
+	// The numeric claim: at moderate noise the fused regression has lower
+	// L1 error than the raw measurements. Parse the rendered table.
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.Scale = 0.06
+	o.Repeats = 3
+	if err := Regression(o); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	checked := 0
+	for _, ln := range lines[3:] { // skip title, header, rule
+		fields := strings.Fields(ln)
+		if len(fields) < 5 {
+			continue
+		}
+		var r float64
+		if _, err := fmt.Sscan(fields[4], &r); err != nil {
+			continue
+		}
+		if r >= 1.0 {
+			t.Errorf("grid/raw ratio = %v in row %q; regression should beat raw", r, ln)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatalf("no data rows parsed:\n%s", buf.String())
+	}
+}

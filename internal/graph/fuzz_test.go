@@ -1,0 +1,36 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList ensures the parser never panics and that whatever it
+// accepts round-trips through WriteEdgeList.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("1\t2\n2\t3\n")
+	f.Add("# comment\n\n5 6\n")
+	f.Add("1 1\n")                    // self loop: dropped
+	f.Add("1 2\n1 2\n")               // duplicate: dropped
+	f.Add("-3 7\n")                   // negative IDs are fine
+	f.Add("99999999999999999999 1\n") // overflow: error
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		back, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip re-read: %v", err)
+		}
+		if back.NumEdges() != g.NumEdges() || back.NumNodes() != g.NumNodes() {
+			t.Fatalf("round trip changed the graph: (%d,%d) -> (%d,%d)",
+				g.NumNodes(), g.NumEdges(), back.NumNodes(), back.NumEdges())
+		}
+	})
+}

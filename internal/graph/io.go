@@ -1,0 +1,83 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"wpinq/internal/weighted"
+)
+
+// SymmetricEdges converts g to the weighted dataset the paper's queries
+// consume: every undirected edge {a, b} contributes directed records (a,b)
+// and (b,a), each with weight 1.0 (paper Section 2.1, "Privacy guarantees
+// for graphs").
+func SymmetricEdges(g *Graph) *weighted.Dataset[Edge] {
+	d := weighted.NewSized[Edge](2 * g.NumEdges())
+	for _, e := range g.EdgeList() {
+		d.Add(e, 1)
+		d.Add(e.Reverse(), 1)
+	}
+	return d
+}
+
+// FromSymmetricEdges rebuilds a Graph from a symmetric directed edge
+// dataset (weights are ignored beyond presence). Inverse of SymmetricEdges.
+func FromSymmetricEdges(d *weighted.Dataset[Edge]) *Graph {
+	g := New()
+	d.Range(func(e Edge, w float64) {
+		if w > 0 {
+			g.AddEdge(e.Src, e.Dst)
+		}
+	})
+	return g
+}
+
+// WriteEdgeList writes one "u<TAB>v" line per undirected edge, in
+// deterministic order — the SNAP interchange format the paper's datasets
+// ship in.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range g.EdgeList() {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\n", e.Src, e.Dst); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses a whitespace-separated edge list, ignoring blank
+// lines and lines starting with '#' (SNAP-style comments). Duplicate edges
+// and self-loops are dropped, matching how the paper treats its inputs.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	g := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want two fields, got %q", line, text)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		g.AddEdge(Node(u), Node(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

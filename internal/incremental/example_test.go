@@ -1,0 +1,47 @@
+package incremental_test
+
+import (
+	"fmt"
+
+	"wpinq/internal/incremental"
+)
+
+func Example() {
+	// Build a dataflow graph once; then push differences through it.
+	in := incremental.NewInput[string]()
+	lengths := incremental.Select(in, func(s string) int { return len(s) })
+	longOnes := incremental.Where[int](lengths, func(n int) bool { return n >= 5 })
+	out := incremental.Collect[int](longOnes)
+
+	in.Push([]incremental.Delta[string]{
+		{Record: "apple", Weight: 1},
+		{Record: "fig", Weight: 1},
+		{Record: "banana", Weight: 2},
+	})
+	fmt.Println("len-5 weight:", out.Weight(5))
+	fmt.Println("len-6 weight:", out.Weight(6))
+
+	// Retract one banana: only the difference propagates.
+	in.Push([]incremental.Delta[string]{{Record: "banana", Weight: -1}})
+	fmt.Println("len-6 after retraction:", out.Weight(6))
+	// Output:
+	// len-5 weight: 1
+	// len-6 weight: 2
+	// len-6 after retraction: 1
+}
+
+func ExampleNewNoisyCountSink() {
+	in := incremental.NewInput[string]()
+	sink := incremental.NewNoisyCountSink[string](
+		in,
+		incremental.MapObservations[string]{"x": 3.0},
+		[]string{"x"},
+		0.5,
+	)
+	fmt.Printf("L1 before: %.1f\n", sink.L1())
+	in.Push([]incremental.Delta[string]{{Record: "x", Weight: 2}})
+	fmt.Printf("L1 after: %.1f\n", sink.L1())
+	// Output:
+	// L1 before: 3.0
+	// L1 after: 1.0
+}

@@ -1,0 +1,266 @@
+package incremental
+
+import (
+	"math"
+
+	"wpinq/internal/weighted"
+)
+
+// JoinNode incrementally maintains wPINQ's normalized Join (paper Section
+// 2.7 and Appendix B). For each side it indexes records by key and tracks
+// each key group's norm. When differences arrive for a key:
+//
+//   - Fast path: if the arriving side's group norm is unchanged (common in
+//     edge-swapping random walks, where an edge moves rather than appears
+//     or disappears), the denominator ||A_k|| + ||B_k|| is unchanged and
+//     the output difference is just a_k x B_k / denom — work proportional
+//     to the difference, not the group.
+//   - Slow path: the denominator changed, so every output record under the
+//     key must be rescaled: the node retracts the key's old outer product
+//     and asserts the new one.
+//
+// The fast path can be disabled (SetFastPath) to measure its benefit; see
+// BenchmarkAblationJoinFastPath. Results are identical either way.
+type JoinNode[A, B comparable, K comparable, R comparable] struct {
+	Stream[R]
+	keyA   func(A) K
+	keyB   func(B) K
+	reduce func(A, B) R
+
+	left  map[K]*stateMap[A]
+	right map[K]*stateMap[B]
+
+	fastPath bool
+	stats    joinStats
+}
+
+// joinStats counts key-updates taken through each path, for ablations.
+type joinStats struct {
+	fastKeys int64
+	slowKeys int64
+}
+
+// Join builds an incremental join of two difference streams.
+func Join[A, B comparable, K comparable, R comparable](
+	a Source[A], b Source[B],
+	keyA func(A) K, keyB func(B) K,
+	reduce func(A, B) R,
+) *JoinNode[A, B, K, R] {
+	n := &JoinNode[A, B, K, R]{
+		keyA:     keyA,
+		keyB:     keyB,
+		reduce:   reduce,
+		left:     make(map[K]*stateMap[A]),
+		right:    make(map[K]*stateMap[B]),
+		fastPath: true,
+	}
+	a.Subscribe(n.onLeft)
+	b.Subscribe(n.onRight)
+	return n
+}
+
+// SetFastPath toggles the norm-unchanged optimization (default on).
+func (n *JoinNode[A, B, K, R]) SetFastPath(on bool) { n.fastPath = on }
+
+// FastKeys returns the number of key updates resolved via the fast path.
+func (n *JoinNode[A, B, K, R]) FastKeys() int64 { return n.stats.fastKeys }
+
+// SlowKeys returns the number of key updates that required rescaling.
+func (n *JoinNode[A, B, K, R]) SlowKeys() int64 { return n.stats.slowKeys }
+
+// StateSize returns the number of records indexed across both sides and
+// all keys: the node's memory footprint in records.
+func (n *JoinNode[A, B, K, R]) StateSize() int {
+	total := 0
+	for _, g := range n.left {
+		total += len(g.w)
+	}
+	for _, g := range n.right {
+		total += len(g.w)
+	}
+	return total
+}
+
+func (n *JoinNode[A, B, K, R]) onLeft(batch []Delta[A]) {
+	byKey := make(map[K][]Delta[A])
+	for _, d := range batch {
+		k := n.keyA(d.Record)
+		byKey[k] = append(byKey[k], d)
+	}
+	diff := weighted.New[R]()
+	for k, ds := range byKey {
+		joinUpdateSide(&n.stats, ds, n.leftGroup(k), n.rightGroup(k), n.fastPath, n.reduce, diff)
+		n.dropEmpty(k)
+	}
+	n.emitDiff(diff)
+}
+
+func (n *JoinNode[A, B, K, R]) onRight(batch []Delta[B]) {
+	byKey := make(map[K][]Delta[B])
+	for _, d := range batch {
+		k := n.keyB(d.Record)
+		byKey[k] = append(byKey[k], d)
+	}
+	diff := weighted.New[R]()
+	swapped := func(y B, x A) R { return n.reduce(x, y) }
+	for k, ds := range byKey {
+		joinUpdateSide(&n.stats, ds, n.rightGroup(k), n.leftGroup(k), n.fastPath, swapped, diff)
+		n.dropEmpty(k)
+	}
+	n.emitDiff(diff)
+}
+
+func (n *JoinNode[A, B, K, R]) leftGroup(k K) *stateMap[A] {
+	g := n.left[k]
+	if g == nil {
+		g = newStateMap[A]()
+		n.left[k] = g
+	}
+	return g
+}
+
+func (n *JoinNode[A, B, K, R]) rightGroup(k K) *stateMap[B] {
+	g := n.right[k]
+	if g == nil {
+		g = newStateMap[B]()
+		n.right[k] = g
+	}
+	return g
+}
+
+// dropEmpty releases index entries for keys whose groups became empty, so
+// long random walks do not leak memory through abandoned keys.
+func (n *JoinNode[A, B, K, R]) dropEmpty(k K) {
+	if g, ok := n.left[k]; ok && len(g.w) == 0 {
+		delete(n.left, k)
+	}
+	if g, ok := n.right[k]; ok && len(g.w) == 0 {
+		delete(n.right, k)
+	}
+}
+
+// joinUpdateSide applies differences ds to the changing side's group (own)
+// and accumulates output differences against the fixed side (other).
+// The reduce function receives (changing record, fixed record); callers
+// swap argument order as needed so the emitted records are reduce(A, B).
+func joinUpdateSide[X, Y comparable, R comparable](
+	stats *joinStats,
+	ds []Delta[X],
+	own *stateMap[X], other *stateMap[Y],
+	fastPath bool,
+	reduce func(X, Y) R,
+	diff *weighted.Dataset[R],
+) {
+	otherNorm := other.norm
+	oldDenom := own.norm + otherNorm
+
+	// Fast path for the overwhelmingly common MCMC shape: one difference
+	// for this key that leaves the group norm unchanged is impossible (a
+	// single signed delta moves the norm unless it cancels exactly), but a
+	// single difference avoids the oldWeights allocation below.
+	if len(ds) == 1 {
+		d := ds[0]
+		oldW, newW := own.apply(d.Record, d.Weight)
+		newDenom := own.norm + otherNorm
+		if len(other.w) == 0 {
+			return
+		}
+		if fastPath && math.Abs(newDenom-oldDenom) < weighted.Eps && oldDenom >= weighted.Eps {
+			stats.fastKeys++
+			if dw := newW - oldW; math.Abs(dw) >= weighted.Eps {
+				for y, wy := range other.w {
+					diff.Add(reduce(d.Record, y), dw*wy/oldDenom)
+				}
+			}
+			return
+		}
+		stats.slowKeys++
+		if oldDenom >= weighted.Eps {
+			if oldW != 0 {
+				for y, wy := range other.w {
+					diff.Add(reduce(d.Record, y), -oldW*wy/oldDenom)
+				}
+			}
+			for x, wx := range own.w {
+				if x == d.Record {
+					continue
+				}
+				for y, wy := range other.w {
+					diff.Add(reduce(x, y), -wx*wy/oldDenom)
+				}
+			}
+		}
+		if newDenom >= weighted.Eps {
+			for x, wx := range own.w {
+				for y, wy := range other.w {
+					diff.Add(reduce(x, y), wx*wy/newDenom)
+				}
+			}
+		}
+		return
+	}
+
+	// Apply differences, remembering each touched record's prior weight.
+	oldWeights := make(map[X]float64, len(ds))
+	for _, d := range ds {
+		if _, seen := oldWeights[d.Record]; !seen {
+			oldWeights[d.Record] = own.weight(d.Record)
+		}
+		own.apply(d.Record, d.Weight)
+	}
+	newDenom := own.norm + otherNorm
+
+	if len(other.w) == 0 {
+		// No matches: the key contributes no outputs before or after.
+		return
+	}
+
+	if fastPath && math.Abs(newDenom-oldDenom) < weighted.Eps && oldDenom >= weighted.Eps {
+		stats.fastKeys++
+		for x, oldW := range oldWeights {
+			dw := own.weight(x) - oldW
+			if math.Abs(dw) < weighted.Eps {
+				continue
+			}
+			for y, wy := range other.w {
+				diff.Add(reduce(x, y), dw*wy/oldDenom)
+			}
+		}
+		return
+	}
+
+	stats.slowKeys++
+	// Retract the old outer product under the old denominator.
+	if oldDenom >= weighted.Eps {
+		for x, oldW := range oldWeights {
+			if oldW == 0 {
+				continue
+			}
+			for y, wy := range other.w {
+				diff.Add(reduce(x, y), -oldW*wy/oldDenom)
+			}
+		}
+		for x, wx := range own.w {
+			if _, changed := oldWeights[x]; changed {
+				continue
+			}
+			for y, wy := range other.w {
+				diff.Add(reduce(x, y), -wx*wy/oldDenom)
+			}
+		}
+	}
+	// Assert the new outer product under the new denominator.
+	if newDenom >= weighted.Eps {
+		for x, wx := range own.w {
+			for y, wy := range other.w {
+				diff.Add(reduce(x, y), wx*wy/newDenom)
+			}
+		}
+	}
+}
+
+func (n *JoinNode[A, B, K, R]) emitDiff(diff *weighted.Dataset[R]) {
+	out := make([]Delta[R], 0, diff.Len())
+	diff.Range(func(r R, w float64) { out = append(out, Delta[R]{r, w}) })
+	n.emit(out)
+}

@@ -1,0 +1,100 @@
+package incremental
+
+import (
+	"math/rand"
+	"testing"
+
+	"wpinq/internal/weighted"
+)
+
+// Rollback properties: pushing a batch followed by its negation must leave
+// every operator's output unchanged — the safety property MCMC's rejection
+// path depends on (Section 4.3).
+
+func inverse(batch []Delta[int]) []Delta[int] {
+	out := make([]Delta[int], len(batch))
+	for i, d := range batch {
+		out[i] = Delta[int]{d.Record, -d.Weight}
+	}
+	return out
+}
+
+// checkRollback drives an operator with a base load, then cycles of
+// batch+inverse, asserting the collected output returns to baseline.
+func checkRollback[U comparable](t *testing.T, name string, build func(Source[int]) Source[U]) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(60))
+	in := NewInput[int]()
+	out := Collect(build(in))
+	// Base load keeps weights non-negative overall.
+	var base []Delta[int]
+	for i := 0; i < 10; i++ {
+		base = append(base, Delta[int]{i, 2 + rng.Float64()*3})
+	}
+	in.Push(base)
+	baseline := out.Snapshot()
+	for cycle := 0; cycle < 200; cycle++ {
+		batch := make([]Delta[int], 1+rng.Intn(3))
+		for i := range batch {
+			batch[i] = Delta[int]{rng.Intn(10), rng.Float64()*2 - 1}
+		}
+		in.Push(batch)
+		in.Push(inverse(batch))
+	}
+	if !weighted.Equal(out.Snapshot(), baseline, 1e-7) {
+		t.Errorf("%s did not roll back:\nafter:    %v\nbaseline: %v",
+			name, out.Snapshot(), baseline)
+	}
+}
+
+func TestRollbackSelect(t *testing.T) {
+	checkRollback(t, "Select", func(s Source[int]) Source[int] {
+		return Select(s, func(x int) int { return x % 4 })
+	})
+}
+
+func TestRollbackSelectMany(t *testing.T) {
+	checkRollback(t, "SelectMany", func(s Source[int]) Source[int] {
+		return SelectManySlice(s, func(x int) []int { return []int{x, x + 1, x + 2} })
+	})
+}
+
+func TestRollbackGroupBy(t *testing.T) {
+	checkRollback(t, "GroupBy", func(s Source[int]) Source[weighted.Grouped[int, int]] {
+		return GroupBy(s, func(x int) int { return x % 3 }, func(m []int) int { return len(m) })
+	})
+}
+
+func TestRollbackShave(t *testing.T) {
+	checkRollback(t, "Shave", func(s Source[int]) Source[weighted.Indexed[int]] {
+		return ShaveConst(s, 0.75)
+	})
+}
+
+func TestRollbackSelfJoin(t *testing.T) {
+	checkRollback(t, "Join", func(s Source[int]) Source[[2]int] {
+		return Join(s, s,
+			func(x int) int { return x % 3 }, func(y int) int { return y % 3 },
+			func(x, y int) [2]int { return [2]int{x, y} })
+	})
+}
+
+func TestRollbackUnionIntersect(t *testing.T) {
+	checkRollback(t, "Union+Intersect", func(s Source[int]) Source[int] {
+		evens := Where(s, func(x int) bool { return x%2 == 0 })
+		return Intersect[int](Union[int](s, evens), s)
+	})
+}
+
+func TestRollbackDeepTbIShape(t *testing.T) {
+	// The exact operator shape MCMC rolls back through.
+	type path struct{ a, b, c int }
+	checkRollback(t, "TbI-shape", func(s Source[int]) Source[path] {
+		j := Join(s, s,
+			func(x int) int { return x % 5 }, func(y int) int { return (y + 1) % 5 },
+			func(x, y int) path { return path{x, x % 5, y} })
+		filtered := Where[path](j, func(p path) bool { return p.a != p.c })
+		rotated := Select[path](filtered, func(p path) path { return path{p.b, p.c, p.a} })
+		return Intersect[path](rotated, filtered)
+	})
+}

@@ -1,0 +1,164 @@
+package incremental
+
+import (
+	"math"
+)
+
+// Observations supplies released noisy measurements m(x) for the records a
+// query produces. core.Histogram implements it: unseen records receive
+// fresh, memoized Laplace noise — exactly wPINQ's NoisyCount semantics, so
+// MCMC faithfully "fits the noise" in never-observed buckets (the Figure 3
+// failure mode discussed in Section 5.2).
+type Observations[T comparable] interface {
+	Get(x T) float64
+}
+
+// MapObservations adapts a fixed map of released measurements; records
+// outside the map observe 0. Useful for tests and for measurements known to
+// cover the whole effective domain.
+type MapObservations[T comparable] map[T]float64
+
+// Get returns the recorded observation, or 0 when absent.
+func (m MapObservations[T]) Get(x T) float64 { return m[x] }
+
+// NoisyCountSink terminates a dataflow graph at a NoisyCount measurement:
+// it maintains the current query output weights q(x) and the L1 distance
+//
+//	||Q(A) - m||_1 = sum_x |q(x) - m(x)|
+//
+// incrementally as differences arrive. The sum ranges over every record
+// that has a released observation or a non-zero current weight; when the
+// synthetic dataset produces a record never observed before, the sink asks
+// the Observations for (and thereafter holds) its released value.
+//
+// The L1 distance is the quantity MCMC scores candidate datasets by
+// (paper Section 4.2).
+type NoisyCountSink[T comparable] struct {
+	q   map[T]float64
+	m   map[T]float64 // cached observations
+	src Observations[T]
+	l1  float64
+	eps float64
+}
+
+// NewNoisyCountSink attaches a sink to src. domain lists the records whose
+// observations were materialized at release time (they contribute
+// |0 - m(x)| immediately); eps is the privacy parameter the measurement was
+// taken with, used by scorers to weight this sink's distance.
+func NewNoisyCountSink[T comparable](source Source[T], obs Observations[T], domain []T, eps float64) *NoisyCountSink[T] {
+	s := &NoisyCountSink[T]{
+		q:   make(map[T]float64),
+		m:   make(map[T]float64),
+		src: obs,
+		eps: eps,
+	}
+	for _, x := range domain {
+		if _, ok := s.m[x]; ok {
+			continue
+		}
+		mv := obs.Get(x)
+		s.m[x] = mv
+		s.l1 += math.Abs(mv)
+	}
+	source.Subscribe(s.onInput)
+	return s
+}
+
+func (s *NoisyCountSink[T]) onInput(batch []Delta[T]) {
+	for _, d := range batch {
+		mv, ok := s.m[d.Record]
+		if !ok {
+			mv = s.src.Get(d.Record)
+			s.m[d.Record] = mv
+			s.l1 += math.Abs(mv) // q was 0 until now
+		}
+		oldQ := s.q[d.Record]
+		newQ := oldQ + d.Weight
+		if math.Abs(newQ) < 1e-12 {
+			newQ = 0
+			delete(s.q, d.Record)
+		} else {
+			s.q[d.Record] = newQ
+		}
+		s.l1 += math.Abs(newQ-mv) - math.Abs(oldQ-mv)
+	}
+}
+
+// L1 returns the incrementally maintained ||Q(A) - m||_1.
+func (s *NoisyCountSink[T]) L1() float64 { return s.l1 }
+
+// Epsilon returns the privacy parameter of the underlying measurement.
+func (s *NoisyCountSink[T]) Epsilon() float64 { return s.eps }
+
+// Weight returns the current query output weight q(x), for tests.
+func (s *NoisyCountSink[T]) Weight(x T) float64 { return s.q[x] }
+
+// RecomputeL1 re-derives the distance from scratch and returns it; it also
+// replaces the maintained value, squashing any accumulated floating-point
+// drift. Long MCMC runs call this periodically.
+func (s *NoisyCountSink[T]) RecomputeL1() float64 {
+	var l1 float64
+	for x, mv := range s.m {
+		l1 += math.Abs(s.q[x] - mv)
+	}
+	// Records with weight but no cached observation cannot exist: onInput
+	// always caches the observation first.
+	s.l1 = l1
+	return l1
+}
+
+// Drift returns |maintained - recomputed| without modifying state, for
+// numerical-stability tests.
+func (s *NoisyCountSink[T]) Drift() float64 {
+	var l1 float64
+	for x, mv := range s.m {
+		l1 += math.Abs(s.q[x] - mv)
+	}
+	return math.Abs(l1 - s.l1)
+}
+
+// Scorer aggregates several sinks into the single fit score used by
+// Metropolis-Hastings: sum_i eps_i * ||Q_i(A) - m_i||_1. Sinks of different
+// record types are adapted through the SinkScore interface.
+type Scorer struct {
+	sinks []SinkScore
+}
+
+// SinkScore is the type-erased view of a sink a Scorer needs.
+type SinkScore interface {
+	// L1 returns the sink's current distance to its measurement.
+	L1() float64
+	// Epsilon returns the measurement's privacy parameter.
+	Epsilon() float64
+	// RecomputeL1 re-derives the distance, squashing float drift.
+	RecomputeL1() float64
+}
+
+// NewScorer builds a scorer over the given sinks.
+func NewScorer(sinks ...SinkScore) *Scorer {
+	return &Scorer{sinks: sinks}
+}
+
+// Add registers another sink.
+func (sc *Scorer) Add(s SinkScore) { sc.sinks = append(sc.sinks, s) }
+
+// Score returns sum_i eps_i * L1_i: lower is a better fit. (The MCMC
+// acceptance test uses score differences, so the posterior is
+// exp(-pow * Score).)
+func (sc *Scorer) Score() float64 {
+	var total float64
+	for _, s := range sc.sinks {
+		total += s.Epsilon() * s.L1()
+	}
+	return total
+}
+
+// Recompute re-derives every sink's distance from scratch and returns the
+// refreshed score.
+func (sc *Scorer) Recompute() float64 {
+	var total float64
+	for _, s := range sc.sinks {
+		total += s.Epsilon() * s.RecomputeL1()
+	}
+	return total
+}

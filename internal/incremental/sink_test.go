@@ -1,0 +1,230 @@
+package incremental
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wpinq/internal/weighted"
+)
+
+func TestNoisyCountSinkInitialDomain(t *testing.T) {
+	in := NewInput[string]()
+	obs := MapObservations[string]{"a": 2.0, "b": -1.0}
+	sink := NewNoisyCountSink[string](in, obs, []string{"a", "b"}, 0.1)
+	// q = 0 everywhere: L1 = |0-2| + |0-(-1)| = 3.
+	if got := sink.L1(); math.Abs(got-3.0) > 1e-12 {
+		t.Errorf("initial L1 = %v, want 3.0", got)
+	}
+}
+
+func TestNoisyCountSinkTracksPushes(t *testing.T) {
+	in := NewInput[string]()
+	obs := MapObservations[string]{"a": 2.0}
+	sink := NewNoisyCountSink[string](in, obs, []string{"a"}, 0.1)
+	in.Push([]Delta[string]{{"a", 1.5}})
+	// |1.5 - 2| = 0.5
+	if got := sink.L1(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("L1 after push = %v, want 0.5", got)
+	}
+	in.Push([]Delta[string]{{"a", 0.5}})
+	if got := sink.L1(); math.Abs(got) > 1e-12 {
+		t.Errorf("L1 at perfect fit = %v, want 0", got)
+	}
+}
+
+func TestNoisyCountSinkLazyObservation(t *testing.T) {
+	in := NewInput[string]()
+	// Observations that return a fixed value for unseen records.
+	obs := obsFunc[string](func(x string) float64 { return 7.0 })
+	sink := NewNoisyCountSink[string](in, obs, nil, 0.1)
+	if sink.L1() != 0 {
+		t.Errorf("empty domain L1 = %v, want 0", sink.L1())
+	}
+	// A new record appears: its observation (7.0) is fetched lazily.
+	in.Push([]Delta[string]{{"new", 1.0}})
+	if got := sink.L1(); math.Abs(got-6.0) > 1e-12 {
+		t.Errorf("L1 after new record = %v, want |1-7| = 6", got)
+	}
+	// Removing the record again leaves |0 - 7| = 7: the observation stays.
+	in.Push([]Delta[string]{{"new", -1.0}})
+	if got := sink.L1(); math.Abs(got-7.0) > 1e-12 {
+		t.Errorf("L1 after retraction = %v, want 7", got)
+	}
+}
+
+type obsFunc[T comparable] func(T) float64
+
+func (f obsFunc[T]) Get(x T) float64 { return f(x) }
+
+func TestNoisyCountSinkRollbackExact(t *testing.T) {
+	// Pushing a batch and then its negation must restore L1 (within float
+	// tolerance): the MCMC rejection path.
+	rng := rand.New(rand.NewSource(11))
+	in := NewInput[int]()
+	obs := obsFunc[int](func(x int) float64 { return float64(x) * 0.3 })
+	// The domain covers every record randBatch can produce, so lazily
+	// fetched observations cannot shift the baseline mid-test.
+	sink := NewNoisyCountSink[int](in, obs, []int{0, 1, 2, 3, 4, 5}, 0.1)
+	// Build up some state.
+	in.Push([]Delta[int]{{0, 1}, {1, 2}, {2, 3}})
+	before := sink.L1()
+	for i := 0; i < 1000; i++ {
+		batch := randBatch(rng, 6, 3)
+		inverse := make([]Delta[int], len(batch))
+		for j, d := range batch {
+			inverse[j] = Delta[int]{d.Record, -d.Weight}
+		}
+		in.Push(batch)
+		in.Push(inverse)
+	}
+	if math.Abs(sink.L1()-before) > 1e-6 {
+		t.Errorf("L1 after 1000 push/rollback cycles = %v, want %v", sink.L1(), before)
+	}
+}
+
+func TestNoisyCountSinkDriftAndRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	in := NewInput[int]()
+	obs := obsFunc[int](func(x int) float64 { return rngObs(x) })
+	sink := NewNoisyCountSink[int](in, obs, nil, 0.2)
+	for i := 0; i < 5000; i++ {
+		in.Push(randBatch(rng, 10, 2))
+	}
+	if d := sink.Drift(); d > 1e-6 {
+		t.Errorf("drift after 5000 batches = %v, want < 1e-6", d)
+	}
+	r := sink.RecomputeL1()
+	// Map iteration order varies between summations, so the residual is
+	// bounded by float addition reordering, not exactly zero.
+	if d := sink.Drift(); d > 1e-12 {
+		t.Errorf("drift after RecomputeL1 = %v, want ~0", d)
+	}
+	if math.Abs(r-sink.L1()) > 1e-12 {
+		t.Error("RecomputeL1 return value disagrees with state")
+	}
+}
+
+func rngObs(x int) float64 { return math.Sin(float64(x)) * 3 }
+
+func TestScorerCombinesSinks(t *testing.T) {
+	inA := NewInput[string]()
+	inB := NewInput[string]()
+	sa := NewNoisyCountSink[string](inA, MapObservations[string]{"x": 1.0}, []string{"x"}, 0.5)
+	sb := NewNoisyCountSink[string](inB, MapObservations[string]{"y": 2.0}, []string{"y"}, 0.25)
+	sc := NewScorer(sa, sb)
+	// Score = 0.5*|0-1| + 0.25*|0-2| = 1.0
+	if got := sc.Score(); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("score = %v, want 1.0", got)
+	}
+	inA.Push([]Delta[string]{{"x", 1}})
+	if got := sc.Score(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("score after fit on A = %v, want 0.5", got)
+	}
+	if got := sc.Recompute(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("recomputed score = %v, want 0.5", got)
+	}
+}
+
+func TestScorerAdd(t *testing.T) {
+	sc := NewScorer()
+	in := NewInput[string]()
+	s := NewNoisyCountSink[string](in, MapObservations[string]{"x": 4.0}, []string{"x"}, 1.0)
+	sc.Add(s)
+	if got := sc.Score(); math.Abs(got-4.0) > 1e-12 {
+		t.Errorf("score = %v, want 4.0", got)
+	}
+}
+
+func TestJoinFastPathStats(t *testing.T) {
+	// An update that moves weight between records of the same key without
+	// changing the group norm must take the fast path; an update that
+	// changes the norm must take the slow path.
+	in := NewInput[int]()
+	other := NewInput[int]()
+	j := Join(in, other,
+		func(x int) int { return 0 }, func(x int) int { return 0 },
+		func(x, y int) [2]int { return [2]int{x, y} })
+	Collect[[2]int](j)
+	other.Push([]Delta[int]{{100, 1}})
+	in.Push([]Delta[int]{{1, 1}, {2, 1}}) // norm 0 -> 2: slow
+	slowBefore := j.SlowKeys()
+	if slowBefore == 0 {
+		t.Fatal("expected slow path on norm change")
+	}
+	fastBefore := j.FastKeys()
+	// Swap weight between records: norm stays 2.
+	in.Push([]Delta[int]{{1, -1}, {3, 1}})
+	if j.FastKeys() != fastBefore+1 {
+		t.Errorf("fast keys = %d, want %d", j.FastKeys(), fastBefore+1)
+	}
+	if j.SlowKeys() != slowBefore {
+		t.Errorf("slow keys moved on norm-preserving update: %d -> %d", slowBefore, j.SlowKeys())
+	}
+}
+
+func TestJoinFastPathMatchesSlowPathResults(t *testing.T) {
+	// Same update sequence with and without the fast path must produce
+	// identical outputs (the ablation's correctness precondition).
+	run := func(fast bool) *weighted.Dataset[[2]int] {
+		rng := rand.New(rand.NewSource(13))
+		inA := NewInput[int]()
+		inB := NewInput[int]()
+		j := Join(inA, inB, joinKeys, joinKeys,
+			func(x, y int) [2]int { return [2]int{x, y} })
+		j.SetFastPath(fast)
+		out := Collect[[2]int](j)
+		for i := 0; i < 200; i++ {
+			// Norm-preserving moves half the time.
+			if rng.Intn(2) == 0 {
+				a, b := rng.Intn(4)*2, rng.Intn(4)*2 // same key (even)
+				inA.Push([]Delta[int]{{a, 1}, {b, -1}})
+			} else {
+				inA.Push(randBatch(rng, 8, 1))
+				inB.Push(randBatch(rng, 8, 1))
+			}
+		}
+		return out.Snapshot()
+	}
+	withFast := run(true)
+	withoutFast := run(false)
+	if !weighted.Equal(withFast, withoutFast, 1e-8) {
+		t.Errorf("fast path changed results:\nfast: %v\nslow: %v", withFast, withoutFast)
+	}
+}
+
+func TestCollectorWeightAndNorm(t *testing.T) {
+	in := NewInput[string]()
+	c := Collect[string](in)
+	in.Push([]Delta[string]{{"a", 2}, {"b", -1}})
+	if c.Weight("a") != 2 || c.Weight("b") != -1 {
+		t.Errorf("weights = %v, %v; want 2, -1", c.Weight("a"), c.Weight("b"))
+	}
+	if c.Norm() != 3 {
+		t.Errorf("norm = %v, want 3", c.Norm())
+	}
+}
+
+func TestPushDataset(t *testing.T) {
+	in := NewInput[string]()
+	c := Collect[string](in)
+	d := weighted.FromPairs(
+		weighted.Pair[string]{Record: "a", Weight: 1.5},
+		weighted.Pair[string]{Record: "b", Weight: 2.5},
+	)
+	in.PushDataset(d)
+	if !weighted.Equal(c.Snapshot(), d, 1e-12) {
+		t.Errorf("PushDataset mismatch: %v vs %v", c.Snapshot(), d)
+	}
+}
+
+func TestEmptyBatchNoEmission(t *testing.T) {
+	in := NewInput[int]()
+	calls := 0
+	in.Subscribe(func([]Delta[int]) { calls++ })
+	in.Push(nil)
+	in.Push([]Delta[int]{})
+	if calls != 0 {
+		t.Errorf("empty pushes triggered %d emissions, want 0", calls)
+	}
+}

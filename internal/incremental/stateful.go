@@ -1,0 +1,187 @@
+package incremental
+
+import (
+	"math"
+
+	"wpinq/internal/weighted"
+)
+
+// Stateful unary and element-wise binary operators (Appendix B). Each
+// maintains a record-weight index so that an input difference can be
+// translated into the exact difference of outputs.
+
+// MinMaxNode is the output of Union or Intersect: an element-wise
+// max/min with both inputs' current weights indexed.
+type MinMaxNode[T comparable] struct {
+	Stream[T]
+	left  *stateMap[T]
+	right *stateMap[T]
+}
+
+// Union incrementally computes the element-wise maximum of two streams.
+// It maintains both inputs' current weights; a difference on either side
+// changes the output only when it moves the maximum.
+func Union[T comparable](a, b Source[T]) *MinMaxNode[T] {
+	return minMaxNode(a, b, math.Max)
+}
+
+// Intersect incrementally computes the element-wise minimum of two streams.
+func Intersect[T comparable](a, b Source[T]) *MinMaxNode[T] {
+	return minMaxNode(a, b, math.Min)
+}
+
+// StateSize returns the number of records indexed across both inputs: the
+// node's memory footprint in records (paper Section 4.3 observes this
+// grows with the number of length-two paths for the triangle queries).
+func (n *MinMaxNode[T]) StateSize() int { return len(n.left.w) + len(n.right.w) }
+
+func minMaxNode[T comparable](a, b Source[T], pick func(x, y float64) float64) *MinMaxNode[T] {
+	n := &MinMaxNode[T]{left: newStateMap[T](), right: newStateMap[T]()}
+	handle := func(own, other *stateMap[T]) Handler[T] {
+		return func(batch []Delta[T]) {
+			out := make([]Delta[T], 0, len(batch))
+			for _, d := range batch {
+				oldW, newW := own.apply(d.Record, d.Weight)
+				ow := other.weight(d.Record)
+				diff := pick(newW, ow) - pick(oldW, ow)
+				if math.Abs(diff) >= weighted.Eps {
+					out = append(out, Delta[T]{d.Record, diff})
+				}
+			}
+			n.emit(out)
+		}
+	}
+	a.Subscribe(handle(n.left, n.right))
+	b.Subscribe(handle(n.right, n.left))
+	return n
+}
+
+// GroupByNode is the output of GroupBy.
+type GroupByNode[T comparable, K comparable, R comparable] struct {
+	Stream[weighted.Grouped[K, R]]
+	groups map[K]map[T]float64
+	key    func(T) K
+	reduce func([]T) R
+}
+
+// GroupBy incrementally groups records by key and re-reduces weight-ordered
+// prefixes. When a difference arrives, only the affected keys' outputs are
+// re-derived: the old prefix outputs are retracted and the new ones
+// asserted (their overlap cancels, so unchanged prefixes emit nothing).
+func GroupBy[T comparable, K comparable, R comparable](
+	src Source[T], key func(T) K, reduce func([]T) R,
+) *GroupByNode[T, K, R] {
+	n := &GroupByNode[T, K, R]{
+		groups: make(map[K]map[T]float64),
+		key:    key,
+		reduce: reduce,
+	}
+	src.Subscribe(n.onInput)
+	return n
+}
+
+func (n *GroupByNode[T, K, R]) onInput(batch []Delta[T]) {
+	// Group arriving differences by key.
+	byKey := make(map[K][]Delta[T])
+	for _, d := range batch {
+		k := n.key(d.Record)
+		byKey[k] = append(byKey[k], d)
+	}
+	diff := weighted.New[weighted.Grouped[K, R]]()
+	for k, ds := range byKey {
+		group := n.groups[k]
+		// Retract old outputs.
+		n.expand(k, group, func(g weighted.Grouped[K, R], w float64) { diff.Add(g, -w) })
+		// Apply the differences.
+		if group == nil {
+			group = make(map[T]float64)
+			n.groups[k] = group
+		}
+		for _, d := range ds {
+			nw := group[d.Record] + d.Weight
+			if math.Abs(nw) < weighted.Eps {
+				delete(group, d.Record)
+			} else {
+				group[d.Record] = nw
+			}
+		}
+		if len(group) == 0 {
+			delete(n.groups, k)
+			group = nil
+		}
+		// Assert new outputs.
+		n.expand(k, group, func(g weighted.Grouped[K, R], w float64) { diff.Add(g, w) })
+	}
+	out := make([]Delta[weighted.Grouped[K, R]], 0, diff.Len())
+	diff.Range(func(g weighted.Grouped[K, R], w float64) {
+		out = append(out, Delta[weighted.Grouped[K, R]]{g, w})
+	})
+	n.emit(out)
+}
+
+// StateSize returns the number of records indexed across all groups.
+func (n *GroupByNode[T, K, R]) StateSize() int {
+	total := 0
+	for _, g := range n.groups {
+		total += len(g)
+	}
+	return total
+}
+
+func (n *GroupByNode[T, K, R]) expand(k K, group map[T]float64, emit func(weighted.Grouped[K, R], float64)) {
+	if len(group) == 0 {
+		return
+	}
+	members := make([]weighted.Pair[T], 0, len(group))
+	for x, w := range group {
+		members = append(members, weighted.Pair[T]{Record: x, Weight: w})
+	}
+	weighted.PrefixReduce(k, members, n.reduce, emit)
+}
+
+// ShaveNode is the output of Shave.
+type ShaveNode[T comparable] struct {
+	Stream[weighted.Indexed[T]]
+	state *stateMap[T]
+	f     func(x T, i int) float64
+}
+
+// Shave incrementally decomposes records into indexed slices following the
+// weight sequence f. A difference on a record re-derives only that record's
+// slices; interior slices cancel, so in the common constant-sequence case
+// only the boundary slices emit differences.
+func Shave[T comparable](src Source[T], f func(x T, i int) float64) *ShaveNode[T] {
+	n := &ShaveNode[T]{state: newStateMap[T](), f: f}
+	src.Subscribe(n.onInput)
+	return n
+}
+
+// ShaveConst is Shave with a constant weight sequence.
+func ShaveConst[T comparable](src Source[T], w float64) *ShaveNode[T] {
+	return Shave(src, func(T, int) float64 { return w })
+}
+
+// StateSize returns the number of records indexed by the node.
+func (n *ShaveNode[T]) StateSize() int { return len(n.state.w) }
+
+func (n *ShaveNode[T]) onInput(batch []Delta[T]) {
+	diff := weighted.New[weighted.Indexed[T]]()
+	for _, d := range batch {
+		oldW, newW := n.state.apply(d.Record, d.Weight)
+		if oldW == newW {
+			continue
+		}
+		x := d.Record
+		weighted.ShaveExpand(x, oldW, n.f, func(i int, wi float64) {
+			diff.Add(weighted.Indexed[T]{Value: x, Index: i}, -wi)
+		})
+		weighted.ShaveExpand(x, newW, n.f, func(i int, wi float64) {
+			diff.Add(weighted.Indexed[T]{Value: x, Index: i}, wi)
+		})
+	}
+	out := make([]Delta[weighted.Indexed[T]], 0, diff.Len())
+	diff.Range(func(ix weighted.Indexed[T], w float64) {
+		out = append(out, Delta[weighted.Indexed[T]]{ix, w})
+	})
+	n.emit(out)
+}

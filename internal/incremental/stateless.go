@@ -1,0 +1,93 @@
+package incremental
+
+import (
+	"math"
+
+	"wpinq/internal/weighted"
+)
+
+// Stateless operators (Appendix B): Select, Where, SelectMany, Concat and
+// Except are linear in their input, so an input difference maps directly to
+// an output difference with no maintained state.
+
+// Node is a plain operator output: a stream of differences of type T.
+type Node[T comparable] struct {
+	Stream[T]
+}
+
+// Select incrementally applies f to each record, preserving weights.
+func Select[T, U comparable](src Source[T], f func(T) U) *Node[U] {
+	n := &Node[U]{}
+	src.Subscribe(func(batch []Delta[T]) {
+		out := make([]Delta[U], len(batch))
+		for i, d := range batch {
+			out[i] = Delta[U]{f(d.Record), d.Weight}
+		}
+		n.emit(out)
+	})
+	return n
+}
+
+// Where incrementally filters records by p.
+func Where[T comparable](src Source[T], p func(T) bool) *Node[T] {
+	n := &Node[T]{}
+	src.Subscribe(func(batch []Delta[T]) {
+		out := make([]Delta[T], 0, len(batch))
+		for _, d := range batch {
+			if p(d.Record) {
+				out = append(out, d)
+			}
+		}
+		n.emit(out)
+	})
+	return n
+}
+
+// SelectMany incrementally maps each record to a weighted dataset rescaled
+// to at most unit norm. f must be deterministic: it is re-invoked on every
+// difference touching the record.
+func SelectMany[T, U comparable](src Source[T], f func(T) *weighted.Dataset[U]) *Node[U] {
+	n := &Node[U]{}
+	src.Subscribe(func(batch []Delta[T]) {
+		var out []Delta[U]
+		for _, d := range batch {
+			fx := f(d.Record)
+			scale := d.Weight / math.Max(1, fx.Norm())
+			fx.Range(func(y U, wy float64) {
+				out = append(out, Delta[U]{y, wy * scale})
+			})
+		}
+		n.emit(out)
+	})
+	return n
+}
+
+// SelectManySlice is SelectMany for unit-weight output lists.
+func SelectManySlice[T, U comparable](src Source[T], f func(T) []U) *Node[U] {
+	return SelectMany(src, func(x T) *weighted.Dataset[U] { return weighted.FromItems(f(x)...) })
+}
+
+// Concat incrementally adds two streams: differences pass through from
+// either input.
+func Concat[T comparable](a, b Source[T]) *Node[T] {
+	n := &Node[T]{}
+	pass := func(batch []Delta[T]) { n.emit(batch) }
+	a.Subscribe(pass)
+	b.Subscribe(pass)
+	return n
+}
+
+// Except incrementally subtracts stream b from stream a: differences from b
+// pass through negated.
+func Except[T comparable](a, b Source[T]) *Node[T] {
+	n := &Node[T]{}
+	a.Subscribe(func(batch []Delta[T]) { n.emit(batch) })
+	b.Subscribe(func(batch []Delta[T]) {
+		out := make([]Delta[T], len(batch))
+		for i, d := range batch {
+			out[i] = Delta[T]{d.Record, -d.Weight}
+		}
+		n.emit(out)
+	})
+	return n
+}

@@ -1,0 +1,148 @@
+// Package incremental implements wPINQ's incremental query evaluation
+// engine (paper Section 4.3 and Appendix B).
+//
+// Queries are built once as a dataflow graph of operator nodes. Input
+// changes are pushed as batches of weighted differences (Delta values);
+// each operator maintains whatever indexed state it needs to translate
+// input differences into output differences, so re-evaluating a query after
+// a small change (one MCMC step) costs only the propagation of the change,
+// not a from-scratch evaluation.
+//
+// Every operator implements exactly the semantics of the corresponding
+// reference transformation in wpinq/internal/weighted; the equivalence is
+// enforced by property tests that drive both engines with random update
+// sequences.
+//
+// The engine is single-threaded: pushes are synchronous and nodes must not
+// be shared across goroutines without external synchronization. This
+// mirrors the MCMC loop, which is inherently sequential.
+package incremental
+
+import (
+	"math"
+
+	"wpinq/internal/weighted"
+)
+
+// Delta is one weighted difference: Record's weight changes by Weight.
+type Delta[T comparable] struct {
+	Record T
+	Weight float64
+}
+
+// Handler consumes a batch of differences. The batch slice is owned by the
+// emitter: handlers must not retain or mutate it.
+type Handler[T comparable] func(batch []Delta[T])
+
+// Source is anything that emits difference batches of type T. All operator
+// nodes and Input implement Source for their output type.
+type Source[T comparable] interface {
+	Subscribe(h Handler[T])
+}
+
+// Stream is an embeddable broadcaster of difference batches. Operator nodes
+// embed Stream to implement Source.
+type Stream[T comparable] struct {
+	handlers []Handler[T]
+}
+
+// Subscribe registers a downstream handler. Subscription order is the
+// delivery order. Subscriptions must complete before the first push.
+func (s *Stream[T]) Subscribe(h Handler[T]) {
+	s.handlers = append(s.handlers, h)
+}
+
+// emit delivers a batch to every subscriber. Empty batches are dropped.
+func (s *Stream[T]) emit(batch []Delta[T]) {
+	if len(batch) == 0 {
+		return
+	}
+	for _, h := range s.handlers {
+		h(batch)
+	}
+}
+
+// Input is the root of a dataflow graph: the point where dataset changes
+// enter the computation.
+type Input[T comparable] struct {
+	Stream[T]
+}
+
+// NewInput returns a new dataflow input.
+func NewInput[T comparable]() *Input[T] {
+	return &Input[T]{}
+}
+
+// Push propagates a batch of differences through the graph synchronously.
+// When Push returns, every sink reflects the change.
+func (in *Input[T]) Push(batch []Delta[T]) {
+	in.emit(batch)
+}
+
+// PushDataset pushes an entire weighted dataset as one batch: the idiom for
+// loading initial data into a freshly built graph.
+func (in *Input[T]) PushDataset(d *weighted.Dataset[T]) {
+	batch := make([]Delta[T], 0, d.Len())
+	d.Range(func(x T, w float64) {
+		batch = append(batch, Delta[T]{x, w})
+	})
+	in.Push(batch)
+}
+
+// Collector is a sink that materializes the current state of a stream as a
+// weighted dataset. Used by tests and by callers that need full outputs.
+type Collector[T comparable] struct {
+	data *weighted.Dataset[T]
+}
+
+// Collect attaches a new Collector to src.
+func Collect[T comparable](src Source[T]) *Collector[T] {
+	c := &Collector[T]{data: weighted.New[T]()}
+	src.Subscribe(func(batch []Delta[T]) {
+		for _, d := range batch {
+			c.data.Add(d.Record, d.Weight)
+		}
+	})
+	return c
+}
+
+// Snapshot returns a copy of the collector's current dataset.
+func (c *Collector[T]) Snapshot() *weighted.Dataset[T] {
+	return c.data.Clone()
+}
+
+// Weight returns the current accumulated weight of record x.
+func (c *Collector[T]) Weight(x T) float64 { return c.data.Weight(x) }
+
+// Norm returns the current ||Q(A)|| of the collected stream.
+func (c *Collector[T]) Norm() float64 { return c.data.Norm() }
+
+// stateMap is the shared mutable-state helper used by stateful operators:
+// a record-weight index with Eps cleanup matching weighted.Dataset, plus an
+// incrementally maintained norm.
+type stateMap[T comparable] struct {
+	w    map[T]float64
+	norm float64
+}
+
+func newStateMap[T comparable]() *stateMap[T] {
+	return &stateMap[T]{w: make(map[T]float64)}
+}
+
+// apply adds delta to record x and returns (old, new) weights. Weights with
+// magnitude below weighted.Eps collapse to exactly zero, keeping the state
+// identical to the reference engine's.
+func (m *stateMap[T]) apply(x T, delta float64) (oldW, newW float64) {
+	oldW = m.w[x]
+	newW = oldW + delta
+	if math.Abs(newW) < weighted.Eps {
+		newW = 0
+		delete(m.w, x)
+	} else {
+		m.w[x] = newW
+	}
+	m.norm += math.Abs(newW) - math.Abs(oldW)
+	return oldW, newW
+}
+
+func (m *stateMap[T]) weight(x T) float64 { return m.w[x] }

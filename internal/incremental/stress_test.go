@@ -1,0 +1,126 @@
+package incremental
+
+import (
+	"math/rand"
+	"testing"
+
+	"wpinq/internal/weighted"
+)
+
+// Stress tests: deep and wide operator graphs driven by long random
+// update sequences, checked against the reference engine at the end
+// (intermediate checks would dominate runtime).
+
+func TestDeepChainLongRun(t *testing.T) {
+	// Select -> GroupBy -> Shave -> Select -> Union(with self via Where)
+	rng := rand.New(rand.NewSource(100))
+	in := NewInput[int]()
+	sel := Select(in, func(x int) int { return x % 7 })
+	grp := GroupBy[int, int, int](sel, func(x int) int { return x % 3 }, func(m []int) int { return len(m) })
+	shv := ShaveConst[weighted.Grouped[int, int]](grp, 0.4)
+	flat := Select[weighted.Indexed[weighted.Grouped[int, int]], int](shv,
+		func(ix weighted.Indexed[weighted.Grouped[int, int]]) int {
+			return ix.Value.Key*100 + ix.Value.Result*10 + ix.Index
+		})
+	evens := Where[int](flat, func(x int) bool { return x%2 == 0 })
+	out := Collect(Union[int](flat, evens))
+
+	ref := weighted.New[int]()
+	for step := 0; step < 3000; step++ {
+		x := rng.Intn(40)
+		cur := ref.Weight(x)
+		delta := rng.Float64()*2 - 0.8
+		if cur+delta < 0 {
+			delta = -cur
+		}
+		in.Push([]Delta[int]{{x, delta}})
+		ref.Add(x, delta)
+	}
+	// Reference evaluation of the same pipeline.
+	rsel := weighted.Select(ref, func(x int) int { return x % 7 })
+	rgrp := weighted.GroupBy(rsel, func(x int) int { return x % 3 }, func(m []int) int { return len(m) })
+	rshv := weighted.ShaveConst(rgrp, 0.4)
+	rflat := weighted.Select(rshv, func(ix weighted.Indexed[weighted.Grouped[int, int]]) int {
+		return ix.Value.Key*100 + ix.Value.Result*10 + ix.Index
+	})
+	revens := weighted.Where(rflat, func(x int) bool { return x%2 == 0 })
+	want := weighted.Union(rflat, revens)
+	if !weighted.Equal(out.Snapshot(), want, 1e-6) {
+		t.Errorf("deep chain diverged after 3000 updates:\nincremental: %v\nreference:   %v",
+			out.Snapshot(), want)
+	}
+}
+
+func TestDiamondTopology(t *testing.T) {
+	// One input fans out to two branches that reconverge through a join:
+	// exercises multiple subscriptions and reconvergent updates.
+	rng := rand.New(rand.NewSource(101))
+	in := NewInput[int]()
+	left := Select(in, func(x int) int { return x * 2 })
+	right := Where(in, func(x int) bool { return x != 3 })
+	j := Join[int, int, int, [2]int](left, right,
+		func(x int) int { return x % 4 },
+		func(y int) int { return y % 4 },
+		func(x, y int) [2]int { return [2]int{x, y} })
+	out := Collect[[2]int](j)
+
+	ref := weighted.New[int]()
+	for step := 0; step < 2000; step++ {
+		x := rng.Intn(12)
+		cur := ref.Weight(x)
+		delta := rng.Float64() - 0.4
+		if cur+delta < 0 {
+			delta = -cur
+		}
+		in.Push([]Delta[int]{{x, delta}})
+		ref.Add(x, delta)
+	}
+	rleft := weighted.Select(ref, func(x int) int { return x * 2 })
+	rright := weighted.Where(ref, func(x int) bool { return x != 3 })
+	want := weighted.Join(rleft, rright,
+		func(x int) int { return x % 4 },
+		func(y int) int { return y % 4 },
+		func(x, y int) [2]int { return [2]int{x, y} })
+	if !weighted.Equal(out.Snapshot(), want, 1e-6) {
+		t.Error("diamond topology diverged after 2000 updates")
+	}
+}
+
+func TestManySmallBatchesMatchOneBigBatch(t *testing.T) {
+	// Pushing records one at a time and all at once must agree: batching
+	// is an optimization, not a semantic knob.
+	build := func() (*Input[int], *Collector[weighted.Grouped[int, int]]) {
+		in := NewInput[int]()
+		grp := GroupBy[int, int, int](in, func(x int) int { return x % 2 }, func(m []int) int { return len(m) })
+		return in, Collect[weighted.Grouped[int, int]](grp)
+	}
+	var big []Delta[int]
+	rng := rand.New(rand.NewSource(102))
+	for i := 0; i < 200; i++ {
+		big = append(big, Delta[int]{rng.Intn(10), rng.Float64()})
+	}
+	inOne, outOne := build()
+	inOne.Push(big)
+	inMany, outMany := build()
+	for _, d := range big {
+		inMany.Push([]Delta[int]{d})
+	}
+	if !weighted.Equal(outOne.Snapshot(), outMany.Snapshot(), 1e-9) {
+		t.Error("batched and unbatched pushes disagree")
+	}
+}
+
+func TestNegativeTransientWeights(t *testing.T) {
+	// Linear operators must tolerate transiently negative state (a
+	// retraction arriving before the corresponding assertion).
+	in := NewInput[int]()
+	out := Collect(Select(in, func(x int) int { return x }))
+	in.Push([]Delta[int]{{1, -2}})
+	if out.Weight(1) != -2 {
+		t.Errorf("negative weight = %v, want -2", out.Weight(1))
+	}
+	in.Push([]Delta[int]{{1, 5}})
+	if out.Weight(1) != 3 {
+		t.Errorf("recovered weight = %v, want 3", out.Weight(1))
+	}
+}

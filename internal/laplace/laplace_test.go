@@ -1,0 +1,162 @@
+package laplace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromEpsilon(t *testing.T) {
+	d, err := FromEpsilon(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.Scale(), 10.0; got != want {
+		t.Errorf("scale = %v, want %v", got, want)
+	}
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := FromEpsilon(bad); err == nil {
+			t.Errorf("FromEpsilon(%v) should error", bad)
+		}
+	}
+}
+
+func TestNewPanicsOnBadScale(t *testing.T) {
+	for _, bad := range []float64{0, -2, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) should panic", bad)
+				}
+			}()
+			New(bad)
+		}()
+	}
+}
+
+func TestSampleMomentsMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := New(2.0)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := d.Sample(rng)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("sample mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-d.Variance())/d.Variance() > 0.05 {
+		t.Errorf("sample variance = %v, want ~%v", variance, d.Variance())
+	}
+}
+
+func TestSampleMedianNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := New(5.0)
+	neg := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if d.Sample(rng) < 0 {
+			neg++
+		}
+	}
+	frac := float64(neg) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("fraction negative = %v, want ~0.5", frac)
+	}
+}
+
+func TestDensityIntegratesToOne(t *testing.T) {
+	d := New(1.5)
+	// Trapezoid rule over [-30, 30] (tails beyond are < 1e-8).
+	const steps = 60000
+	h := 60.0 / steps
+	var integral float64
+	for i := 0; i <= steps; i++ {
+		x := -30.0 + float64(i)*h
+		w := 1.0
+		if i == 0 || i == steps {
+			w = 0.5
+		}
+		integral += w * d.Density(x) * h
+	}
+	if math.Abs(integral-1) > 1e-6 {
+		t.Errorf("density integral = %v, want 1", integral)
+	}
+}
+
+func TestLogDensityConsistent(t *testing.T) {
+	d := New(0.8)
+	for _, x := range []float64{-3, -0.5, 0, 1, 10} {
+		if math.Abs(math.Exp(d.LogDensity(x))-d.Density(x)) > 1e-12 {
+			t.Errorf("exp(LogDensity(%v)) != Density(%v)", x, x)
+		}
+	}
+}
+
+func TestQuantileCDFInverse(t *testing.T) {
+	d := New(3.0)
+	f := func(p float64) bool {
+		p = math.Mod(math.Abs(p), 1)
+		if p == 0 {
+			p = 0.3
+		}
+		x := d.Quantile(p)
+		return math.Abs(d.CDF(x)-p) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	d := New(1.0)
+	prev := -1.0
+	for x := -10.0; x <= 10; x += 0.25 {
+		c := d.CDF(x)
+		if c < prev {
+			t.Fatalf("CDF not monotone at %v", x)
+		}
+		prev = c
+	}
+	if d.CDF(0) != 0.5 {
+		t.Errorf("CDF(0) = %v, want 0.5", d.CDF(0))
+	}
+}
+
+func TestSampleDeterministicWithSeed(t *testing.T) {
+	d := New(1.0)
+	a := d.Sample(rand.New(rand.NewSource(42)))
+	b := d.Sample(rand.New(rand.NewSource(42)))
+	if a != b {
+		t.Errorf("same seed produced different samples: %v vs %v", a, b)
+	}
+}
+
+func TestEmpiricalCDFMatches(t *testing.T) {
+	// Kolmogorov-Smirnov style check at a few fixed points.
+	rng := rand.New(rand.NewSource(99))
+	d := New(1.0)
+	const n = 100000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = d.Sample(rng)
+	}
+	for _, x := range []float64{-2, -1, 0, 1, 2} {
+		count := 0
+		for _, s := range samples {
+			if s <= x {
+				count++
+			}
+		}
+		emp := float64(count) / n
+		if math.Abs(emp-d.CDF(x)) > 0.01 {
+			t.Errorf("empirical CDF(%v) = %v, want %v", x, emp, d.CDF(x))
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package mcmc implements the Metropolis-Hastings sampler of paper Section
+// 4.2 over synthetic graphs, using the incremental dataflow engine to score
+// each proposal in time proportional to the change.
+//
+// The state is a synthetic graph; the random walk is the degree-preserving
+// edge swap of Section 5.1 (replace edges (a,b), (c,d) with (a,d), (c,b));
+// the score is sum_i eps_i * ||Q_i(A) - m_i||_1 over the released noisy
+// measurements, and a proposal is accepted with probability
+//
+//	min(1, exp(-pow * (scoreNew - scoreOld)))
+//
+// so the walk's limiting distribution is proportional to
+// exp(-pow * sum_i eps_i * ||Q_i(A) - m_i||_1) — the posterior over
+// datasets given the measurements, sharpened by pow.
+//
+// (The paper's Section 4.2 prints the score without the negation; the sign
+// must be negative for the posterior to concentrate on good fits, matching
+// the Laplace likelihood. See DESIGN.md "Known deviations".)
+package mcmc
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"wpinq/internal/graph"
+	"wpinq/internal/incremental"
+)
+
+// GraphState is a synthetic graph coupled to the edge-difference input of
+// one or more incremental query pipelines. Mutations go through proposals
+// so the graph, the edge list, and the dataflow state never diverge.
+type GraphState struct {
+	g     *graph.Graph
+	edges []graph.Edge // normalized (Src < Dst) undirected edge list
+	input *incremental.Input[graph.Edge]
+}
+
+// NewGraphState couples g (cloned) to input and pushes the initial edge
+// dataset through the dataflow graph. All pipeline subscriptions on input
+// must be in place before this call.
+func NewGraphState(g *graph.Graph, input *incremental.Input[graph.Edge]) *GraphState {
+	s := &GraphState{
+		g:     g.Clone(),
+		edges: g.EdgeList(),
+		input: input,
+	}
+	s.input.PushDataset(graph.SymmetricEdges(s.g))
+	return s
+}
+
+// Graph returns the live synthetic graph. Callers must treat it as
+// read-only; mutations outside proposals would desynchronize the dataflow.
+func (s *GraphState) Graph() *graph.Graph { return s.g }
+
+// NumEdges returns the number of undirected edges (invariant under swaps).
+func (s *GraphState) NumEdges() int { return len(s.edges) }
+
+// Proposal is one candidate edge swap: undirected edges {A,B} and {C,D}
+// (at edge-list indices I and J) are replaced by {A,D} and {C,B}.
+type Proposal struct {
+	I, J       int
+	A, B, C, D graph.Node
+}
+
+// Propose draws a random edge swap. ok is false when the draw is invalid
+// (self-loop, duplicate edge, or shared endpoints) — invalid draws are
+// simply skipped by the runner, as in the paper's random walk.
+func (s *GraphState) Propose(rng *rand.Rand) (p Proposal, ok bool) {
+	if len(s.edges) < 2 {
+		return Proposal{}, false
+	}
+	i := rng.Intn(len(s.edges))
+	j := rng.Intn(len(s.edges))
+	if i == j {
+		return Proposal{}, false
+	}
+	a, b := s.edges[i].Src, s.edges[i].Dst
+	c, d := s.edges[j].Src, s.edges[j].Dst
+	// Flip orientation half the time so both re-pairings are reachable
+	// (keeps the walk symmetric).
+	if rng.Intn(2) == 0 {
+		c, d = d, c
+	}
+	if a == d || c == b || a == c || b == d {
+		return Proposal{}, false
+	}
+	if s.g.HasEdge(a, d) || s.g.HasEdge(c, b) {
+		return Proposal{}, false
+	}
+	return Proposal{I: i, J: j, A: a, B: b, C: c, D: d}, true
+}
+
+// Apply performs the swap on the graph and propagates the eight directed
+// edge differences through the dataflow.
+func (s *GraphState) Apply(p Proposal) {
+	s.g.RemoveEdge(p.A, p.B)
+	s.g.RemoveEdge(p.C, p.D)
+	s.g.AddEdge(p.A, p.D)
+	s.g.AddEdge(p.C, p.B)
+	s.edges[p.I] = normEdge(p.A, p.D)
+	s.edges[p.J] = normEdge(p.C, p.B)
+	s.input.Push([]incremental.Delta[graph.Edge]{
+		{Record: graph.Edge{Src: p.A, Dst: p.B}, Weight: -1},
+		{Record: graph.Edge{Src: p.B, Dst: p.A}, Weight: -1},
+		{Record: graph.Edge{Src: p.C, Dst: p.D}, Weight: -1},
+		{Record: graph.Edge{Src: p.D, Dst: p.C}, Weight: -1},
+		{Record: graph.Edge{Src: p.A, Dst: p.D}, Weight: 1},
+		{Record: graph.Edge{Src: p.D, Dst: p.A}, Weight: 1},
+		{Record: graph.Edge{Src: p.C, Dst: p.B}, Weight: 1},
+		{Record: graph.Edge{Src: p.B, Dst: p.C}, Weight: 1},
+	})
+}
+
+// Revert undoes a just-applied proposal (the Metropolis rejection path).
+func (s *GraphState) Revert(p Proposal) {
+	s.Apply(Proposal{I: p.I, J: p.J, A: p.A, B: p.D, C: p.C, D: p.B})
+}
+
+func normEdge(u, v graph.Node) graph.Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return graph.Edge{Src: u, Dst: v}
+}
+
+// Config parameterizes a Metropolis-Hastings run.
+type Config struct {
+	// Pow sharpens the posterior (paper Section 4.2); the experiments use
+	// 10000 to make MCMC behave like a greedy fit.
+	Pow float64
+	// PowSchedule, when set, overrides Pow with a per-step value — an
+	// annealing schedule. The paper notes large pow "slows down the
+	// convergence of MCMC but eventually results in outputs that more
+	// closely fit the measurements"; ramping pow from small to large takes
+	// both sides of that trade-off (an extension beyond the paper's fixed
+	// pow). The schedule must return positive values.
+	PowSchedule func(step int) float64
+	// RecomputeEvery squashes floating-point drift in the sinks every this
+	// many accepted steps (0 disables; 1<<16 is a sensible default).
+	RecomputeEvery int
+	// OnStep, when set, observes every step (including invalid proposals)
+	// after it resolves. Useful for tracing fit trajectories.
+	OnStep func(step int, accepted bool, score float64)
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	Steps      int
+	Accepted   int
+	Rejected   int
+	Invalid    int
+	FinalScore float64
+}
+
+// Runner drives Metropolis-Hastings over a GraphState against a Scorer.
+type Runner struct {
+	state  *GraphState
+	scorer *incremental.Scorer
+	cfg    Config
+	rng    *rand.Rand
+
+	score          float64
+	step           int
+	sinceRecompute int
+}
+
+// NewRunner builds a runner. The scorer must already observe the pipelines
+// fed by the state's input.
+func NewRunner(state *GraphState, scorer *incremental.Scorer, cfg Config, rng *rand.Rand) (*Runner, error) {
+	if state == nil || scorer == nil {
+		return nil, errors.New("mcmc: state and scorer are required")
+	}
+	if cfg.Pow <= 0 && cfg.PowSchedule == nil {
+		return nil, errors.New("mcmc: Pow must be positive (or supply PowSchedule)")
+	}
+	return &Runner{
+		state:  state,
+		scorer: scorer,
+		cfg:    cfg,
+		rng:    rng,
+		score:  scorer.Score(),
+	}, nil
+}
+
+// pow returns the posterior sharpening for the current step.
+func (r *Runner) pow() float64 {
+	if r.cfg.PowSchedule != nil {
+		return r.cfg.PowSchedule(r.step)
+	}
+	return r.cfg.Pow
+}
+
+// Score returns the current fit score (lower is better).
+func (r *Runner) Score() float64 { return r.score }
+
+// State returns the runner's graph state.
+func (r *Runner) State() *GraphState { return r.state }
+
+// Step attempts one Metropolis-Hastings transition and reports whether a
+// proposal was accepted.
+func (r *Runner) Step() bool {
+	accepted, valid := r.transition()
+	r.step++
+	return accepted && valid
+}
+
+// transition performs one proposal/accept/revert cycle. valid is false
+// when the proposal draw was degenerate (nothing changed).
+func (r *Runner) transition() (accepted, valid bool) {
+	p, ok := r.state.Propose(r.rng)
+	if !ok {
+		return false, false
+	}
+	old := r.score
+	r.state.Apply(p)
+	next := r.scorer.Score()
+	accept := next <= old
+	if !accept {
+		accept = r.rng.Float64() < math.Exp(-r.pow()*(next-old))
+	}
+	if accept {
+		r.score = next
+		r.sinceRecompute++
+		if r.cfg.RecomputeEvery > 0 && r.sinceRecompute >= r.cfg.RecomputeEvery {
+			r.score = r.scorer.Recompute()
+			r.sinceRecompute = 0
+		}
+		return true, true
+	}
+	r.state.Revert(p)
+	return false, true
+}
+
+// Run performs steps transitions and returns run statistics.
+func (r *Runner) Run(steps int) Stats {
+	st := Stats{Steps: steps}
+	for i := 0; i < steps; i++ {
+		accepted, valid := r.transition()
+		switch {
+		case !valid:
+			st.Invalid++
+		case accepted:
+			st.Accepted++
+		default:
+			st.Rejected++
+		}
+		if r.cfg.OnStep != nil {
+			r.cfg.OnStep(r.step, accepted, r.score)
+		}
+		r.step++
+	}
+	st.FinalScore = r.score
+	return st
+}

@@ -1,0 +1,43 @@
+package postprocess
+
+import "math"
+
+// AssortativityFromCounts estimates the degree assortativity coefficient r
+// from (possibly noisy) joint-degree-distribution counts: counts[(da, db)]
+// estimates the number of directed edges whose endpoints have degrees da
+// and db. Negative estimates (an artifact of Laplace noise) are clamped to
+// zero. This is the paper's Section 1.2 / Section 5.2 use of the JDD: "the
+// joint-degree distribution constrains a graph's assortativity".
+//
+// Returns 0 when the counts carry no usable signal (empty or degenerate).
+func AssortativityFromCounts(counts map[[2]int]float64) float64 {
+	var m, sumJK, sumJplusK, sumJ2plusK2 float64
+	for pair, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		j := float64(pair[0])
+		k := float64(pair[1])
+		m += c
+		sumJK += c * j * k
+		sumJplusK += c * (j + k) / 2
+		sumJ2plusK2 += c * (j*j + k*k) / 2
+	}
+	if m <= 0 {
+		return 0
+	}
+	num := sumJK/m - (sumJplusK/m)*(sumJplusK/m)
+	den := sumJ2plusK2/m - (sumJplusK/m)*(sumJplusK/m)
+	if math.Abs(den) < 1e-15 {
+		return 0
+	}
+	r := num / den
+	// Noise can push the estimate outside the coefficient's range.
+	if r > 1 {
+		r = 1
+	}
+	if r < -1 {
+		r = -1
+	}
+	return r
+}

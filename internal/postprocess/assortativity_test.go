@@ -1,0 +1,51 @@
+package postprocess
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAssortativityFromCountsPerfect(t *testing.T) {
+	// All edges connect equal degrees: r = 1.
+	counts := map[[2]int]float64{
+		{3, 3}: 10,
+		{5, 5}: 10,
+	}
+	if r := AssortativityFromCounts(counts); math.Abs(r-1) > 1e-9 {
+		t.Errorf("r = %v, want 1", r)
+	}
+}
+
+func TestAssortativityFromCountsDisassortative(t *testing.T) {
+	// A star: center degree n, leaves degree 1 — every edge is (n, 1) and
+	// (1, n): r = -1.
+	counts := map[[2]int]float64{
+		{6, 1}: 6,
+		{1, 6}: 6,
+	}
+	if r := AssortativityFromCounts(counts); math.Abs(r+1) > 1e-9 {
+		t.Errorf("r = %v, want -1", r)
+	}
+}
+
+func TestAssortativityFromCountsClampsNoise(t *testing.T) {
+	// Negative noisy counts are ignored; wild values stay in [-1, 1].
+	counts := map[[2]int]float64{
+		{3, 3}: 10,
+		{5, 5}: 10,
+		{2, 9}: -50, // pure noise: must not poison the estimate
+	}
+	if r := AssortativityFromCounts(counts); math.Abs(r-1) > 1e-9 {
+		t.Errorf("r = %v, want 1 (negative counts clamped)", r)
+	}
+}
+
+func TestAssortativityFromCountsDegenerate(t *testing.T) {
+	if r := AssortativityFromCounts(nil); r != 0 {
+		t.Errorf("empty counts r = %v, want 0", r)
+	}
+	// Single degree class: correlation undefined, reported 0.
+	if r := AssortativityFromCounts(map[[2]int]float64{{4, 4}: 7}); r != 0 {
+		t.Errorf("degenerate counts r = %v, want 0", r)
+	}
+}

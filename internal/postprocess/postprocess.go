@@ -1,0 +1,251 @@
+// Package postprocess implements the regression techniques of paper
+// Section 3.1 for cleaning noisy degree measurements:
+//
+//   - PAVA: isotonic regression onto non-increasing sequences (the
+//     post-processing of Hay et al. adapted to wPINQ's descending degree
+//     sequences), and
+//   - GridPath: the paper's lowest-cost monotone lattice path, which fuses
+//     a noisy degree sequence ("vertical" measurements v) with a noisy
+//     degree CCDF ("horizontal" measurements h) by minimizing eq. 2:
+//     sum over path points (x, y) of |v[x]-y| + |h[y]-x|.
+//
+// Post-processing is free under differential privacy: it touches only
+// released measurements.
+package postprocess
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// IsotonicDecreasing returns the least-squares projection of xs onto
+// non-increasing sequences, via the pool-adjacent-violators algorithm.
+func IsotonicDecreasing(xs []float64) []float64 {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	// Pools of (mean value, count), merged while adjacent means violate
+	// the non-increasing constraint.
+	vals := make([]float64, 0, n)
+	counts := make([]int, 0, n)
+	for _, x := range xs {
+		vals = append(vals, x)
+		counts = append(counts, 1)
+		for len(vals) > 1 && vals[len(vals)-2] < vals[len(vals)-1] {
+			v2, c2 := vals[len(vals)-1], counts[len(counts)-1]
+			v1, c1 := vals[len(vals)-2], counts[len(counts)-2]
+			vals = vals[:len(vals)-1]
+			counts = counts[:len(counts)-1]
+			vals[len(vals)-1] = (v1*float64(c1) + v2*float64(c2)) / float64(c1+c2)
+			counts[len(counts)-1] = c1 + c2
+		}
+	}
+	out := make([]float64, 0, n)
+	for i, v := range vals {
+		for j := 0; j < counts[i]; j++ {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsotonicIncreasing is the ascending counterpart of IsotonicDecreasing.
+func IsotonicIncreasing(xs []float64) []float64 {
+	n := len(xs)
+	rev := make([]float64, n)
+	for i, x := range xs {
+		rev[n-1-i] = x
+	}
+	dec := IsotonicDecreasing(rev)
+	out := make([]float64, n)
+	for i, x := range dec {
+		out[n-1-i] = x
+	}
+	return out
+}
+
+// GridPath fits a non-increasing staircase to the noisy degree sequence v
+// and noisy CCDF h, by computing the lowest-cost monotone path from
+// (0, height) to (width, 0) on the integer lattice, where
+//
+//	cost((x,y) -> (x+1,y)) = |v[x] - y|   (horizontal step commits to y)
+//	cost((x,y+1) -> (x,y)) = |h[y] - x|   (vertical step commits to x)
+//
+// (paper Section 3.1, eq. 2). width bounds the number of vertices
+// considered and height the maximum degree; measurements past the end of v
+// or h are treated as 0 (pure noise was measured there). The returned
+// sequence fitted[x] is the y-level of the path over column x, a
+// non-increasing integer degree sequence of length width.
+func GridPath(v, h []float64, width, height int) ([]int, error) {
+	if width <= 0 || height <= 0 {
+		return nil, errors.New("postprocess: grid dimensions must be positive")
+	}
+	vAt := func(x int) float64 {
+		if x < len(v) {
+			return v[x]
+		}
+		return 0
+	}
+	hAt := func(y int) float64 {
+		if y < len(h) {
+			return h[y]
+		}
+		return 0
+	}
+	// Dijkstra over lattice points (x, y), 0 <= x <= width,
+	// 0 <= y <= height, edges right and down. The optimal path hugs the
+	// trough near the true staircase, so only a small fraction of the grid
+	// is visited in practice.
+	type point struct{ x, y int }
+	dist := make(map[point]float64, 4*(width+height))
+	prev := make(map[point]point, 4*(width+height))
+	start := point{0, height}
+	goal := point{width, 0}
+	pq := &pointQueue{}
+	heap.Init(pq)
+	heap.Push(pq, pqItem{start, 0})
+	dist[start] = 0
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pqItem)
+		p := it.p
+		if it.d > dist[p]+1e-15 {
+			continue
+		}
+		if p == goal {
+			break
+		}
+		// Right: (x, y) -> (x+1, y), cost |v[x] - y|.
+		if p.x < width {
+			q := point{p.x + 1, p.y}
+			nd := it.d + math.Abs(vAt(p.x)-float64(p.y))
+			if old, ok := dist[q]; !ok || nd < old {
+				dist[q] = nd
+				prev[q] = p
+				heap.Push(pq, pqItem{q, nd})
+			}
+		}
+		// Down: (x, y) -> (x, y-1), cost |h[y-1] - x|.
+		if p.y > 0 {
+			q := point{p.x, p.y - 1}
+			nd := it.d + math.Abs(hAt(p.y-1)-float64(p.x))
+			if old, ok := dist[q]; !ok || nd < old {
+				dist[q] = nd
+				prev[q] = p
+				heap.Push(pq, pqItem{q, nd})
+			}
+		}
+	}
+	if _, ok := dist[goal]; !ok {
+		return nil, errors.New("postprocess: no path found (internal error)")
+	}
+	// Walk back from the goal, recording the y-level at which each column
+	// x was crossed (the y when stepping x -> x+1).
+	fitted := make([]int, width)
+	p := goal
+	for p != start {
+		q := prev[p]
+		if q.x == p.x-1 { // horizontal step q -> p over column q.x
+			fitted[q.x] = q.y
+		}
+		p = q
+	}
+	return fitted, nil
+}
+
+type pqItem struct {
+	p struct{ x, y int }
+	d float64
+}
+
+type pointQueue []pqItem
+
+func (q pointQueue) Len() int            { return len(q) }
+func (q pointQueue) Less(i, j int) bool  { return q[i].d < q[j].d }
+func (q pointQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pointQueue) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pointQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// RoundToGraphical converts a fitted real-valued degree sequence into a
+// non-increasing, even-sum, graphical integer sequence suitable for seed
+// graph construction: values are rounded and clamped to [0, n-1], sorted
+// non-increasing, the Erdos-Gallai condition enforced by decrementing the
+// largest offending degrees, and parity fixed on the smallest positive
+// degree.
+func RoundToGraphical(seq []float64) []int {
+	n := len(seq)
+	out := make([]int, n)
+	for i, v := range seq {
+		d := int(math.Round(v))
+		if d < 0 {
+			d = 0
+		}
+		if d > n-1 {
+			d = n - 1
+		}
+		out[i] = d
+	}
+	// Non-increasing (input should nearly be; enforce exactly).
+	insertionSortDesc(out)
+	// Erdos-Gallai: for each k, sum of first k degrees must be at most
+	// k(k-1) + sum_{i>k} min(d_i, k). Repair by lowering the head.
+	for !isGraphicalDesc(out) {
+		for i := 0; i < n; i++ {
+			if out[i] > 0 {
+				out[i]--
+				break
+			}
+		}
+		insertionSortDesc(out)
+	}
+	return out
+}
+
+// isGraphicalDesc checks the Erdos-Gallai condition on a non-increasing
+// sequence, including the even-sum requirement.
+func isGraphicalDesc(d []int) bool {
+	n := len(d)
+	var sum int
+	for _, x := range d {
+		sum += x
+	}
+	if sum%2 != 0 {
+		return false
+	}
+	// Prefix sums for the condition.
+	lhs := 0
+	for k := 1; k <= n; k++ {
+		lhs += d[k-1]
+		rhs := k * (k - 1)
+		for i := k; i < n; i++ {
+			if d[i] < k {
+				rhs += d[i]
+			} else {
+				rhs += k
+			}
+		}
+		if lhs > rhs {
+			return false
+		}
+	}
+	return true
+}
+
+func insertionSortDesc(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] < v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

@@ -1,0 +1,260 @@
+package postprocess
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wpinq/internal/laplace"
+)
+
+func TestIsotonicDecreasingAlreadyMonotone(t *testing.T) {
+	in := []float64{5, 4, 3, 2, 1}
+	out := IsotonicDecreasing(in)
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("out[%d] = %v, want %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestIsotonicDecreasingPoolsViolators(t *testing.T) {
+	// (1, 3) violates; pooled to their mean (2, 2).
+	out := IsotonicDecreasing([]float64{1, 3})
+	if out[0] != 2 || out[1] != 2 {
+		t.Errorf("out = %v, want [2 2]", out)
+	}
+}
+
+func TestIsotonicOutputMonotone(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = 0
+			}
+		}
+		out := IsotonicDecreasing(xs)
+		for i := 1; i < len(out); i++ {
+			if out[i] > out[i-1]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsotonicPreservesMean(t *testing.T) {
+	// Least-squares projection onto monotone cones preserves the total.
+	f := func(xs []float64) bool {
+		var in float64
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = 0
+			}
+			// Bound magnitudes so pooled sums stay representable.
+			xs[i] = math.Mod(xs[i], 1000)
+			in += xs[i]
+		}
+		var out float64
+		for _, x := range IsotonicDecreasing(xs) {
+			out += x
+		}
+		return math.Abs(in-out) < 1e-6*(1+math.Abs(in))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsotonicIncreasing(t *testing.T) {
+	out := IsotonicIncreasing([]float64{3, 1})
+	if out[0] != 2 || out[1] != 2 {
+		t.Errorf("out = %v, want [2 2]", out)
+	}
+	mono := IsotonicIncreasing([]float64{1, 2, 3})
+	for i, want := range []float64{1, 2, 3} {
+		if mono[i] != want {
+			t.Errorf("mono[%d] = %v, want %v", i, mono[i], want)
+		}
+	}
+}
+
+// noisyPair produces noisy degree-sequence and CCDF measurements of a true
+// degree sequence, as the wPINQ queries would release them.
+func noisyPair(trueSeq []int, eps float64, n int, rng *rand.Rand) (v, h []float64) {
+	dist := laplace.New(1 / eps)
+	// CCDF: h[y] = #degrees > y.
+	maxDeg := 0
+	for _, d := range trueSeq {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	v = make([]float64, n)
+	h = make([]float64, n)
+	for x := 0; x < n; x++ {
+		if x < len(trueSeq) {
+			v[x] = float64(trueSeq[x])
+		}
+		v[x] += dist.Sample(rng)
+	}
+	for y := 0; y < n; y++ {
+		count := 0
+		for _, d := range trueSeq {
+			if d > y {
+				count++
+			}
+		}
+		h[y] = float64(count) + dist.Sample(rng)
+	}
+	return v, h
+}
+
+func TestGridPathRecoversCleanSequence(t *testing.T) {
+	// With noise-free measurements the fitted path is exactly the true
+	// staircase.
+	trueSeq := []int{6, 5, 5, 3, 2, 2, 1, 0, 0, 0}
+	n := 12
+	v := make([]float64, n)
+	h := make([]float64, n)
+	for x := 0; x < n; x++ {
+		if x < len(trueSeq) {
+			v[x] = float64(trueSeq[x])
+		}
+	}
+	for y := 0; y < n; y++ {
+		c := 0
+		for _, d := range trueSeq {
+			if d > y {
+				c++
+			}
+		}
+		h[y] = float64(c)
+	}
+	fitted, err := GridPath(v, h, n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x, want := range trueSeq {
+		if fitted[x] != want {
+			t.Errorf("fitted[%d] = %d, want %d (full: %v)", x, fitted[x], want, fitted)
+		}
+	}
+}
+
+func TestGridPathMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	trueSeq := []int{9, 7, 7, 6, 4, 4, 4, 2, 1, 1}
+	v, h := noisyPair(trueSeq, 0.5, 16, rng)
+	fitted, err := GridPath(v, h, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(fitted); i++ {
+		if fitted[i] > fitted[i-1] {
+			t.Fatalf("fitted not non-increasing: %v", fitted)
+		}
+	}
+}
+
+func TestGridPathBeatsRawMeasurements(t *testing.T) {
+	// Averaged over repeats, the fused fit has smaller L1 error than the
+	// raw noisy degree sequence: the point of the paper's regression.
+	trueSeq := []int{12, 10, 9, 9, 7, 5, 5, 4, 3, 3, 2, 2, 1, 1, 0, 0}
+	n := 20
+	var rawErr, fitErr float64
+	const reps = 20
+	rng := rand.New(rand.NewSource(7))
+	for r := 0; r < reps; r++ {
+		v, h := noisyPair(trueSeq, 1.0, n, rng)
+		fitted, err := GridPath(v, h, n, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := 0; x < n; x++ {
+			want := 0.0
+			if x < len(trueSeq) {
+				want = float64(trueSeq[x])
+			}
+			rawErr += math.Abs(v[x] - want)
+			fitErr += math.Abs(float64(fitted[x]) - want)
+		}
+	}
+	if fitErr >= rawErr {
+		t.Errorf("grid path error %v not below raw error %v", fitErr, rawErr)
+	}
+}
+
+func TestGridPathRejectsBadSize(t *testing.T) {
+	if _, err := GridPath(nil, nil, 0, 0); err == nil {
+		t.Error("n = 0 accepted")
+	}
+}
+
+func TestRoundToGraphical(t *testing.T) {
+	seq := RoundToGraphical([]float64{3.2, 2.9, 2.1, 1.4, 0.2})
+	// Must be non-increasing, even-sum, graphical.
+	sum := 0
+	for i := 1; i < len(seq); i++ {
+		if seq[i] > seq[i-1] {
+			t.Fatalf("not non-increasing: %v", seq)
+		}
+	}
+	for _, d := range seq {
+		sum += d
+		if d < 0 || d >= len(seq) {
+			t.Fatalf("degree out of range: %v", seq)
+		}
+	}
+	if sum%2 != 0 {
+		t.Fatalf("odd degree sum: %v", seq)
+	}
+	if !isGraphicalDesc(seq) {
+		t.Fatalf("not graphical: %v", seq)
+	}
+}
+
+func TestRoundToGraphicalProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				raw[i] = 0
+			}
+			raw[i] = math.Mod(raw[i], 20)
+		}
+		seq := RoundToGraphical(raw)
+		return isGraphicalDesc(seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsGraphical(t *testing.T) {
+	cases := []struct {
+		seq  []int
+		want bool
+	}{
+		{[]int{3, 3, 3, 3}, true},     // K4
+		{[]int{2, 2, 2}, true},        // triangle
+		{[]int{3, 1}, false},          // impossible
+		{[]int{1, 1, 1}, false},       // odd sum
+		{[]int{0, 0}, true},           // empty graph
+		{[]int{4, 4, 4, 1, 1}, false}, // Erdos-Gallai violation
+	}
+	for _, c := range cases {
+		if got := isGraphicalDesc(c.seq); got != c.want {
+			t.Errorf("isGraphical(%v) = %v, want %v", c.seq, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package queries
+
+import (
+	"wpinq/internal/graph"
+	"wpinq/internal/incremental"
+	"wpinq/internal/weighted"
+)
+
+// Incremental pipeline builders: the same dataflow shapes as the one-shot
+// queries, wired over the incremental engine so MCMC can re-score a
+// synthetic graph after each edge swap in time proportional to the change
+// (paper Section 4.3). Each builder takes the edge-difference input stream
+// and returns the stream of final output records, ready to terminate in a
+// NoisyCountSink (for scoring) or Collector (for inspection).
+
+// EdgeInput is the root stream type of all graph pipelines: differences to
+// the symmetric directed edge dataset.
+type EdgeInput = *incremental.Input[graph.Edge]
+
+// NewEdgeInput returns an input for symmetric directed edge differences.
+func NewEdgeInput() EdgeInput { return incremental.NewInput[graph.Edge]() }
+
+// PathsPipeline mirrors Paths: length-two paths (a,b,c), a != c, at weight
+// 1/(2*db).
+func PathsPipeline(edges incremental.Source[graph.Edge]) incremental.Source[Path] {
+	joined := incremental.Join(edges, edges,
+		func(e graph.Edge) graph.Node { return e.Dst },
+		func(e graph.Edge) graph.Node { return e.Src },
+		func(x, y graph.Edge) Path { return Path{x.Src, x.Dst, y.Dst} })
+	return incremental.Where[Path](joined, func(p Path) bool { return p.A != p.C })
+}
+
+// DegreesPipeline mirrors Degrees: (vertex, possibly bucketed degree)
+// pairs at weight 0.5.
+func DegreesPipeline(edges incremental.Source[graph.Edge], bucket int) incremental.Source[weighted.Grouped[graph.Node, int]] {
+	return incremental.GroupBy(edges,
+		func(e graph.Edge) graph.Node { return e.Src },
+		func(es []graph.Edge) int {
+			if bucket > 1 {
+				return len(es) / bucket
+			}
+			return len(es)
+		})
+}
+
+// TbIPipeline mirrors TbI: a single Unit record carrying the triangle
+// signal of eq. 8. Cost model: 4 uses of the edge input.
+func TbIPipeline(edges incremental.Source[graph.Edge]) incremental.Source[Unit] {
+	paths := PathsPipeline(edges)
+	rotated := incremental.Select(paths, func(p Path) Path { return p.Rotate() })
+	triangles := incremental.Intersect[Path](rotated, paths)
+	return incremental.Select(triangles, func(Path) Unit { return Unit{} })
+}
+
+// TbDPipeline mirrors TbD: sorted (bucketed) degree triples of triangles.
+// Cost model: 9 uses of the edge input.
+func TbDPipeline(edges incremental.Source[graph.Edge], bucket int) incremental.Source[DegTriple] {
+	paths := PathsPipeline(edges)
+	degs := DegreesPipeline(edges, bucket)
+	abc := incremental.Join(paths, degs,
+		func(p Path) graph.Node { return p.B },
+		func(d weighted.Grouped[graph.Node, int]) graph.Node { return d.Key },
+		func(p Path, d weighted.Grouped[graph.Node, int]) PathDeg {
+			return PathDeg{Path: p, Deg: d.Result}
+		})
+	bca := incremental.Select[PathDeg](abc, func(x PathDeg) PathDeg {
+		return PathDeg{x.Path.Rotate(), x.Deg}
+	})
+	cab := incremental.Select(bca, func(x PathDeg) PathDeg {
+		return PathDeg{x.Path.Rotate(), x.Deg}
+	})
+	two := incremental.Join[PathDeg, PathDeg, Path, PathDeg2](abc, bca,
+		func(x PathDeg) Path { return x.Path },
+		func(y PathDeg) Path { return y.Path },
+		func(x, y PathDeg) PathDeg2 { return PathDeg2{Path: x.Path, D1: x.Deg, D2: y.Deg} })
+	return incremental.Join[PathDeg2, PathDeg, Path, DegTriple](two, cab,
+		func(x PathDeg2) Path { return x.Path },
+		func(y PathDeg) Path { return y.Path },
+		func(x PathDeg2, y PathDeg) DegTriple { return SortTriple(x.D1, x.D2, y.Deg) })
+}
+
+// JDDPipeline mirrors JDD: (da, db) records at weight 1/(2+2da+2db).
+// Cost model: 4 uses of the edge input.
+func JDDPipeline(edges incremental.Source[graph.Edge]) incremental.Source[DegPair] {
+	degs := DegreesPipeline(edges, 1)
+	temp := incremental.Join(degs, edges,
+		func(d weighted.Grouped[graph.Node, int]) graph.Node { return d.Key },
+		func(e graph.Edge) graph.Node { return e.Src },
+		func(d weighted.Grouped[graph.Node, int], e graph.Edge) EdgeDeg {
+			return EdgeDeg{Edge: e, Deg: d.Result}
+		})
+	return incremental.Join[EdgeDeg, EdgeDeg, graph.Edge, DegPair](temp, temp,
+		func(x EdgeDeg) graph.Edge { return x.Edge },
+		func(y EdgeDeg) graph.Edge { return y.Edge.Reverse() },
+		func(x, y EdgeDeg) DegPair { return DegPair{DA: x.Deg, DB: y.Deg} })
+}
+
+// SbDPipeline mirrors SbD: sorted degree quadruples of 4-cycles.
+// Cost model: 12 uses of the edge input.
+func SbDPipeline(edges incremental.Source[graph.Edge]) incremental.Source[DegQuad] {
+	paths := PathsPipeline(edges)
+	degs := DegreesPipeline(edges, 1)
+	abc := incremental.Join(paths, degs,
+		func(p Path) graph.Node { return p.B },
+		func(d weighted.Grouped[graph.Node, int]) graph.Node { return d.Key },
+		func(p Path, d weighted.Grouped[graph.Node, int]) PathDeg {
+			return PathDeg{Path: p, Deg: d.Result}
+		})
+	abcd := incremental.Join[PathDeg, PathDeg, [2]graph.Node, Path3Deg2](abc, abc,
+		func(x PathDeg) [2]graph.Node { return [2]graph.Node{x.Path.B, x.Path.C} },
+		func(y PathDeg) [2]graph.Node { return [2]graph.Node{y.Path.A, y.Path.B} },
+		func(x, y PathDeg) Path3Deg2 {
+			return Path3Deg2{
+				Path: Path3{A: x.Path.A, B: x.Path.B, C: x.Path.C, D: y.Path.C},
+				DB:   x.Deg, DC: y.Deg,
+			}
+		})
+	filtered := incremental.Where[Path3Deg2](abcd, func(p Path3Deg2) bool { return p.Path.A != p.Path.D })
+	cdab := incremental.Select[Path3Deg2](filtered, func(x Path3Deg2) Path3Deg2 {
+		return Path3Deg2{Path: x.Path.Rotate2(), DB: x.DB, DC: x.DC}
+	})
+	return incremental.Join[Path3Deg2, Path3Deg2, Path3, DegQuad](filtered, cdab,
+		func(x Path3Deg2) Path3 { return x.Path },
+		func(y Path3Deg2) Path3 { return y.Path },
+		func(x, y Path3Deg2) DegQuad { return SortQuad(y.DB, x.DB, x.DC, y.DC) })
+}
+
+// DegreeCCDFPipeline mirrors DegreeCCDF. Cost model: 1 use.
+func DegreeCCDFPipeline(edges incremental.Source[graph.Edge]) incremental.Source[int] {
+	names := incremental.Select(edges, func(e graph.Edge) graph.Node { return e.Src })
+	shaved := incremental.ShaveConst[graph.Node](names, 1.0)
+	return incremental.Select[weighted.Indexed[graph.Node], int](shaved,
+		func(ix weighted.Indexed[graph.Node]) int { return ix.Index })
+}
+
+// DegreeSequencePipeline mirrors DegreeSequence. Cost model: 1 use.
+func DegreeSequencePipeline(edges incremental.Source[graph.Edge]) incremental.Source[int] {
+	ccdf := DegreeCCDFPipeline(edges)
+	shaved := incremental.ShaveConst[int](ccdf, 1.0)
+	return incremental.Select[weighted.Indexed[int], int](shaved,
+		func(ix weighted.Indexed[int]) int { return ix.Index })
+}

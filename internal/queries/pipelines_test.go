@@ -1,0 +1,166 @@
+package queries
+
+import (
+	"math/rand"
+	"testing"
+
+	"wpinq/internal/core"
+	"wpinq/internal/graph"
+	"wpinq/internal/incremental"
+	"wpinq/internal/weighted"
+)
+
+func testRng() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+// swapDiffs returns the 8 symmetric directed edge differences of replacing
+// undirected edges {a,b}, {c,d} with {a,d}, {c,b}.
+func swapDiffs(a, b, c, d graph.Node) []incremental.Delta[graph.Edge] {
+	return []incremental.Delta[graph.Edge]{
+		{Record: graph.Edge{Src: a, Dst: b}, Weight: -1},
+		{Record: graph.Edge{Src: b, Dst: a}, Weight: -1},
+		{Record: graph.Edge{Src: c, Dst: d}, Weight: -1},
+		{Record: graph.Edge{Src: d, Dst: c}, Weight: -1},
+		{Record: graph.Edge{Src: a, Dst: d}, Weight: 1},
+		{Record: graph.Edge{Src: d, Dst: a}, Weight: 1},
+		{Record: graph.Edge{Src: c, Dst: b}, Weight: 1},
+		{Record: graph.Edge{Src: b, Dst: c}, Weight: 1},
+	}
+}
+
+// testGraph builds a small clustered graph with enough structure to
+// exercise every pipeline (triangles, squares, degree spread).
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.HolmeKim(40, 3, 0.7, testRng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// checkPipelineMatchesQuery loads a graph into an incremental pipeline,
+// applies a series of random valid edge swaps, and verifies after each
+// step that the pipeline output equals the one-shot query on the current
+// graph: the end-to-end equivalence of the two engines on real analyses.
+func checkPipelineMatchesQuery[T comparable](
+	t *testing.T,
+	name string,
+	buildPipeline func(incremental.Source[graph.Edge]) incremental.Source[T],
+	buildQuery func(*core.Collection[graph.Edge]) *core.Collection[T],
+	swaps int,
+) {
+	t.Helper()
+	g := testGraph(t)
+	in := NewEdgeInput()
+	out := incremental.Collect(buildPipeline(in))
+	in.PushDataset(graph.SymmetricEdges(g))
+
+	compare := func(step int) {
+		want := buildQuery(core.FromPublic(graph.SymmetricEdges(g))).Snapshot()
+		if !weighted.Equal(out.Snapshot(), want, 1e-6) {
+			t.Fatalf("%s diverged at step %d", name, step)
+		}
+	}
+	compare(-1)
+
+	rng := rand.New(rand.NewSource(99))
+	edges := g.EdgeList()
+	for step := 0; step < swaps; step++ {
+		ei, ej := rng.Intn(len(edges)), rng.Intn(len(edges))
+		if ei == ej {
+			continue
+		}
+		a, b := edges[ei].Src, edges[ei].Dst
+		c, d := edges[ej].Src, edges[ej].Dst
+		if rng.Intn(2) == 0 {
+			c, d = d, c
+		}
+		if a == d || c == b || a == c || b == d || g.HasEdge(a, d) || g.HasEdge(c, b) {
+			continue
+		}
+		g.RemoveEdge(a, b)
+		g.RemoveEdge(c, d)
+		g.AddEdge(a, d)
+		g.AddEdge(c, b)
+		edges[ei] = graph.Edge{Src: min32(a, d), Dst: max32(a, d)}
+		edges[ej] = graph.Edge{Src: min32(c, b), Dst: max32(c, b)}
+		in.Push(swapDiffs(a, b, c, d))
+		compare(step)
+	}
+}
+
+func min32(a, b graph.Node) graph.Node {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b graph.Node) graph.Node {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestTbIPipelineMatchesQuery(t *testing.T) {
+	checkPipelineMatchesQuery(t, "TbI",
+		func(s incremental.Source[graph.Edge]) incremental.Source[Unit] { return TbIPipeline(s) },
+		func(c *core.Collection[graph.Edge]) *core.Collection[Unit] { return TbI(c) },
+		25)
+}
+
+func TestTbDPipelineMatchesQuery(t *testing.T) {
+	checkPipelineMatchesQuery(t, "TbD",
+		func(s incremental.Source[graph.Edge]) incremental.Source[DegTriple] { return TbDPipeline(s, 1) },
+		func(c *core.Collection[graph.Edge]) *core.Collection[DegTriple] { return TbD(c, 1) },
+		12)
+}
+
+func TestTbDPipelineBucketedMatchesQuery(t *testing.T) {
+	checkPipelineMatchesQuery(t, "TbD-bucketed",
+		func(s incremental.Source[graph.Edge]) incremental.Source[DegTriple] { return TbDPipeline(s, 5) },
+		func(c *core.Collection[graph.Edge]) *core.Collection[DegTriple] { return TbD(c, 5) },
+		12)
+}
+
+func TestJDDPipelineMatchesQuery(t *testing.T) {
+	checkPipelineMatchesQuery(t, "JDD",
+		func(s incremental.Source[graph.Edge]) incremental.Source[DegPair] { return JDDPipeline(s) },
+		func(c *core.Collection[graph.Edge]) *core.Collection[DegPair] { return JDD(c) },
+		25)
+}
+
+func TestDegreePipelinesMatchQueries(t *testing.T) {
+	checkPipelineMatchesQuery(t, "DegreeCCDF",
+		func(s incremental.Source[graph.Edge]) incremental.Source[int] { return DegreeCCDFPipeline(s) },
+		func(c *core.Collection[graph.Edge]) *core.Collection[int] { return DegreeCCDF(c) },
+		25)
+	checkPipelineMatchesQuery(t, "DegreeSequence",
+		func(s incremental.Source[graph.Edge]) incremental.Source[int] { return DegreeSequencePipeline(s) },
+		func(c *core.Collection[graph.Edge]) *core.Collection[int] { return DegreeSequence(c) },
+		25)
+}
+
+func TestTbIPipelineRollback(t *testing.T) {
+	// Pushing a swap and its inverse restores the pipeline exactly: the
+	// MCMC rejection path on a real query.
+	g := testGraph(t)
+	in := NewEdgeInput()
+	out := incremental.Collect(TbIPipeline(in))
+	in.PushDataset(graph.SymmetricEdges(g))
+	before := out.Weight(Unit{})
+
+	edges := g.EdgeList()
+	a, b := edges[0].Src, edges[0].Dst
+	c, d := edges[len(edges)-1].Src, edges[len(edges)-1].Dst
+	if a == d || c == b || a == c || b == d || g.HasEdge(a, d) || g.HasEdge(c, b) {
+		t.Skip("fixture edges unsuitable for swap")
+	}
+	in.Push(swapDiffs(a, b, c, d))
+	in.Push(swapDiffs(a, d, c, b)) // inverse: {a,d},{c,b} -> {a,b},{c,d}
+	after := out.Weight(Unit{})
+	if diff := after - before; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("rollback drift: %v -> %v", before, after)
+	}
+}

@@ -1,0 +1,187 @@
+package queries
+
+import (
+	"wpinq/internal/core"
+	"wpinq/internal/graph"
+	"wpinq/internal/weighted"
+)
+
+// One-shot query builders. Each returns the final transformed Collection;
+// release a measurement with core.NoisyCount, which also charges the
+// privacy budget by the collection's use counts.
+
+// Nodes transforms the symmetric edge dataset into a dataset of vertices,
+// each at weight 0.5 (paper Section 2.8's SelectMany/Shave/Where idiom).
+func Nodes(edges *core.Collection[graph.Edge]) *core.Collection[graph.Node] {
+	names := core.SelectManySlice(edges, func(e graph.Edge) []graph.Node {
+		return []graph.Node{e.Src, e.Dst}
+	})
+	shaved := core.ShaveConst(names, 0.5)
+	first := core.Where(shaved, func(ix weighted.Indexed[graph.Node]) bool { return ix.Index == 0 })
+	return core.Select(first, func(ix weighted.Indexed[graph.Node]) graph.Node { return ix.Value })
+}
+
+// NodeCount reduces the node dataset to a single record whose weight is
+// |V| / 2, for releasing the (noisy) number of vertices. Privacy cost: eps.
+func NodeCount(edges *core.Collection[graph.Edge]) *core.Collection[Unit] {
+	return core.Select(Nodes(edges), func(graph.Node) Unit { return Unit{} })
+}
+
+// DegreeCCDF builds the degree complementary CDF (paper Section 3.1):
+// record i carries the number of vertices with degree greater than i.
+// Privacy cost: eps.
+func DegreeCCDF(edges *core.Collection[graph.Edge]) *core.Collection[int] {
+	names := core.Select(edges, func(e graph.Edge) graph.Node { return e.Src })
+	shaved := core.ShaveConst(names, 1.0)
+	return core.Select(shaved, func(ix weighted.Indexed[graph.Node]) int { return ix.Index })
+}
+
+// DegreeSequence builds the non-increasing degree sequence by transposing
+// the CCDF (paper Section 3.1): record j carries the degree of the
+// (j+1)-th highest-degree vertex. Privacy cost: eps.
+func DegreeSequence(edges *core.Collection[graph.Edge]) *core.Collection[int] {
+	ccdf := DegreeCCDF(edges)
+	shaved := core.ShaveConst(ccdf, 1.0)
+	return core.Select(shaved, func(ix weighted.Indexed[int]) int { return ix.Index })
+}
+
+// Degrees computes (vertex, degree) pairs at weight 0.5 via GroupBy (paper
+// Section 2.5). bucket >= 2 groups degrees into floor(d/bucket) buckets,
+// the Figure 3 remedy for noise-dominated TbD measurements; bucket <= 1
+// leaves degrees exact.
+func Degrees(edges *core.Collection[graph.Edge], bucket int) *core.Collection[weighted.Grouped[graph.Node, int]] {
+	return core.GroupBy(edges,
+		func(e graph.Edge) graph.Node { return e.Src },
+		func(es []graph.Edge) int {
+			if bucket > 1 {
+				return len(es) / bucket
+			}
+			return len(es)
+		})
+}
+
+// Paths builds the length-two-path dataset (a,b,c), a != c, each at weight
+// 1/(2*db) (paper Section 2.7). Privacy cost contribution: 2 uses.
+func Paths(edges *core.Collection[graph.Edge]) *core.Collection[Path] {
+	joined := core.Join(edges, edges,
+		func(e graph.Edge) graph.Node { return e.Dst },
+		func(e graph.Edge) graph.Node { return e.Src },
+		func(x, y graph.Edge) Path { return Path{x.Src, x.Dst, y.Dst} })
+	return core.Where(joined, func(p Path) bool { return p.A != p.C })
+}
+
+// JDD builds the joint degree distribution (paper Section 3.2): records
+// (da, db) for each directed edge (a,b), at weight 1/(2+2da+2db) (eq. 3).
+// Privacy cost: 4 eps.
+func JDD(edges *core.Collection[graph.Edge]) *core.Collection[DegPair] {
+	degs := Degrees(edges, 1)
+	temp := core.Join(degs, edges,
+		func(d weighted.Grouped[graph.Node, int]) graph.Node { return d.Key },
+		func(e graph.Edge) graph.Node { return e.Src },
+		func(d weighted.Grouped[graph.Node, int], e graph.Edge) EdgeDeg {
+			return EdgeDeg{Edge: e, Deg: d.Result}
+		})
+	return core.Join(temp, temp,
+		func(x EdgeDeg) graph.Edge { return x.Edge },
+		func(y EdgeDeg) graph.Edge { return y.Edge.Reverse() },
+		func(x, y EdgeDeg) DegPair { return DegPair{DA: x.Deg, DB: y.Deg} })
+}
+
+// TbD builds the triangles-by-degree dataset (paper Section 3.3): sorted
+// degree triples, where each triangle (a,b,c) contributes total weight
+// 3/(da^2+db^2+dc^2) to its sorted triple (eq. 4). bucket >= 2 replaces
+// degrees with floor(d/bucket) (Section 5.2). Privacy cost: 9 eps.
+func TbD(edges *core.Collection[graph.Edge], bucket int) *core.Collection[DegTriple] {
+	paths := Paths(edges)
+	degs := Degrees(edges, bucket)
+	abc := core.Join(paths, degs,
+		func(p Path) graph.Node { return p.B },
+		func(d weighted.Grouped[graph.Node, int]) graph.Node { return d.Key },
+		func(p Path, d weighted.Grouped[graph.Node, int]) PathDeg {
+			return PathDeg{Path: p, Deg: d.Result}
+		})
+	bca := core.Select(abc, func(x PathDeg) PathDeg { return PathDeg{x.Path.Rotate(), x.Deg} })
+	cab := core.Select(bca, func(x PathDeg) PathDeg { return PathDeg{x.Path.Rotate(), x.Deg} })
+	two := core.Join(abc, bca,
+		func(x PathDeg) Path { return x.Path },
+		func(y PathDeg) Path { return y.Path },
+		func(x, y PathDeg) PathDeg2 { return PathDeg2{Path: x.Path, D1: x.Deg, D2: y.Deg} })
+	three := core.Join(two, cab,
+		func(x PathDeg2) Path { return x.Path },
+		func(y PathDeg) Path { return y.Path },
+		func(x PathDeg2, y PathDeg) DegTriple { return SortTriple(x.D1, x.D2, y.Deg) })
+	return three
+}
+
+// SbD builds the squares-by-degree dataset (paper Section 3.4): sorted
+// degree quadruples where each 4-cycle contributes eight observations of
+// weight SbDWeight (eq. 6). Privacy cost: 12 eps.
+func SbD(edges *core.Collection[graph.Edge]) *core.Collection[DegQuad] {
+	paths := Paths(edges)
+	degs := Degrees(edges, 1)
+	abc := core.Join(paths, degs,
+		func(p Path) graph.Node { return p.B },
+		func(d weighted.Grouped[graph.Node, int]) graph.Node { return d.Key },
+		func(p Path, d weighted.Grouped[graph.Node, int]) PathDeg {
+			return PathDeg{Path: p, Deg: d.Result}
+		})
+	// Join abc with itself matching (a,b,c) against (b,c,d): length-three
+	// paths (a,b,c,d) carrying db and dc.
+	abcd := core.Join(abc, abc,
+		func(x PathDeg) [2]graph.Node { return [2]graph.Node{x.Path.B, x.Path.C} },
+		func(y PathDeg) [2]graph.Node { return [2]graph.Node{y.Path.A, y.Path.B} },
+		func(x, y PathDeg) Path3Deg2 {
+			return Path3Deg2{
+				Path: Path3{x.Path.A, x.Path.B, x.Path.C, y.Path.C},
+				DB:   x.Deg, DC: y.Deg,
+			}
+		})
+	abcd = core.Where(abcd, func(p Path3Deg2) bool { return p.Path.A != p.Path.D })
+	cdab := core.Select(abcd, func(x Path3Deg2) Path3Deg2 {
+		return Path3Deg2{Path: x.Path.Rotate2(), DB: x.DB, DC: x.DC}
+	})
+	squares := core.Join(abcd, cdab,
+		func(x Path3Deg2) Path3 { return x.Path },
+		func(y Path3Deg2) Path3 { return y.Path },
+		func(x, y Path3Deg2) DegQuad {
+			// x carries (db, dc) of path (a,b,c,d); y's fields are the
+			// degrees (dd, da) observed from the rotated path (c,d,a,b).
+			return SortQuad(y.DB, x.DB, x.DC, y.DC)
+		})
+	return squares
+}
+
+// JDDCounts converts released JDD record weights into estimated directed
+// edge counts per degree pair, by dividing out the closed-form record
+// weight (eq. 3). Feed the result to
+// postprocess.AssortativityFromCounts to estimate assortativity from a DP
+// measurement (Section 1.2's third use of probabilistic inference).
+func JDDCounts(released map[DegPair]float64) map[[2]int]float64 {
+	return JDDCountsThresholded(released, 0)
+}
+
+// JDDCountsThresholded is JDDCounts with noise suppression: released
+// weights below minWeight are dropped before inversion. Choosing
+// minWeight around the Laplace noise scale (1/eps) removes records that
+// are overwhelmingly noise, whose inversion would otherwise be amplified
+// by the 2+2da+2db factor — cheap, principled post-processing.
+func JDDCountsThresholded(released map[DegPair]float64, minWeight float64) map[[2]int]float64 {
+	out := make(map[[2]int]float64, len(released))
+	for p, w := range released {
+		if w < minWeight {
+			continue
+		}
+		out[[2]int{p.DA, p.DB}] = w / JDDWeight(p.DA, p.DB)
+	}
+	return out
+}
+
+// TbI builds the triangles-by-intersect dataset (paper Section 5.3): a
+// single Unit record whose weight is eq. 8's triangle signal,
+// sum over triangles of min-reciprocal-degree pairs. Privacy cost: 4 eps.
+func TbI(edges *core.Collection[graph.Edge]) *core.Collection[Unit] {
+	paths := Paths(edges)
+	rotated := core.Select(paths, func(p Path) Path { return p.Rotate() })
+	triangles := core.Intersect(rotated, paths)
+	return core.Select(triangles, func(Path) Unit { return Unit{} })
+}

@@ -1,0 +1,84 @@
+package synth
+
+import (
+	"testing"
+	"wpinq/internal/graph"
+)
+
+func TestScanExtentStopsAfterSignalFades(t *testing.T) {
+	// A clean staircase that drops to zero at index 40: the scan should
+	// stop somewhere past 40 but well before the limit.
+	get := func(i int) float64 {
+		if i < 40 {
+			return float64(100 - 2*i)
+		}
+		return 0
+	}
+	ext := scanExtent(get, 1.0, 1000)
+	if ext < 40 {
+		t.Errorf("extent = %d cut off live signal (ends at 40)", ext)
+	}
+	if ext > 120 {
+		t.Errorf("extent = %d far beyond the signal's end", ext)
+	}
+}
+
+func TestScanExtentCapsAtLimit(t *testing.T) {
+	// A sequence that never fades must be capped by the limit.
+	get := func(i int) float64 { return 1000 }
+	if ext := scanExtent(get, 1.0, 77); ext != 77 {
+		t.Errorf("extent = %d, want limit 77", ext)
+	}
+}
+
+func TestScanExtentNoiseOnly(t *testing.T) {
+	// Pure small noise from the start: the scan should stop quickly.
+	get := func(i int) float64 {
+		if i%2 == 0 {
+			return 0.3
+		}
+		return -0.3
+	}
+	ext := scanExtent(get, 1.0, 1000)
+	if ext > 64 {
+		t.Errorf("extent = %d for noise-only measurements, want an early stop", ext)
+	}
+}
+
+func TestScanExtentLowEpsIsConservative(t *testing.T) {
+	// Smaller eps (more noise) raises the fade threshold, so the scan
+	// stops no later than with larger eps for the same fading signal.
+	get := func(i int) float64 { return 50.0 / float64(i+1) }
+	loose := scanExtent(get, 0.1, 10000) // threshold 20
+	tight := scanExtent(get, 10.0, 10000)
+	if loose > tight {
+		t.Errorf("low-eps extent %d exceeds high-eps extent %d", loose, tight)
+	}
+}
+
+func TestSeedGraphIsWellMixed(t *testing.T) {
+	// The Phase 1 seed must be a *random* realization of the degree
+	// sequence: on a clustered input its triangle count should be near the
+	// configuration-model baseline, far below the protected graph's.
+	g := clusteredGraph(t, 150)
+	m, err := Measure(g, Config{Eps: 1.0, MeasureTbI: true}, testRng(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := SeedGraph(m, testRng(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline: a degree-preserving randomization of the protected graph —
+	// the triangle count a configuration-model-like seed should carry.
+	baseline := g.Clone()
+	graph.Rewire(baseline, 25*baseline.NumEdges(), testRng(32))
+	if seed.Triangles() >= g.Triangles() {
+		t.Errorf("seed has %d triangles vs protected %d; should be below",
+			seed.Triangles(), g.Triangles())
+	}
+	if seed.Triangles() > 3*baseline.Triangles() {
+		t.Errorf("seed has %d triangles vs randomized baseline %d; Havel-Hakimi clustering not mixed away",
+			seed.Triangles(), baseline.Triangles())
+	}
+}

@@ -1,0 +1,142 @@
+package synth
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"wpinq/internal/graph"
+)
+
+func TestJDDWorkflowCost(t *testing.T) {
+	g := clusteredGraph(t, 80)
+	m, err := Measure(g, Config{Eps: 0.1, MeasureJDD: true}, testRng(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed (3) + JDD (4) = 7 eps.
+	if math.Abs(m.TotalCost-0.7) > 1e-9 {
+		t.Errorf("JDD workflow cost = %v, want 0.7", m.TotalCost)
+	}
+	if m.JDD == nil {
+		t.Fatal("JDD measurement missing")
+	}
+}
+
+func TestJDDFitImprovesScore(t *testing.T) {
+	// Fitting a JDD measurement is a rough landscape (it was the subject
+	// of the authors' separate workshop paper, run for millions of steps);
+	// at test scale we assert the mechanism: MCMC accepts moves and
+	// lowers the fit score relative to the seed. Low pow keeps the walk
+	// exploring rather than freezing in the first local optimum.
+	g, err := graph.Collaboration(graph.CollaborationConfig{
+		Authors:     120,
+		Papers:      115,
+		MeanAuthors: 3.0,
+		MaxAuthors:  8,
+		PrefAttach:  0.5,
+	}, testRng(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Measure(g, Config{Eps: 4.0, MeasureJDD: true}, testRng(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := SeedGraph(m, testRng(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Eps: 4.0, MeasureJDD: true, Pow: 1.0}
+	// Initial score: a zero-step run on the same seed.
+	initial, err := Synthesize(m, seed.Clone(), base, testRng(44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Anneal from exploratory to near-greedy across the run.
+	fit := base
+	fit.Pow = 0
+	fit.Steps = 20000
+	steps := fit.Steps
+	fit.PowSchedule = func(step int) float64 {
+		frac := float64(step) / float64(steps)
+		return 0.2 + 40*frac*frac
+	}
+	res, err := Synthesize(m, seed.Clone(), fit, testRng(44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Accepted == 0 {
+		t.Fatal("JDD fit accepted nothing")
+	}
+	if res.Stats.FinalScore >= initial.Stats.FinalScore {
+		t.Errorf("score %v -> %v; JDD fit should improve it",
+			initial.Stats.FinalScore, res.Stats.FinalScore)
+	}
+}
+
+func TestSynthesizeRequiresJDDMeasurement(t *testing.T) {
+	g := clusteredGraph(t, 60)
+	m, err := Measure(g, Config{Eps: 0.5, MeasureTbI: true}, testRng(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := SeedGraph(m, testRng(44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Synthesize(m, seed, Config{Eps: 0.5, MeasureJDD: true, Steps: 10}, testRng(45)); err == nil {
+		t.Error("JDD fit without JDD measurement accepted")
+	}
+}
+
+func TestJDDSerializationRoundTrip(t *testing.T) {
+	g := clusteredGraph(t, 70)
+	m, err := Measure(g, Config{Eps: 0.5, MeasureJDD: true}, testRng(46))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadMeasurements(bytes.NewReader(buf.Bytes()), testRng(47))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.JDD == nil {
+		t.Fatal("JDD lost in round trip")
+	}
+	for k, want := range m.JDD.Materialized() {
+		if got := back.JDD.Get(k); got != want {
+			t.Fatalf("jdd[%v] = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestCombinedMeasurements(t *testing.T) {
+	// TbI + TbD + JDD together: cost = 3 + 4 + 9 + 4 = 20 eps, and all
+	// three sinks participate in one MCMC run.
+	g := clusteredGraph(t, 70)
+	cfg := Config{
+		Eps:        0.5,
+		MeasureTbI: true,
+		MeasureTbD: true,
+		MeasureJDD: true,
+		TbDBucket:  5,
+		// Multi-sink fits have rough landscapes: a gentle posterior keeps
+		// the walk moving (cf. TestJDDFitImprovesScore).
+		Pow:   2,
+		Steps: 1000,
+	}
+	res, err := Run(g, cfg, testRng(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.TotalCost-10.0) > 1e-9 {
+		t.Errorf("combined cost = %v, want 10.0 (20 x 0.5)", res.TotalCost)
+	}
+	if res.Stats.Accepted == 0 {
+		t.Error("combined fit accepted nothing")
+	}
+}

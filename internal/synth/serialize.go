@@ -1,0 +1,148 @@
+package synth
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"wpinq/internal/core"
+	"wpinq/internal/queries"
+)
+
+// Serialization of released measurements. Once Measure has run, the
+// protected graph can be discarded and the measurements stored: they are
+// differentially private, so the file is safe to share, and synthesis can
+// run later (or elsewhere) from the file alone.
+
+// measurementsJSON is the on-disk layout. Map-valued histograms are stored
+// as pair lists so composite record types (degree triples) round-trip.
+type measurementsJSON struct {
+	Version   int              `json:"version"`
+	Eps       float64          `json:"eps"`
+	TotalCost float64          `json:"totalCost"`
+	TbDBucket int              `json:"tbdBucket,omitempty"`
+	DegSeq    []intCount       `json:"degSeq"`
+	CCDF      []intCount       `json:"ccdf"`
+	NodeCount float64          `json:"nodeCount"`
+	TbI       *float64         `json:"tbi,omitempty"`
+	TbD       []degTripleCount `json:"tbd,omitempty"`
+	JDD       []degPairCount   `json:"jdd,omitempty"`
+}
+
+type degPairCount struct {
+	DA    int     `json:"da"`
+	DB    int     `json:"db"`
+	Count float64 `json:"c"`
+}
+
+type intCount struct {
+	Index int     `json:"i"`
+	Count float64 `json:"c"`
+}
+
+type degTripleCount struct {
+	Triple [3]int  `json:"t"`
+	Count  float64 `json:"c"`
+}
+
+const serializationVersion = 1
+
+// Save writes the released measurements as JSON.
+func (m *Measurements) Save(w io.Writer) error {
+	out := measurementsJSON{
+		Version:   serializationVersion,
+		Eps:       m.Eps,
+		TotalCost: m.TotalCost,
+		TbDBucket: m.TbDBucket,
+		NodeCount: m.NodeCount.Get(queries.Unit{}),
+	}
+	for i, c := range m.DegSeq.Materialized() {
+		out.DegSeq = append(out.DegSeq, intCount{i, c})
+	}
+	for i, c := range m.CCDF.Materialized() {
+		out.CCDF = append(out.CCDF, intCount{i, c})
+	}
+	if m.TbI != nil {
+		v := m.TbI.Get(queries.Unit{})
+		out.TbI = &v
+	}
+	if m.TbD != nil {
+		for t, c := range m.TbD.Materialized() {
+			out.TbD = append(out.TbD, degTripleCount{[3]int(t), c})
+		}
+	}
+	if m.JDD != nil {
+		for p, c := range m.JDD.Materialized() {
+			out.JDD = append(out.JDD, degPairCount{p.DA, p.DB, c})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// LoadMeasurements reads measurements saved by Save. The supplied rng
+// continues to serve fresh memoized noise for records never requested
+// before the save (NoisyCount's lazy dictionary survives serialization).
+func LoadMeasurements(r io.Reader, rng *rand.Rand) (*Measurements, error) {
+	var in measurementsJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("synth: decoding measurements: %w", err)
+	}
+	if in.Version != serializationVersion {
+		return nil, fmt.Errorf("synth: unsupported measurements version %d", in.Version)
+	}
+	if in.Eps <= 0 {
+		return nil, fmt.Errorf("synth: invalid eps %v in measurements", in.Eps)
+	}
+	m := &Measurements{
+		Eps:       in.Eps,
+		TotalCost: in.TotalCost,
+		TbDBucket: in.TbDBucket,
+	}
+	seq := make(map[int]float64, len(in.DegSeq))
+	for _, p := range in.DegSeq {
+		seq[p.Index] = p.Count
+	}
+	var err error
+	if m.DegSeq, err = core.HistogramFromMaterialized(seq, in.Eps, rng); err != nil {
+		return nil, err
+	}
+	ccdf := make(map[int]float64, len(in.CCDF))
+	for _, p := range in.CCDF {
+		ccdf[p.Index] = p.Count
+	}
+	if m.CCDF, err = core.HistogramFromMaterialized(ccdf, in.Eps, rng); err != nil {
+		return nil, err
+	}
+	if m.NodeCount, err = core.HistogramFromMaterialized(
+		map[queries.Unit]float64{{}: in.NodeCount}, in.Eps, rng); err != nil {
+		return nil, err
+	}
+	if in.TbI != nil {
+		if m.TbI, err = core.HistogramFromMaterialized(
+			map[queries.Unit]float64{{}: *in.TbI}, in.Eps, rng); err != nil {
+			return nil, err
+		}
+	}
+	if in.TbD != nil {
+		tbd := make(map[queries.DegTriple]float64, len(in.TbD))
+		for _, p := range in.TbD {
+			tbd[queries.DegTriple(p.Triple)] = p.Count
+		}
+		if m.TbD, err = core.HistogramFromMaterialized(tbd, in.Eps, rng); err != nil {
+			return nil, err
+		}
+	}
+	if in.JDD != nil {
+		jdd := make(map[queries.DegPair]float64, len(in.JDD))
+		for _, p := range in.JDD {
+			jdd[queries.DegPair{DA: p.DA, DB: p.DB}] = p.Count
+		}
+		if m.JDD, err = core.HistogramFromMaterialized(jdd, in.Eps, rng); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,117 @@
+package synth
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wpinq/internal/queries"
+)
+
+func TestMeasurementsRoundTrip(t *testing.T) {
+	g := clusteredGraph(t, 80)
+	m, err := Measure(g, Config{Eps: 0.5, MeasureTbI: true, MeasureTbD: true, TbDBucket: 5}, testRng(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadMeasurements(bytes.NewReader(buf.Bytes()), testRng(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Eps != m.Eps || back.TotalCost != m.TotalCost || back.TbDBucket != m.TbDBucket {
+		t.Errorf("metadata mismatch: %+v vs %+v",
+			[3]float64{back.Eps, back.TotalCost, float64(back.TbDBucket)},
+			[3]float64{m.Eps, m.TotalCost, float64(m.TbDBucket)})
+	}
+	// Released values identical.
+	for i := 0; i < 50; i++ {
+		if got, want := back.DegSeq.Get(i), m.DegSeq.Get(i); got != want {
+			t.Fatalf("degSeq[%d] = %v, want %v", i, got, want)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		if got, want := back.CCDF.Get(i), m.CCDF.Get(i); got != want {
+			t.Fatalf("ccdf[%d] = %v, want %v", i, got, want)
+		}
+	}
+	if got, want := back.NodeCount.Get(queries.Unit{}), m.NodeCount.Get(queries.Unit{}); got != want {
+		t.Errorf("nodeCount = %v, want %v", got, want)
+	}
+	if got, want := back.TbI.Get(queries.Unit{}), m.TbI.Get(queries.Unit{}); got != want {
+		t.Errorf("tbi = %v, want %v", got, want)
+	}
+	for k, want := range m.TbD.Materialized() {
+		if got := back.TbD.Get(k); got != want {
+			t.Fatalf("tbd[%v] = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestLoadedMeasurementsSynthesize(t *testing.T) {
+	// The full measure -> save -> load -> synthesize round trip.
+	g := clusteredGraph(t, 80)
+	m, err := Measure(g, Config{Eps: 1.0, MeasureTbI: true}, testRng(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadMeasurements(bytes.NewReader(buf.Bytes()), testRng(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := SeedGraph(back, testRng(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Synthesize(back, seed, Config{
+		Eps: 1.0, MeasureTbI: true, Pow: 2000, Steps: 2000,
+	}, testRng(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Synthetic.Triangles() <= res.Seed.Triangles() {
+		t.Errorf("loaded-measurement synthesis made no progress: %d -> %d",
+			res.Seed.Triangles(), res.Synthetic.Triangles())
+	}
+}
+
+func TestLoadMeasurementsRejectsBadInput(t *testing.T) {
+	if _, err := LoadMeasurements(strings.NewReader("{"), testRng(1)); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := LoadMeasurements(strings.NewReader(`{"version":99,"eps":0.1}`), testRng(1)); err == nil {
+		t.Error("unknown version accepted")
+	}
+	if _, err := LoadMeasurements(strings.NewReader(`{"version":1,"eps":0}`), testRng(1)); err == nil {
+		t.Error("invalid eps accepted")
+	}
+}
+
+func TestSaveOmitsUnmeasured(t *testing.T) {
+	g := clusteredGraph(t, 60)
+	m, err := Measure(g, Config{Eps: 0.5, MeasureTbI: true}, testRng(26))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"tbd"`) {
+		t.Error("unmeasured TbD serialized")
+	}
+	back, err := LoadMeasurements(bytes.NewReader(buf.Bytes()), testRng(27))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TbD != nil {
+		t.Error("loaded TbD should be nil when not measured")
+	}
+}

@@ -1,0 +1,353 @@
+// Package synth implements the end-to-end graph synthesis workflow of
+// paper Section 5.1:
+//
+//	Phase 0: take differentially-private wPINQ measurements of the
+//	         protected graph (degree sequence, degree CCDF, node count,
+//	         plus any of TbI, TbD, JDD), then discard the protected graph.
+//	Phase 1: regress a DP degree sequence from the noisy measurements
+//	         (lowest-cost grid path) and seed a random graph matching it.
+//	Phase 2: fit the seed to the triangle measurements with
+//	         Metropolis-Hastings over degree-preserving edge swaps.
+//
+// Everything after Phase 0 consumes only released measurements: the
+// synthetic graphs are public.
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wpinq/internal/budget"
+	"wpinq/internal/core"
+	"wpinq/internal/graph"
+	"wpinq/internal/incremental"
+	"wpinq/internal/laplace"
+	"wpinq/internal/mcmc"
+	"wpinq/internal/postprocess"
+	"wpinq/internal/queries"
+)
+
+// Config parameterizes the workflow. The defaults mirror the paper's
+// experiments at reduced scale.
+type Config struct {
+	// Eps is the per-measurement privacy parameter (paper: 0.1).
+	Eps float64
+	// MeasureTbI includes the triangles-by-intersect measurement (4 eps).
+	MeasureTbI bool
+	// MeasureTbD includes the triangles-by-degree measurement (9 eps).
+	MeasureTbD bool
+	// MeasureJDD includes the joint-degree-distribution measurement
+	// (4 eps) and fits it during MCMC: the earlier-workshop workflow the
+	// paper builds on, which constrains assortativity.
+	MeasureJDD bool
+	// TbDBucket groups degrees into floor(d/bucket) buckets for TbD
+	// (paper Figure 3 uses 20; <= 1 disables bucketing).
+	TbDBucket int
+	// Pow sharpens the MCMC posterior (paper: 10000).
+	Pow float64
+	// PowSchedule, when set, overrides Pow with a per-step annealing
+	// schedule (see mcmc.Config.PowSchedule). Detailed multi-record fits
+	// (TbD, JDD) have rough landscapes where a fixed large pow freezes in
+	// the first local optimum; ramping pow explores first, then locks in.
+	PowSchedule func(step int) float64
+	// Steps is the number of MCMC steps in Phase 2.
+	Steps int
+	// RecomputeEvery bounds floating-point drift (default 1 << 15).
+	RecomputeEvery int
+	// OnStep observes MCMC progress (optional).
+	OnStep func(step int, accepted bool, score float64)
+	// SampleEvery > 0 invokes OnSample with the live synthetic graph every
+	// that many steps (and once at step 0), for trajectory plots. The
+	// callback must treat the graph as read-only.
+	SampleEvery int
+	// OnSample observes the evolving synthetic graph (optional).
+	OnSample func(step int, g *graph.Graph)
+}
+
+// Validate fills defaults and rejects inconsistent configurations.
+func (c *Config) Validate() error {
+	if c.Eps <= 0 {
+		return errors.New("synth: Eps must be positive")
+	}
+	if !c.MeasureTbI && !c.MeasureTbD && !c.MeasureJDD {
+		return errors.New("synth: at least one fit measurement (TbI, TbD, JDD) is required")
+	}
+	if c.Pow <= 0 && c.PowSchedule == nil {
+		c.Pow = 10000
+	}
+	if c.Steps < 0 {
+		return errors.New("synth: Steps must be non-negative")
+	}
+	if c.RecomputeEvery <= 0 {
+		c.RecomputeEvery = 1 << 15
+	}
+	return nil
+}
+
+// SeedCost is the privacy cost of the Phase 1 measurements in units of
+// eps: degree sequence + degree CCDF + node count (paper: "3 eps = 0.3").
+const SeedCost = 3
+
+// Measurements holds every released histogram plus bookkeeping. After
+// Measure returns, the protected graph is no longer needed.
+type Measurements struct {
+	Eps       float64
+	DegSeq    *core.Histogram[int]
+	CCDF      *core.Histogram[int]
+	NodeCount *core.Histogram[queries.Unit]
+	TbI       *core.Histogram[queries.Unit]
+	TbD       *core.Histogram[queries.DegTriple]
+	JDD       *core.Histogram[queries.DegPair]
+	TbDBucket int
+	// TotalCost is the total privacy cost actually charged, in epsilon.
+	TotalCost float64
+}
+
+// Measure takes every configured measurement of the protected graph g,
+// charging an internally created budget source sized exactly to the
+// query plan (a smaller budget would make the final aggregation fail).
+func Measure(g *graph.Graph, cfg Config, rng *rand.Rand) (*Measurements, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	needed := float64(SeedCost)
+	if cfg.MeasureTbI {
+		needed += 4
+	}
+	if cfg.MeasureTbD {
+		needed += 9
+	}
+	if cfg.MeasureJDD {
+		needed += 4
+	}
+	src := budget.NewSource("edges", needed*cfg.Eps*(1+1e-9))
+	edges := core.FromDataset(graph.SymmetricEdges(g), src)
+
+	m := &Measurements{Eps: cfg.Eps, TbDBucket: cfg.TbDBucket}
+	var err error
+	if m.DegSeq, err = core.NoisyCount(queries.DegreeSequence(edges), cfg.Eps, rng); err != nil {
+		return nil, fmt.Errorf("synth: degree sequence: %w", err)
+	}
+	if m.CCDF, err = core.NoisyCount(queries.DegreeCCDF(edges), cfg.Eps, rng); err != nil {
+		return nil, fmt.Errorf("synth: degree ccdf: %w", err)
+	}
+	if m.NodeCount, err = core.NoisyCount(queries.NodeCount(edges), cfg.Eps, rng); err != nil {
+		return nil, fmt.Errorf("synth: node count: %w", err)
+	}
+	if cfg.MeasureTbI {
+		if m.TbI, err = core.NoisyCount(queries.TbI(edges), cfg.Eps, rng); err != nil {
+			return nil, fmt.Errorf("synth: tbi: %w", err)
+		}
+	}
+	if cfg.MeasureTbD {
+		if m.TbD, err = core.NoisyCount(queries.TbD(edges, cfg.TbDBucket), cfg.Eps, rng); err != nil {
+			return nil, fmt.Errorf("synth: tbd: %w", err)
+		}
+	}
+	if cfg.MeasureJDD {
+		if m.JDD, err = core.NoisyCount(queries.JDD(edges), cfg.Eps, rng); err != nil {
+			return nil, fmt.Errorf("synth: jdd: %w", err)
+		}
+	}
+	m.TotalCost = src.Spent()
+	return m, nil
+}
+
+// EstimatedNodes returns the node-count estimate from the released
+// measurement: the Unit record carries |V|/2 plus noise.
+func (m *Measurements) EstimatedNodes() int {
+	n := int(math.Round(2 * m.NodeCount.Get(queries.Unit{})))
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// SeedGraph implements Phase 1: fit a degree sequence to the noisy degree
+// sequence and CCDF via the lowest-cost grid path, round it to a graphical
+// sequence, and generate a random graph realizing it.
+//
+// The grid's width (number of vertex ranks considered) comes from the
+// released node count: the degree sequence genuinely extends that far even
+// where its values sit below the noise floor, and truncating it where the
+// *signal* fades would discard every low-degree vertex and collapse the
+// seed into a dense hub core. Only the height (maximum degree bound) is
+// scanned from the CCDF, whose own end is where *it* fades into noise.
+func SeedGraph(m *Measurements, rng *rand.Rand) (*graph.Graph, error) {
+	nEst := m.EstimatedNodes()
+	width := nEst
+	height := scanExtent(func(i int) float64 { return m.CCDF.Get(i) }, m.Eps, nEst)
+	// Generous slack: clipping the height truncates hubs, while extra grid
+	// rows only cost Dijkstra time in the noise trough.
+	height += height/2 + 8
+	if height > nEst {
+		height = nEst
+	}
+	v := make([]float64, width)
+	for x := range v {
+		v[x] = m.DegSeq.Get(x)
+	}
+	h := make([]float64, height)
+	for y := range h {
+		h[y] = m.CCDF.Get(y)
+	}
+	fitted, err := postprocess.GridPath(v, h, width, height)
+	if err != nil {
+		return nil, fmt.Errorf("synth: regression: %w", err)
+	}
+	asFloat := make([]float64, len(fitted))
+	for i, d := range fitted {
+		asFloat[i] = float64(d)
+	}
+	degs := postprocess.RoundToGraphical(asFloat)
+	// Havel-Hakimi produces a maximally assortative, clustered realization;
+	// 20 swap attempts per edge mixes it to a uniform-ish random graph with
+	// the same degrees, which is what "random seed graph" means in Section
+	// 5.1 (too little mixing leaves phantom triangles in the seed).
+	g, err := graph.FromDegreeSequence(degs, 20, rng)
+	if err != nil {
+		return nil, fmt.Errorf("synth: seed construction: %w", err)
+	}
+	// Pad isolated vertices up to the estimated node count so the seed's
+	// order matches the (noisy) measurement.
+	for v := g.NumNodes(); v < nEst; v++ {
+		g.AddNode(graph.Node(v))
+	}
+	return g, nil
+}
+
+// scanExtent walks a noisy non-increasing measurement from index 0 and
+// returns a conservative bound on where the true sequence ends: the point
+// where a trailing window's mean falls below twice the noise scale, plus
+// slack. The analyst performs exactly this judgement in the paper ("it is
+// up to the analyst to draw conclusions about where the sequence truly
+// ends").
+func scanExtent(get func(int) float64, eps float64, limit int) int {
+	noise, err := laplace.FromEpsilon(eps)
+	if err != nil {
+		return limit
+	}
+	const window = 16
+	threshold := 2 * noise.Scale()
+	var sum float64
+	buf := make([]float64, 0, window)
+	for i := 0; i < limit; i++ {
+		v := get(i)
+		buf = append(buf, v)
+		sum += v
+		if len(buf) > window {
+			sum -= buf[len(buf)-window-1]
+		}
+		if i >= window && sum/window < threshold {
+			// Sequence has faded into noise: add slack and stop.
+			ext := i + window
+			if ext > limit {
+				ext = limit
+			}
+			return ext
+		}
+	}
+	return limit
+}
+
+// Result is the output of the full workflow.
+type Result struct {
+	Seed      *graph.Graph // Phase 1 seed (before MCMC)
+	Synthetic *graph.Graph // Phase 2 output
+	Stats     mcmc.Stats
+	TotalCost float64 // privacy cost in epsilon
+}
+
+// Synthesize implements Phase 2: wire incremental pipelines for the
+// configured fit measurements (TbI, TbD, JDD), seed the MCMC state, and
+// run the fit. The seed graph is not modified; the synthetic result is
+// independent.
+func Synthesize(m *Measurements, seed *graph.Graph, cfg Config, rng *rand.Rand) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	in := queries.NewEdgeInput()
+	scorer := incremental.NewScorer()
+	if cfg.MeasureTbI {
+		if m.TbI == nil {
+			return nil, errors.New("synth: TbI fitting requested but not measured")
+		}
+		stream := queries.TbIPipeline(in)
+		sink := incremental.NewNoisyCountSink[queries.Unit](
+			stream, m.TbI, []queries.Unit{{}}, m.Eps)
+		scorer.Add(sink)
+	}
+	if cfg.MeasureTbD {
+		if m.TbD == nil {
+			return nil, errors.New("synth: TbD fitting requested but not measured")
+		}
+		stream := queries.TbDPipeline(in, m.TbDBucket)
+		domain := make([]queries.DegTriple, 0)
+		for k := range m.TbD.Materialized() {
+			domain = append(domain, k)
+		}
+		sink := incremental.NewNoisyCountSink[queries.DegTriple](
+			stream, m.TbD, domain, m.Eps)
+		scorer.Add(sink)
+	}
+	if cfg.MeasureJDD {
+		if m.JDD == nil {
+			return nil, errors.New("synth: JDD fitting requested but not measured")
+		}
+		stream := queries.JDDPipeline(in)
+		domain := make([]queries.DegPair, 0)
+		for k := range m.JDD.Materialized() {
+			domain = append(domain, k)
+		}
+		sink := incremental.NewNoisyCountSink[queries.DegPair](
+			stream, m.JDD, domain, m.Eps)
+		scorer.Add(sink)
+	}
+	state := mcmc.NewGraphState(seed, in)
+	onStep := cfg.OnStep
+	if cfg.SampleEvery > 0 && cfg.OnSample != nil {
+		every := cfg.SampleEvery
+		sample := cfg.OnSample
+		inner := onStep
+		sample(0, state.Graph())
+		onStep = func(step int, accepted bool, score float64) {
+			if (step+1)%every == 0 {
+				sample(step+1, state.Graph())
+			}
+			if inner != nil {
+				inner(step, accepted, score)
+			}
+		}
+	}
+	runner, err := mcmc.NewRunner(state, scorer, mcmc.Config{
+		Pow:            cfg.Pow,
+		PowSchedule:    cfg.PowSchedule,
+		RecomputeEvery: cfg.RecomputeEvery,
+		OnStep:         onStep,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	stats := runner.Run(cfg.Steps)
+	return &Result{
+		Seed:      seed,
+		Synthetic: state.Graph(),
+		Stats:     stats,
+		TotalCost: m.TotalCost,
+	}, nil
+}
+
+// Run executes the complete workflow: Measure -> SeedGraph -> Synthesize.
+func Run(g *graph.Graph, cfg Config, rng *rand.Rand) (*Result, error) {
+	m, err := Measure(g, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	seed, err := SeedGraph(m, rng)
+	if err != nil {
+		return nil, err
+	}
+	return Synthesize(m, seed.Clone(), cfg, rng)
+}

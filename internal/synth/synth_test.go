@@ -1,0 +1,213 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wpinq/internal/graph"
+)
+
+func testRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func clusteredGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g, err := graph.HolmeKim(n, 4, 0.8, testRng(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Eps: 0, MeasureTbI: true},
+		{Eps: 0.1},
+		{Eps: 0.1, MeasureTbI: true, Steps: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should be invalid: %+v", i, c)
+		}
+	}
+	good := Config{Eps: 0.1, MeasureTbI: true}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.Pow != 10000 || good.RecomputeEvery == 0 {
+		t.Errorf("defaults not applied: %+v", good)
+	}
+}
+
+func TestMeasureCostMatchesPaper(t *testing.T) {
+	g := clusteredGraph(t, 120)
+	// TbI workflow: seed (3 eps) + TbI (4 eps) = 7 eps = 0.7 at eps = 0.1
+	// (paper Section 5.3).
+	m, err := Measure(g, Config{Eps: 0.1, MeasureTbI: true}, testRng(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.TotalCost-0.7) > 1e-9 {
+		t.Errorf("TbI workflow cost = %v, want 0.7", m.TotalCost)
+	}
+	// TbD workflow: seed (3 eps) + TbD (9 eps) = 1.2 at eps = 0.1
+	// (paper Section 5.2).
+	m2, err := Measure(g, Config{Eps: 0.1, MeasureTbD: true, TbDBucket: 20}, testRng(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m2.TotalCost-1.2) > 1e-9 {
+		t.Errorf("TbD workflow cost = %v, want 1.2", m2.TotalCost)
+	}
+}
+
+func TestEstimatedNodesNearTruth(t *testing.T) {
+	g := clusteredGraph(t, 200)
+	m, err := Measure(g, Config{Eps: 1.0, MeasureTbI: true}, testRng(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := m.EstimatedNodes()
+	if est < 190 || est > 210 {
+		t.Errorf("estimated nodes = %d, want near 200", est)
+	}
+}
+
+func TestSeedGraphMatchesDegreeShape(t *testing.T) {
+	g := clusteredGraph(t, 150)
+	m, err := Measure(g, Config{Eps: 1.0, MeasureTbI: true}, testRng(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := SeedGraph(m, testRng(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The seed's edge count should be within 25% of the original's.
+	ratio := float64(seed.NumEdges()) / float64(g.NumEdges())
+	if ratio < 0.75 || ratio > 1.25 {
+		t.Errorf("seed edges = %d vs original %d (ratio %v)", seed.NumEdges(), g.NumEdges(), ratio)
+	}
+	// Max degrees in the same ballpark.
+	if seed.MaxDegree() < g.MaxDegree()/2 || seed.MaxDegree() > g.MaxDegree()*2 {
+		t.Errorf("seed dmax = %d vs original %d", seed.MaxDegree(), g.MaxDegree())
+	}
+}
+
+func TestFullWorkflowIncreasesTriangles(t *testing.T) {
+	// On a clustered graph, the seed is triangle-poor (random given
+	// degrees) and Phase 2 must push the triangle count toward the truth.
+	g := clusteredGraph(t, 100)
+	cfg := Config{
+		Eps:        1.0,
+		MeasureTbI: true,
+		Pow:        5000,
+		Steps:      8000,
+	}
+	res, err := Run(g, cfg, testRng(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedTris := res.Seed.Triangles()
+	synthTris := res.Synthetic.Triangles()
+	trueTris := g.Triangles()
+	if synthTris <= seedTris {
+		t.Errorf("triangles: seed %d -> synth %d; MCMC should increase toward %d",
+			seedTris, synthTris, trueTris)
+	}
+	// The synthetic count should close a meaningful part of the gap.
+	if float64(synthTris) < float64(seedTris)+0.2*float64(trueTris-seedTris) {
+		t.Errorf("triangles: seed %d, synth %d, true %d; too little progress",
+			seedTris, synthTris, trueTris)
+	}
+	// Degrees preserved by the walk.
+	seedSeq := res.Seed.DegreeSequence()
+	synthSeq := res.Synthetic.DegreeSequence()
+	for i := range seedSeq {
+		if seedSeq[i] != synthSeq[i] {
+			t.Fatal("Phase 2 changed the degree sequence")
+		}
+	}
+}
+
+func TestSynthesizeRequiresMeasurement(t *testing.T) {
+	g := clusteredGraph(t, 60)
+	m, err := Measure(g, Config{Eps: 0.5, MeasureTbI: true}, testRng(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := SeedGraph(m, testRng(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Asking to fit TbD without having measured it must fail.
+	_, err = Synthesize(m, seed, Config{Eps: 0.5, MeasureTbD: true, Steps: 10}, testRng(9))
+	if err == nil {
+		t.Error("TbD fit without TbD measurement accepted")
+	}
+}
+
+func TestTbDWorkflowRuns(t *testing.T) {
+	g := clusteredGraph(t, 80)
+	cfg := Config{
+		Eps:        0.5,
+		MeasureTbD: true,
+		TbDBucket:  10,
+		Pow:        1000,
+		Steps:      300,
+	}
+	res, err := Run(g, cfg, testRng(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Accepted == 0 {
+		t.Error("TbD workflow accepted no steps")
+	}
+	if res.Synthetic.NumEdges() != res.Seed.NumEdges() {
+		t.Error("edge count changed during MCMC")
+	}
+}
+
+func TestRandomGraphStaysTrianglePoor(t *testing.T) {
+	// Fitting a *random* graph's measurements should not inject many
+	// triangles: the Figure 4 sanity check.
+	g := clusteredGraph(t, 100)
+	random := g.Clone()
+	graph.Rewire(random, 30*random.NumEdges(), testRng(11))
+	cfg := Config{
+		Eps:        1.0,
+		MeasureTbI: true,
+		Pow:        5000,
+		Steps:      6000,
+	}
+	resReal, err := Run(g, cfg, testRng(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resRand, err := Run(random, cfg, testRng(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resRand.Synthetic.Triangles() >= resReal.Synthetic.Triangles() {
+		t.Errorf("random-fit triangles (%d) should stay below real-fit (%d)",
+			resRand.Synthetic.Triangles(), resReal.Synthetic.Triangles())
+	}
+}
+
+func TestOnStepObservesRun(t *testing.T) {
+	g := clusteredGraph(t, 60)
+	calls := 0
+	cfg := Config{
+		Eps:        0.5,
+		MeasureTbI: true,
+		Pow:        100,
+		Steps:      200,
+		OnStep:     func(int, bool, float64) { calls++ },
+	}
+	if _, err := Run(g, cfg, testRng(13)); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 200 {
+		t.Errorf("OnStep calls = %d, want 200", calls)
+	}
+}

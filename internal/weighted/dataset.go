@@ -1,0 +1,278 @@
+// Package weighted implements weighted datasets: the data model of wPINQ.
+//
+// A weighted dataset generalizes a multiset to a function A : D -> R mapping
+// each record to a real-valued weight ("Calibrating Data to Sensitivity in
+// Private Data Analysis", Section 2.1). The package also provides the
+// reference, from-scratch semantics of every stable transformation defined
+// by the paper (Select, Where, SelectMany, GroupBy, Shave, Join, Union,
+// Intersect, Concat, Except). These functions are the executable
+// specification against which the incremental engine
+// (wpinq/internal/incremental) is verified.
+package weighted
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Eps is the tolerance below which weights are treated as zero. Transform
+// outputs drop records whose weight magnitude falls below Eps, so that long
+// chains of floating-point arithmetic do not accumulate ghost records.
+const Eps = 1e-12
+
+// Dataset is a weighted dataset: a finitely-supported function from records
+// of type T to real-valued weights. The zero value is ready to use.
+//
+// Dataset is not safe for concurrent mutation.
+type Dataset[T comparable] struct {
+	w map[T]float64
+}
+
+// New returns an empty dataset.
+func New[T comparable]() *Dataset[T] {
+	return &Dataset[T]{w: make(map[T]float64)}
+}
+
+// NewSized returns an empty dataset with capacity for n records.
+func NewSized[T comparable](n int) *Dataset[T] {
+	return &Dataset[T]{w: make(map[T]float64, n)}
+}
+
+// FromMap builds a dataset from a record->weight map. The map is copied.
+func FromMap[T comparable](m map[T]float64) *Dataset[T] {
+	d := NewSized[T](len(m))
+	for x, w := range m {
+		d.Add(x, w)
+	}
+	return d
+}
+
+// FromItems builds a dataset in which each listed record has weight 1.0.
+// Repeated records accumulate.
+func FromItems[T comparable](items ...T) *Dataset[T] {
+	d := NewSized[T](len(items))
+	for _, x := range items {
+		d.Add(x, 1)
+	}
+	return d
+}
+
+// Pair couples a record with a weight, for bulk construction and iteration.
+type Pair[T comparable] struct {
+	Record T
+	Weight float64
+}
+
+// FromPairs builds a dataset from explicit (record, weight) pairs.
+// Repeated records accumulate.
+func FromPairs[T comparable](pairs ...Pair[T]) *Dataset[T] {
+	d := NewSized[T](len(pairs))
+	for _, p := range pairs {
+		d.Add(p.Record, p.Weight)
+	}
+	return d
+}
+
+// ensure initializes the backing map of a zero-value Dataset.
+func (d *Dataset[T]) ensure() {
+	if d.w == nil {
+		d.w = make(map[T]float64)
+	}
+}
+
+// Weight returns A(x): the weight of record x, zero if absent.
+func (d *Dataset[T]) Weight(x T) float64 {
+	if d == nil || d.w == nil {
+		return 0
+	}
+	return d.w[x]
+}
+
+// Add adds delta to the weight of x, removing the record if the result is
+// negligibly small. Negative deltas (and negative resulting weights) are
+// permitted: differences of datasets are themselves weighted datasets.
+func (d *Dataset[T]) Add(x T, delta float64) {
+	d.ensure()
+	nw := d.w[x] + delta
+	if math.Abs(nw) < Eps {
+		delete(d.w, x)
+		return
+	}
+	d.w[x] = nw
+}
+
+// Set assigns the weight of x, removing the record when the weight is
+// negligibly small.
+func (d *Dataset[T]) Set(x T, w float64) {
+	d.ensure()
+	if math.Abs(w) < Eps {
+		delete(d.w, x)
+		return
+	}
+	d.w[x] = w
+}
+
+// Remove deletes the record x entirely (equivalent to Set(x, 0)).
+func (d *Dataset[T]) Remove(x T) {
+	if d.w != nil {
+		delete(d.w, x)
+	}
+}
+
+// Len returns the number of records with non-zero weight.
+func (d *Dataset[T]) Len() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.w)
+}
+
+// Norm returns ||A|| = sum_x |A(x)|, the size of the dataset.
+func (d *Dataset[T]) Norm() float64 {
+	if d == nil {
+		return 0
+	}
+	var n float64
+	for _, w := range d.w {
+		n += math.Abs(w)
+	}
+	return n
+}
+
+// Total returns sum_x A(x) (signed), the total mass of the dataset. For
+// non-negative datasets Total equals Norm.
+func (d *Dataset[T]) Total() float64 {
+	if d == nil {
+		return 0
+	}
+	var n float64
+	for _, w := range d.w {
+		n += w
+	}
+	return n
+}
+
+// Range calls f for every record with non-zero weight. Iteration order is
+// unspecified. f must not mutate the dataset.
+func (d *Dataset[T]) Range(f func(x T, w float64)) {
+	if d == nil {
+		return
+	}
+	for x, w := range d.w {
+		f(x, w)
+	}
+}
+
+// Records returns the records with non-zero weight, in unspecified order.
+func (d *Dataset[T]) Records() []T {
+	if d == nil {
+		return nil
+	}
+	out := make([]T, 0, len(d.w))
+	for x := range d.w {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Pairs returns all (record, weight) pairs, in unspecified order.
+func (d *Dataset[T]) Pairs() []Pair[T] {
+	if d == nil {
+		return nil
+	}
+	out := make([]Pair[T], 0, len(d.w))
+	for x, w := range d.w {
+		out = append(out, Pair[T]{x, w})
+	}
+	return out
+}
+
+// Clone returns a deep copy of the dataset.
+func (d *Dataset[T]) Clone() *Dataset[T] {
+	c := NewSized[T](d.Len())
+	d.Range(func(x T, w float64) { c.w[x] = w })
+	return c
+}
+
+// Scale multiplies every weight by s, in place, and returns the receiver.
+func (d *Dataset[T]) Scale(s float64) *Dataset[T] {
+	if d == nil {
+		return d
+	}
+	if s == 0 {
+		d.w = make(map[T]float64)
+		return d
+	}
+	for x, w := range d.w {
+		nw := w * s
+		if math.Abs(nw) < Eps {
+			delete(d.w, x)
+			continue
+		}
+		d.w[x] = nw
+	}
+	return d
+}
+
+// AddAll adds every record of other (scaled by factor) into the receiver.
+func (d *Dataset[T]) AddAll(other *Dataset[T], factor float64) {
+	other.Range(func(x T, w float64) { d.Add(x, w*factor) })
+}
+
+// Distance returns ||A - B|| = sum_x |A(x) - B(x)|: the metric under which
+// differential privacy for weighted datasets is defined (Definition 1).
+func Distance[T comparable](a, b *Dataset[T]) float64 {
+	var dist float64
+	seen := make(map[T]struct{}, a.Len())
+	a.Range(func(x T, w float64) {
+		seen[x] = struct{}{}
+		dist += math.Abs(w - b.Weight(x))
+	})
+	b.Range(func(x T, w float64) {
+		if _, ok := seen[x]; !ok {
+			dist += math.Abs(w)
+		}
+	})
+	return dist
+}
+
+// Equal reports whether the two datasets assign every record the same weight
+// within tolerance tol.
+func Equal[T comparable](a, b *Dataset[T], tol float64) bool {
+	ok := true
+	a.Range(func(x T, w float64) {
+		if math.Abs(w-b.Weight(x)) > tol {
+			ok = false
+		}
+	})
+	if !ok {
+		return false
+	}
+	b.Range(func(x T, w float64) {
+		if math.Abs(w-a.Weight(x)) > tol {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// String renders the dataset as {(record, weight), ...} with records sorted
+// by their formatted representation, for stable test output and debugging.
+func (d *Dataset[T]) String() string {
+	pairs := d.Pairs()
+	sort.Slice(pairs, func(i, j int) bool {
+		return fmt.Sprint(pairs[i].Record) < fmt.Sprint(pairs[j].Record)
+	})
+	var b strings.Builder
+	b.WriteString("{")
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%v, %.4g)", p.Record, p.Weight)
+	}
+	b.WriteString("}")
+	return b.String()
+}

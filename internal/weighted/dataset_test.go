@@ -1,0 +1,190 @@
+package weighted
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// paperA and paperB are the running example datasets of Section 2.1:
+//
+//	A = {("1", 0.75), ("2", 2.0), ("3", 1.0)}
+//	B = {("1", 3.0), ("4", 2.0)}
+func paperA() *Dataset[string] {
+	return FromPairs(Pair[string]{"1", 0.75}, Pair[string]{"2", 2.0}, Pair[string]{"3", 1.0})
+}
+
+func paperB() *Dataset[string] {
+	return FromPairs(Pair[string]{"1", 3.0}, Pair[string]{"4", 2.0})
+}
+
+func TestWeightLookup(t *testing.T) {
+	a := paperA()
+	if got := a.Weight("2"); got != 2.0 {
+		t.Errorf("A(2) = %v, want 2.0", got)
+	}
+	if got := a.Weight("0"); got != 0.0 {
+		t.Errorf("A(0) = %v, want 0.0 for absent record", got)
+	}
+	b := paperB()
+	if got := b.Weight("0"); got != 0.0 {
+		t.Errorf("B(0) = %v, want 0.0", got)
+	}
+}
+
+func TestNorm(t *testing.T) {
+	if got, want := paperA().Norm(), 3.75; got != want {
+		t.Errorf("||A|| = %v, want %v", got, want)
+	}
+	if got, want := paperB().Norm(), 5.0; got != want {
+		t.Errorf("||B|| = %v, want %v", got, want)
+	}
+	neg := FromPairs(Pair[int]{1, -2.0}, Pair[int]{2, 3.0})
+	if got, want := neg.Norm(), 5.0; got != want {
+		t.Errorf("norm with negative weights = %v, want %v", got, want)
+	}
+	if got, want := neg.Total(), 1.0; got != want {
+		t.Errorf("total with negative weights = %v, want %v", got, want)
+	}
+}
+
+func TestAddAccumulatesAndCancels(t *testing.T) {
+	d := New[string]()
+	d.Add("x", 1.5)
+	d.Add("x", 0.5)
+	if got := d.Weight("x"); got != 2.0 {
+		t.Errorf("accumulated weight = %v, want 2.0", got)
+	}
+	d.Add("x", -2.0)
+	if got := d.Weight("x"); got != 0 {
+		t.Errorf("cancelled weight = %v, want 0", got)
+	}
+	if d.Len() != 0 {
+		t.Errorf("Len after cancellation = %d, want 0", d.Len())
+	}
+}
+
+func TestZeroValueDatasetUsable(t *testing.T) {
+	var d Dataset[int]
+	if d.Weight(1) != 0 || d.Norm() != 0 || d.Len() != 0 {
+		t.Fatal("zero-value dataset should behave as empty")
+	}
+	d.Add(1, 2.5)
+	if d.Weight(1) != 2.5 {
+		t.Errorf("weight after Add on zero value = %v, want 2.5", d.Weight(1))
+	}
+}
+
+func TestSetAndRemove(t *testing.T) {
+	d := New[int]()
+	d.Set(7, 4.0)
+	if d.Weight(7) != 4.0 {
+		t.Errorf("Set: weight = %v, want 4.0", d.Weight(7))
+	}
+	d.Set(7, 0)
+	if d.Len() != 0 {
+		t.Errorf("Set to zero should remove; Len = %d", d.Len())
+	}
+	d.Set(8, 1)
+	d.Remove(8)
+	if d.Weight(8) != 0 {
+		t.Error("Remove did not delete record")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a, b := paperA(), paperB()
+	// ||A-B|| = |0.75-3| + |2-0| + |1-0| + |0-2| = 2.25 + 2 + 1 + 2 = 7.25
+	if got, want := Distance(a, b), 7.25; math.Abs(got-want) > 1e-12 {
+		t.Errorf("||A-B|| = %v, want %v", got, want)
+	}
+	if got := Distance(a, a.Clone()); got != 0 {
+		t.Errorf("||A-A|| = %v, want 0", got)
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(aw, bw []float64) bool {
+		a, b := fromWeights(aw), fromWeights(bw)
+		return math.Abs(Distance(a, b)-Distance(b, a)) < 1e-9
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	f := func(aw, bw, cw []float64) bool {
+		a, b, c := fromWeights(aw), fromWeights(bw), fromWeights(cw)
+		return Distance(a, c) <= Distance(a, b)+Distance(b, c)+1e-9
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := paperA()
+	c := a.Clone()
+	c.Add("1", 10)
+	if a.Weight("1") != 0.75 {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestScale(t *testing.T) {
+	a := paperA().Scale(2)
+	if got := a.Weight("2"); got != 4.0 {
+		t.Errorf("scaled weight = %v, want 4.0", got)
+	}
+	a.Scale(0)
+	if a.Len() != 0 {
+		t.Error("Scale(0) should empty the dataset")
+	}
+}
+
+func TestEqualTolerance(t *testing.T) {
+	a := paperA()
+	b := paperA()
+	b.Add("1", 1e-10)
+	if !Equal(a, b, 1e-9) {
+		t.Error("datasets within tolerance should be Equal")
+	}
+	if Equal(a, paperB(), 1e-9) {
+		t.Error("distinct datasets reported Equal")
+	}
+}
+
+func TestFromItemsAccumulates(t *testing.T) {
+	d := FromItems("a", "b", "a")
+	if d.Weight("a") != 2.0 || d.Weight("b") != 1.0 {
+		t.Errorf("FromItems weights = %v, %v; want 2, 1", d.Weight("a"), d.Weight("b"))
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	a := FromPairs(Pair[string]{"b", 1}, Pair[string]{"a", 2})
+	want := "{(a, 2), (b, 1)}"
+	if got := a.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// fromWeights builds a dataset over small integer records from a weight
+// slice, truncating extreme values so property tests stay numerically sane.
+func fromWeights(ws []float64) *Dataset[int] {
+	d := New[int]()
+	for i, w := range ws {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			continue
+		}
+		// Bound magnitudes to keep products representable.
+		w = math.Mod(w, 100)
+		d.Add(i%8, w)
+	}
+	return d
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 200}
+}

@@ -1,0 +1,63 @@
+package weighted_test
+
+import (
+	"fmt"
+
+	"wpinq/internal/weighted"
+)
+
+func ExampleSelect() {
+	// Records mapping to the same output accumulate weight.
+	a := weighted.FromPairs(
+		weighted.Pair[string]{Record: "1", Weight: 0.75},
+		weighted.Pair[string]{Record: "2", Weight: 2.0},
+		weighted.Pair[string]{Record: "3", Weight: 1.0},
+	)
+	parity := weighted.Select(a, func(x string) string {
+		if x == "2" {
+			return "even"
+		}
+		return "odd"
+	})
+	fmt.Println(parity)
+	// Output: {(even, 2), (odd, 1.75)}
+}
+
+func ExampleJoin() {
+	// wPINQ's join rescales each key group by its total norm, keeping the
+	// transformation stable (Section 2.7).
+	left := weighted.FromItems("a1", "a2")
+	right := weighted.FromItems("b1")
+	out := weighted.Join(left, right,
+		func(string) int { return 0 },
+		func(string) int { return 0 },
+		func(x, y string) string { return x + y })
+	// ||A_0|| + ||B_0|| = 3, so each matched pair carries 1*1/3.
+	fmt.Println(out)
+	// Output: {(a1b1, 0.3333), (a2b1, 0.3333)}
+}
+
+func ExampleShave() {
+	// Shave splits a heavy record into unit slices.
+	a := weighted.FromPairs(weighted.Pair[string]{Record: "x", Weight: 2.5})
+	fmt.Println(weighted.ShaveConst(a, 1.0))
+	// Output: {({x 0}, 1), ({x 1}, 1), ({x 2}, 0.5)}
+}
+
+func ExampleGroupBy() {
+	// Unit-weight records: each group emits its full membership at half
+	// the weight.
+	edges := weighted.FromItems("a->b", "a->c", "b->c")
+	bySource := weighted.GroupBy(edges,
+		func(e string) byte { return e[0] },
+		func(members []string) int { return len(members) })
+	fmt.Println(bySource)
+	// Output: {({97 2}, 0.5), ({98 1}, 0.5)}
+}
+
+func ExampleDistance() {
+	a := weighted.FromPairs(weighted.Pair[string]{Record: "x", Weight: 1.0})
+	b := weighted.FromPairs(weighted.Pair[string]{Record: "x", Weight: 3.0})
+	fmt.Println(weighted.Distance(a, b))
+	// Output: 2
+}

@@ -1,0 +1,194 @@
+package weighted
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based stability tests (paper Definition 2 and Appendix A):
+// every unary transformation T must satisfy
+//
+//	||T(A) - T(A')|| <= ||A - A'||
+//
+// and every binary transformation
+//
+//	||T(A,B) - T(A',B')|| <= ||A - A'|| + ||B - B'||.
+//
+// Datasets are generated over a small record domain so that collisions,
+// accumulation and group interactions are exercised heavily.
+
+const stabTol = 1e-7
+
+func checkUnaryStability(t *testing.T, name string, tr func(*Dataset[int]) *Dataset[int]) {
+	t.Helper()
+	f := func(aw, bw []float64) bool {
+		a, b := fromWeights(aw), fromWeights(bw)
+		dIn := Distance(a, b)
+		dOut := Distance(tr(a), tr(b))
+		return dOut <= dIn+stabTol
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Errorf("%s is not stable: %v", name, err)
+	}
+}
+
+func TestSelectStability(t *testing.T) {
+	checkUnaryStability(t, "Select", func(d *Dataset[int]) *Dataset[int] {
+		return Select(d, func(x int) int { return x % 3 })
+	})
+}
+
+func TestWhereStability(t *testing.T) {
+	checkUnaryStability(t, "Where", func(d *Dataset[int]) *Dataset[int] {
+		return Where(d, func(x int) bool { return x%2 == 0 })
+	})
+}
+
+func TestSelectManyStability(t *testing.T) {
+	checkUnaryStability(t, "SelectMany", func(d *Dataset[int]) *Dataset[int] {
+		return SelectManySlice(d, func(x int) []int {
+			out := make([]int, x+1)
+			for i := range out {
+				out[i] = i
+			}
+			return out
+		})
+	})
+}
+
+func TestShaveStability(t *testing.T) {
+	f := func(aw, bw []float64) bool {
+		// Shave is defined on non-negative weights; use absolute values.
+		a, b := absDataset(fromWeights(aw)), absDataset(fromWeights(bw))
+		dIn := Distance(a, b)
+		dOut := Distance(ShaveConst(a, 1.0), ShaveConst(b, 1.0))
+		return dOut <= dIn+stabTol
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Errorf("Shave is not stable: %v", err)
+	}
+}
+
+func TestGroupByStability(t *testing.T) {
+	f := func(aw, bw []float64) bool {
+		a, b := absDataset(fromWeights(aw)), absDataset(fromWeights(bw))
+		dIn := Distance(a, b)
+		tr := func(d *Dataset[int]) *Dataset[Grouped[int, int]] {
+			return GroupBy(d, func(x int) int { return x % 2 }, func(m []int) int { return len(m) })
+		}
+		dOut := Distance(tr(a), tr(b))
+		return dOut <= dIn+stabTol
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Errorf("GroupBy is not stable: %v", err)
+	}
+}
+
+func TestJoinStability(t *testing.T) {
+	// Appendix A, Theorem 4. Join's stability proof assumes non-negative
+	// weights (norms as denominators); generate non-negative datasets.
+	f := func(aw, bw, cw, dw []float64) bool {
+		a, a2 := absDataset(fromWeights(aw)), absDataset(fromWeights(bw))
+		b, b2 := absDataset(fromWeights(cw)), absDataset(fromWeights(dw))
+		dIn := Distance(a, a2) + Distance(b, b2)
+		tr := func(x, y *Dataset[int]) *Dataset[JoinPair[int, int]] {
+			return JoinPairs(x, y, func(v int) int { return v % 2 }, func(v int) int { return v % 2 })
+		}
+		dOut := Distance(tr(a, b), tr(a2, b2))
+		return dOut <= dIn+stabTol
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Errorf("Join is not stable: %v", err)
+	}
+}
+
+func TestBinaryOpsStability(t *testing.T) {
+	ops := map[string]func(a, b *Dataset[int]) *Dataset[int]{
+		"Union":     Union[int],
+		"Intersect": Intersect[int],
+		"Concat":    Concat[int],
+		"Except":    Except[int],
+	}
+	for name, op := range ops {
+		op := op
+		f := func(aw, bw, cw, dw []float64) bool {
+			a, a2 := fromWeights(aw), fromWeights(bw)
+			b, b2 := fromWeights(cw), fromWeights(dw)
+			dIn := Distance(a, a2) + Distance(b, b2)
+			dOut := Distance(op(a, b), op(a2, b2))
+			return dOut <= dIn+stabTol
+		}
+		if err := quick.Check(f, quickCfg()); err != nil {
+			t.Errorf("%s is not stable: %v", name, err)
+		}
+	}
+}
+
+func TestUnionPlusIntersectEqualsConcat(t *testing.T) {
+	// max(a,b) + min(a,b) = a + b, element-wise.
+	f := func(aw, bw []float64) bool {
+		a, b := fromWeights(aw), fromWeights(bw)
+		lhs := Concat(Union(a, b), Intersect(a, b))
+		rhs := Concat(a, b)
+		return Equal(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcatExceptInverse(t *testing.T) {
+	// Except(Concat(A,B), B) = A.
+	f := func(aw, bw []float64) bool {
+		a, b := fromWeights(aw), fromWeights(bw)
+		back := Except(Concat(a, b), b)
+		return Equal(back, a, 1e-9)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectPreservesTotalMass(t *testing.T) {
+	f := func(aw []float64) bool {
+		a := fromWeights(aw)
+		sel := Select(a, func(x int) int { return x % 3 })
+		return math.Abs(sel.Total()-a.Total()) < 1e-9
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShaveSelectRoundTripProperty(t *testing.T) {
+	f := func(aw []float64) bool {
+		a := absDataset(fromWeights(aw))
+		back := Select(ShaveConst(a, 0.7), func(ix Indexed[int]) int { return ix.Value })
+		return Equal(a, back, 1e-9)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinOutputNormBounded(t *testing.T) {
+	// For non-negative inputs, each key's output norm is
+	// ||A_k||*||B_k||/(||A_k||+||B_k||) <= min(||A_k||, ||B_k||), so the
+	// total output norm is at most min(||A||, ||B||).
+	f := func(aw, bw []float64) bool {
+		a, b := absDataset(fromWeights(aw)), absDataset(fromWeights(bw))
+		j := JoinPairs(a, b, func(v int) int { return v % 2 }, func(v int) int { return v % 2 })
+		return j.Norm() <= math.Min(a.Norm(), b.Norm())+stabTol
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// absDataset maps every weight to its absolute value.
+func absDataset(d *Dataset[int]) *Dataset[int] {
+	out := New[int]()
+	d.Range(func(x int, w float64) { out.Add(x, math.Abs(w)) })
+	return out
+}

@@ -1,0 +1,317 @@
+package weighted
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"testing"
+)
+
+// Tests in this file reproduce the worked examples of paper Sections 2.4-2.8
+// exactly, plus semantic edge cases the examples do not cover.
+
+func atoi(s string) int {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func TestWherePaperExample(t *testing.T) {
+	// Where with predicate x^2 < 5 on A gives {("1",0.75), ("2",2.0)}.
+	got := Where(paperA(), func(x string) bool { n := atoi(x); return n*n < 5 })
+	want := FromPairs(Pair[string]{"1", 0.75}, Pair[string]{"2", 2.0})
+	if !Equal(got, want, 1e-12) {
+		t.Errorf("Where = %v, want %v", got, want)
+	}
+}
+
+func TestSelectPaperExample(t *testing.T) {
+	// Select with f(x) = x mod 2 on A gives {("0",2.0), ("1",1.75)}:
+	// records "1" and "3" accumulate.
+	got := Select(paperA(), func(x string) string { return strconv.Itoa(atoi(x) % 2) })
+	want := FromPairs(Pair[string]{"0", 2.0}, Pair[string]{"1", 1.75})
+	if !Equal(got, want, 1e-12) {
+		t.Errorf("Select = %v, want %v", got, want)
+	}
+}
+
+func TestSelectManyPaperExample(t *testing.T) {
+	// SelectMany with f(x) = {1, 2, ..., x}, unit weights, on A gives
+	// {("1", 0.75 + 1.0 + 1/3), ("2", 1.0 + 1/3), ("3", 1/3)}.
+	got := SelectManySlice(paperA(), func(x string) []int {
+		n := atoi(x)
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i + 1
+		}
+		return out
+	})
+	want := FromPairs(
+		Pair[int]{1, 0.75 + 1.0 + 1.0/3},
+		Pair[int]{2, 1.0 + 1.0/3},
+		Pair[int]{3, 1.0 / 3},
+	)
+	if !Equal(got, want, 1e-12) {
+		t.Errorf("SelectMany = %v, want %v", got, want)
+	}
+}
+
+func TestSelectManyScalesOnlyAboveUnitNorm(t *testing.T) {
+	// max(1, ||f(x)||): a record mapping to norm < 1 is scaled by A(x) only.
+	a := FromPairs(Pair[string]{"x", 2.0})
+	got := SelectMany(a, func(string) *Dataset[string] {
+		return FromPairs(Pair[string]{"y", 0.5})
+	})
+	if w := got.Weight("y"); math.Abs(w-1.0) > 1e-12 {
+		t.Errorf("weight = %v, want 1.0 (0.5 * 2.0, no downscaling below unit norm)", w)
+	}
+}
+
+func TestSelectManyEmptyOutput(t *testing.T) {
+	a := paperA()
+	got := SelectManySlice(a, func(string) []int { return nil })
+	if got.Len() != 0 {
+		t.Errorf("SelectMany to empty lists should be empty, got %v", got)
+	}
+}
+
+func TestGroupByPaperExample(t *testing.T) {
+	// Grouping C = {(1,.75),(2,2),(3,1),(4,2),(5,2)} by parity produces
+	//   ("odd, {5,3,1}", 0.375), ("odd, {5,3}", 0.125),
+	//   ("odd, {5}", 0.5),       ("even, {2,4}", 1.0).
+	c := FromPairs(
+		Pair[int]{1, 0.75}, Pair[int]{2, 2.0}, Pair[int]{3, 1.0},
+		Pair[int]{4, 2.0}, Pair[int]{5, 2.0},
+	)
+	// Render prefixes as strings so results are comparable records. The
+	// prefix is a set (equal-weight records arrive in unspecified order),
+	// so render in a canonical descending order.
+	got := GroupBy(c, func(x int) int { return x % 2 }, func(members []int) string {
+		sorted := append([]int(nil), members...)
+		sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+		s := ""
+		for i, m := range sorted {
+			if i > 0 {
+				s += ","
+			}
+			s += strconv.Itoa(m)
+		}
+		return s
+	})
+	want := FromPairs(
+		Pair[Grouped[int, string]]{Grouped[int, string]{1, "5,3,1"}, 0.375},
+		Pair[Grouped[int, string]]{Grouped[int, string]{1, "5,3"}, 0.125},
+		Pair[Grouped[int, string]]{Grouped[int, string]{1, "5"}, 0.5},
+		Pair[Grouped[int, string]]{Grouped[int, string]{0, "4,2"}, 1.0},
+	)
+	if !Equal(got, want, 1e-12) {
+		t.Errorf("GroupBy = %v, want %v", got, want)
+	}
+}
+
+func TestGroupByUnitWeightsHalved(t *testing.T) {
+	// Unit-weight inputs: only the full group appears, with weight 0.5.
+	edges := FromItems("a->b", "a->c", "a->d")
+	got := GroupBy(edges, func(string) string { return "a" }, func(m []string) int { return len(m) })
+	want := FromPairs(Pair[Grouped[string, int]]{Grouped[string, int]{"a", 3}, 0.5})
+	if !Equal(got, want, 1e-12) {
+		t.Errorf("GroupBy(unit weights) = %v, want %v", got, want)
+	}
+}
+
+func TestGroupByTotalWeightHalved(t *testing.T) {
+	// The emitted prefix weights for a group sum to w_max/2.
+	c := FromPairs(Pair[int]{1, 3.0}, Pair[int]{3, 1.0}, Pair[int]{5, 0.5})
+	got := GroupBy(c, func(int) int { return 0 }, func(m []int) int { return len(m) })
+	if tot := got.Norm(); math.Abs(tot-1.5) > 1e-12 {
+		t.Errorf("total group weight = %v, want 1.5 (= max weight / 2)", tot)
+	}
+}
+
+func TestShavePaperExample(t *testing.T) {
+	// Shave(A, <1,1,1,...>) = {(<1,0>,0.75), (<2,0>,1), (<2,1>,1), (<3,0>,1)}.
+	got := ShaveConst(paperA(), 1.0)
+	want := FromPairs(
+		Pair[Indexed[string]]{Indexed[string]{"1", 0}, 0.75},
+		Pair[Indexed[string]]{Indexed[string]{"2", 0}, 1.0},
+		Pair[Indexed[string]]{Indexed[string]{"2", 1}, 1.0},
+		Pair[Indexed[string]]{Indexed[string]{"3", 0}, 1.0},
+	)
+	if !Equal(got, want, 1e-12) {
+		t.Errorf("Shave = %v, want %v", got, want)
+	}
+}
+
+func TestShaveSelectInverse(t *testing.T) {
+	// Select with f(<x,i>) = x recovers the original dataset exactly
+	// (Section 2.8: "Select is Shave's functional inverse").
+	a := paperA()
+	shaved := ShaveConst(a, 1.0)
+	back := Select(shaved, func(ix Indexed[string]) string { return ix.Value })
+	if !Equal(a, back, 1e-12) {
+		t.Errorf("Select(Shave(A)) = %v, want %v", back, a)
+	}
+}
+
+func TestShaveCustomSequence(t *testing.T) {
+	// Shave with sequence <0.5, 0.25, ...> on a weight-1.0 record takes
+	// 0.5, then 0.25, then the 0.25 remainder capped by the next term.
+	a := FromPairs(Pair[string]{"x", 1.0})
+	seq := []float64{0.5, 0.25, 0.5}
+	got := Shave(a, func(_ string, i int) float64 {
+		if i < len(seq) {
+			return seq[i]
+		}
+		return 0
+	})
+	want := FromPairs(
+		Pair[Indexed[string]]{Indexed[string]{"x", 0}, 0.5},
+		Pair[Indexed[string]]{Indexed[string]{"x", 1}, 0.25},
+		Pair[Indexed[string]]{Indexed[string]{"x", 2}, 0.25},
+	)
+	if !Equal(got, want, 1e-12) {
+		t.Errorf("Shave custom = %v, want %v", got, want)
+	}
+}
+
+func TestShaveTruncatedSequenceLeavesRemainder(t *testing.T) {
+	// If the weight sequence ends before the record's weight is exhausted,
+	// the excess weight is simply not emitted (f returning 0 terminates).
+	a := FromPairs(Pair[string]{"x", 3.0})
+	got := Shave(a, func(_ string, i int) float64 {
+		if i < 2 {
+			return 1.0
+		}
+		return 0
+	})
+	if got.Norm() != 2.0 {
+		t.Errorf("truncated Shave norm = %v, want 2.0", got.Norm())
+	}
+}
+
+func TestJoinPaperExample(t *testing.T) {
+	// Section 2.7's example uses A' = {("1",0.5),("2",2.0),("3",1.0)} (the
+	// printed example scales record "1" to 0.5) joined with B on parity:
+	//   A0={"2":2}, B0={"4":2}:     <2,4> weight 2*2/(2+2)    = 1.0
+	//   A1={"1":.5,"3":1}, B1={"1":3}: <1,1> weight .5*3/4.5  = 1/3
+	//                                  <3,1> weight 1*3/4.5   = 2/3
+	a := FromPairs(Pair[string]{"1", 0.5}, Pair[string]{"2", 2.0}, Pair[string]{"3", 1.0})
+	parity := func(x string) int { return atoi(x) % 2 }
+	got := JoinPairs(a, paperB(), parity, parity)
+	type jp = JoinPair[string, string]
+	want := FromPairs(
+		Pair[jp]{jp{"2", "4"}, 1.0},
+		Pair[jp]{jp{"1", "1"}, 1.0 / 3},
+		Pair[jp]{jp{"3", "1"}, 2.0 / 3},
+	)
+	if !Equal(got, want, 1e-12) {
+		t.Errorf("Join = %v, want %v", got, want)
+	}
+}
+
+func TestJoinNoMatches(t *testing.T) {
+	a := FromItems(1, 3)
+	b := FromItems(2, 4)
+	got := JoinPairs(a, b, func(x int) int { return x % 2 }, func(y int) int { return y % 2 })
+	if got.Len() != 0 {
+		t.Errorf("Join with disjoint keys = %v, want empty", got)
+	}
+}
+
+func TestJoinReducerAccumulates(t *testing.T) {
+	// Two matches reducing to the same output record accumulate weight.
+	a := FromItems("a1", "a2")
+	b := FromItems("b1")
+	got := Join(a, b,
+		func(string) int { return 0 },
+		func(string) int { return 0 },
+		func(string, string) string { return "out" })
+	// ||A_0|| + ||B_0|| = 3; each of the 2 pairs has weight 1/3.
+	if w := got.Weight("out"); math.Abs(w-2.0/3) > 1e-12 {
+		t.Errorf("accumulated join weight = %v, want 2/3", w)
+	}
+}
+
+func TestJoinLengthTwoPathWeights(t *testing.T) {
+	// Section 2.7: joining a symmetric edge set with itself on dst=src
+	// yields paths (a,b,c) each with weight 1/(2*d_b).
+	type edge struct{ src, dst int }
+	type path struct{ a, b, c int }
+	// Star: center 0 connected to 1, 2, 3 (symmetric directed), d_0 = 3.
+	var edges []edge
+	for _, v := range []int{1, 2, 3} {
+		edges = append(edges, edge{0, v}, edge{v, 0})
+	}
+	d := FromItems(edges...)
+	paths := Join(d, d,
+		func(e edge) int { return e.dst },
+		func(e edge) int { return e.src },
+		func(x, y edge) path { return path{x.src, x.dst, y.dst} })
+	// Path (1, 0, 2) goes through the center: weight must be 1/(2*3).
+	if w := paths.Weight(path{1, 0, 2}); math.Abs(w-1.0/6) > 1e-12 {
+		t.Errorf("path through degree-3 node weight = %v, want 1/6", w)
+	}
+	// Path (0, 1, 0) goes through a degree-1 node: weight 1/(2*1).
+	if w := paths.Weight(path{0, 1, 0}); math.Abs(w-0.5) > 1e-12 {
+		t.Errorf("path through degree-1 node weight = %v, want 1/2", w)
+	}
+}
+
+func TestConcatPaperExample(t *testing.T) {
+	got := Concat(paperA(), paperB())
+	want := FromPairs(
+		Pair[string]{"1", 3.75}, Pair[string]{"2", 2.0},
+		Pair[string]{"3", 1.0}, Pair[string]{"4", 2.0},
+	)
+	if !Equal(got, want, 1e-12) {
+		t.Errorf("Concat = %v, want %v", got, want)
+	}
+}
+
+func TestIntersectPaperExample(t *testing.T) {
+	got := Intersect(paperA(), paperB())
+	want := FromPairs(Pair[string]{"1", 0.75})
+	if !Equal(got, want, 1e-12) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+}
+
+func TestUnionSemantics(t *testing.T) {
+	got := Union(paperA(), paperB())
+	want := FromPairs(
+		Pair[string]{"1", 3.0}, Pair[string]{"2", 2.0},
+		Pair[string]{"3", 1.0}, Pair[string]{"4", 2.0},
+	)
+	if !Equal(got, want, 1e-12) {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+}
+
+func TestExceptSemantics(t *testing.T) {
+	got := Except(paperA(), paperB())
+	want := FromPairs(
+		Pair[string]{"1", -2.25}, Pair[string]{"2", 2.0},
+		Pair[string]{"3", 1.0}, Pair[string]{"4", -2.0},
+	)
+	if !Equal(got, want, 1e-12) {
+		t.Errorf("Except = %v, want %v", got, want)
+	}
+}
+
+func TestUnionIntersectNegativeWeights(t *testing.T) {
+	// With the function view A(x)=0 for absent records:
+	// Union({x:-1}, {}) = {} and Intersect({x:-1}, {}) = {x:-1}.
+	neg := FromPairs(Pair[string]{"x", -1.0})
+	empty := New[string]()
+	if got := Union(neg, empty); got.Len() != 0 {
+		t.Errorf("Union(neg, empty) = %v, want empty", got)
+	}
+	if got := Intersect(neg, empty); got.Weight("x") != -1.0 {
+		t.Errorf("Intersect(neg, empty) = %v, want {x: -1}", got)
+	}
+	if got := Intersect(empty, neg); got.Weight("x") != -1.0 {
+		t.Errorf("Intersect(empty, neg) = %v, want {x: -1}", got)
+	}
+}

@@ -7,6 +7,7 @@ package wpinq
 // scale through cmd/wpinq flags to approach the paper's setup.
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -14,6 +15,7 @@ import (
 	"wpinq/internal/budget"
 	"wpinq/internal/core"
 	"wpinq/internal/datasets"
+	"wpinq/internal/engine"
 	"wpinq/internal/experiments"
 	"wpinq/internal/graph"
 	"wpinq/internal/incremental"
@@ -318,6 +320,96 @@ func BenchmarkRegressionPostprocessing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := experiments.Regression(o); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Sharded executor ----------------------------------------------------
+
+// engineShardsSink defeats dead-code elimination in BenchmarkEngineShards.
+var engineShardsSink float64
+
+// BenchmarkEngineShards compares the sharded parallel executor at 1 vs N
+// shards on the paper's graph workloads: the degree distribution
+// (Section 3.1), triangles by degree (Section 3.3), and the joint degree
+// distribution (Section 3.2). Each iteration bulk-loads a clustered graph
+// through the pipeline — the phase whose difference fronts are large
+// enough to fan out across shards — and then replays a burst of
+// edge-swap rounds. Speedup at 4+ shards over 1 shard requires 4+ CPUs;
+// on a single-CPU machine the shard counts should tie to within
+// scheduling overhead.
+func BenchmarkEngineShards(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	g, err := graph.HolmeKim(1000, 5, 0.5, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	initial := graph.SymmetricEdges(g)
+	// Pre-generate valid swap batches on a scratch clone so every shard
+	// configuration replays the identical update sequence.
+	var swapBatches [][]incremental.Delta[graph.Edge]
+	work := g.Clone()
+	edges := work.EdgeList()
+	for len(swapBatches) < 64 {
+		ei, ej := rng.Intn(len(edges)), rng.Intn(len(edges))
+		if ei == ej {
+			continue
+		}
+		a, bb := edges[ei].Src, edges[ei].Dst
+		c, d := edges[ej].Src, edges[ej].Dst
+		if rng.Intn(2) == 0 {
+			c, d = d, c
+		}
+		if a == d || c == bb || a == c || bb == d || work.HasEdge(a, d) || work.HasEdge(c, bb) {
+			continue
+		}
+		work.RemoveEdge(a, bb)
+		work.RemoveEdge(c, d)
+		work.AddEdge(a, d)
+		work.AddEdge(c, bb)
+		edges[ei] = graph.Edge{Src: a, Dst: d}
+		edges[ej] = graph.Edge{Src: c, Dst: bb}
+		swapBatches = append(swapBatches, []incremental.Delta[graph.Edge]{
+			{Record: graph.Edge{Src: a, Dst: bb}, Weight: -1},
+			{Record: graph.Edge{Src: bb, Dst: a}, Weight: -1},
+			{Record: graph.Edge{Src: c, Dst: d}, Weight: -1},
+			{Record: graph.Edge{Src: d, Dst: c}, Weight: -1},
+			{Record: graph.Edge{Src: a, Dst: d}, Weight: 1},
+			{Record: graph.Edge{Src: d, Dst: a}, Weight: 1},
+			{Record: graph.Edge{Src: c, Dst: bb}, Weight: 1},
+			{Record: graph.Edge{Src: bb, Dst: c}, Weight: 1},
+		})
+	}
+	workloads := []struct {
+		name  string
+		build func(in engine.Source[graph.Edge]) func() float64
+	}{
+		{"degreedist", func(in engine.Source[graph.Edge]) func() float64 {
+			return engine.Collect(queries.EngineDegreeCCDFPipeline(in)).Norm
+		}},
+		{"triangles", func(in engine.Source[graph.Edge]) func() float64 {
+			return engine.Collect(queries.EngineTbDPipeline(in, 20)).Norm
+		}},
+		{"jdd", func(in engine.Source[graph.Edge]) func() float64 {
+			return engine.Collect(queries.EngineJDDPipeline(in)).Norm
+		}},
+	}
+	for _, w := range workloads {
+		for _, shards := range []int{1, 2, 4, 8} {
+			w, shards := w, shards
+			b.Run(fmt.Sprintf("%s/shards=%d", w.name, shards), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					e := engine.New(shards)
+					in := queries.NewEngineEdgeInput(e)
+					norm := w.build(in)
+					in.PushDataset(initial)
+					for _, batch := range swapBatches {
+						in.Push(batch)
+					}
+					engineShardsSink = norm()
+				}
+			})
 		}
 	}
 }

@@ -10,7 +10,7 @@
 //
 // The defaults run each experiment on one machine in minutes by scaling the
 // paper's datasets and MCMC budgets down; raise -scale and -steps to
-// approach the paper's setup (see EXPERIMENTS.md for the mapping).
+// approach the paper's setup (see README.md for the scale mapping).
 package main
 
 import (
@@ -69,6 +69,8 @@ func run(args []string) error {
 	fs.Int64Var(&opts.Seed, "seed", opts.Seed, "random seed")
 	fs.IntVar(&opts.Samples, "samples", opts.Samples, "trajectory points per figure line")
 	fs.IntVar(&opts.Repeats, "repeats", opts.Repeats, "repetitions for error bars (fig5)")
+	fs.IntVar(&opts.Shards, "shards", opts.Shards,
+		"dataflow shards: 0 = one per CPU, -1 = serial reference engine")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -112,6 +114,6 @@ workflow tools:
   synthesize  build a synthetic graph from a measurements JSON
   motif       release a DP motif prevalence (triangle/square/wedge/star4)
 
-flags (after the experiment name): -scale -epinions-scale -steps -eps -pow -seed -samples -repeats
+flags (after the experiment name): -scale -epinions-scale -steps -eps -pow -seed -samples -repeats -shards
 (measure/synthesize take their own flags; run them with -h)`)
 }

@@ -78,6 +78,7 @@ func runSynthesize(args []string) error {
 	steps := fs.Int("steps", 100000, "MCMC steps")
 	pow := fs.Float64("pow", 10000, "posterior sharpening")
 	seed := fs.Int64("seed", 1, "random seed")
+	shards := fs.Int("shards", 0, "dataflow shards: 0 = one per CPU, -1 = serial reference engine")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -109,6 +110,7 @@ func runSynthesize(args []string) error {
 		TbDBucket:  m.TbDBucket,
 		Pow:        *pow,
 		Steps:      *steps,
+		Shards:     *shards,
 	}
 	res, err := synth.Synthesize(m, seedGraph, cfg, rng)
 	if err != nil {

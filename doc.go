@@ -5,8 +5,17 @@
 // synthesizing datasets from noisy measurements.
 //
 // The implementation lives under internal/ (see DESIGN.md for the module
-// inventory); cmd/wpinq regenerates the paper's tables and figures, and
-// examples/ holds runnable demonstrations. bench_test.go at this root maps
-// one benchmark to each table and figure, plus ablations of the design
-// choices DESIGN.md calls out.
+// inventory). Queries execute on one of two interchangeable engines: the
+// single-threaded incremental engine (internal/incremental), which is the
+// executable reference, and the sharded parallel executor
+// (internal/engine), which hash-partitions every operator's record space
+// across CPU shards and routes weight differences to their owning shard
+// before applying them; equivalence tests pin both to the from-scratch
+// semantics in internal/weighted.
+//
+// cmd/wpinq regenerates the paper's tables and figures, and examples/
+// holds runnable demonstrations. bench_test.go at this root maps one
+// benchmark to each table and figure, plus ablations of the design
+// choices DESIGN.md calls out and BenchmarkEngineShards, which compares
+// 1-shard and N-shard execution of the graph workloads.
 package wpinq

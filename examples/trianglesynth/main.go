@@ -4,7 +4,8 @@
 //  1. Take DP measurements (degree sequence, CCDF, node count, TbI).
 //  2. Regress a degree sequence and build a random seed graph.
 //  3. Fit the seed to the TbI triangle signal with Metropolis-Hastings
-//     over degree-preserving edge swaps, scored by the incremental engine.
+//     over degree-preserving edge swaps, scored incrementally on the
+//     sharded dataflow executor (one shard per CPU).
 //
 // The seed starts triangle-poor; MCMC recovers a large share of the true
 // triangle count using only the released noisy measurements.
@@ -40,6 +41,7 @@ func main() {
 		MeasureTbI: true,  // triangles-by-intersect (4 eps)
 		Pow:        10000, // near-greedy posterior
 		Steps:      30000,
+		Shards:     0, // sharded executor, one shard per CPU
 		OnStep:     nil,
 	}
 	cfg.SampleEvery = 5000

@@ -1,0 +1,345 @@
+// Package engine is the sharded parallel executor for wPINQ's incremental
+// dataflow engine (wpinq/internal/incremental).
+//
+// The incremental engine evaluates a query as a graph of operator nodes,
+// each translating input weight differences into output differences. Its
+// nodes are single-threaded: one goroutine owns the whole graph. This
+// package runs the same operators at scale by partitioning every
+// operator's record space into hash shards:
+//
+//   - Stateless operators (Select, Where, SelectMany, Concat, Except) are
+//     embarrassingly parallel: each round's input is cut into contiguous
+//     chunks processed concurrently.
+//   - Record-partitioned operators (Shave, Union, Intersect) and
+//     key-partitioned operators (GroupBy, Join) first run a hash-exchange
+//     step that routes every difference to the shard owning its record
+//     (respectively its key), then apply each shard's differences to that
+//     shard's private operator state in parallel.
+//
+// Each shard's state is a private instance of the corresponding
+// incremental operator, so the sharded engine inherits the incremental
+// engine's semantics — including the Join fast path — per shard; the
+// executor adds only routing, batching, and scheduling. Equivalence tests
+// against the from-scratch reference semantics in wpinq/internal/weighted
+// pin the combination.
+//
+// # Execution model
+//
+// A dataflow graph is built bottom-up against a single Engine: inputs via
+// NewInput, operators via the package-level constructors. Construction
+// order is topological order, and the engine schedules one round per
+// Input.Push: every node, in construction order, drains the batches its
+// upstreams emitted earlier in the round, routes them, applies them
+// shard-parallel, and emits its per-shard outputs downstream exactly once
+// (the batched update path: differences accumulate per shard and flush
+// once per round). When Push returns, every subscriber and sink reflects
+// the change, exactly like the incremental engine's synchronous Push.
+//
+// Rounds whose total pending work is below SerialCutoff are applied on
+// the calling goroutine (still sharded, no parallel dispatch), so the
+// tiny rounds of an MCMC edge swap do not pay goroutine fan-out.
+//
+// # Interoperating with the incremental engine
+//
+// Every engine stream implements incremental.Source, so the incremental
+// package's terminal consumers — Collect, NewNoisyCountSink — attach to a
+// sharded pipeline unchanged. Handlers subscribed this way run serially
+// on the scheduling goroutine. The engine's own Collect is the sharded,
+// parallel materialization sink.
+//
+// # Concurrency contract
+//
+// Building the graph, pushing differences, and reading sinks are
+// single-goroutine operations: the engine parallelizes internally but its
+// public API is not thread-safe. User functions handed to operators
+// (selectors, predicates, keys, reducers) are called concurrently from
+// worker goroutines and must be pure.
+package engine
+
+import (
+	"fmt"
+	"hash/maphash"
+	"runtime"
+	"sync"
+
+	"wpinq/internal/incremental"
+)
+
+// MaxShards bounds the shard count: beyond this, exchange scratch and
+// goroutine fan-out outweigh any conceivable parallel gain.
+const MaxShards = 64
+
+// DefaultSerialCutoff is the round size (total pending differences at a
+// node) below which a node applies its shards on the calling goroutine
+// instead of dispatching workers. MCMC edge-swap rounds fall far below
+// it; bulk loads sit far above.
+const DefaultSerialCutoff = 512
+
+// Engine owns a dataflow graph's nodes, its shard layout, and its
+// scheduler. Build one Engine per graph.
+type Engine struct {
+	shards int
+	seed   maphash.Seed
+	cutoff int
+	nodes  []processor
+	inRun  bool
+}
+
+// processor is one schedulable node: Inputs, operators, and sinks.
+type processor interface {
+	// process drains the node's pending input, applies it, and emits any
+	// output downstream. Called once per round in construction order.
+	process()
+}
+
+// New returns an engine that partitions operator state into the given
+// number of shards. shards <= 0 selects one shard per available CPU
+// (GOMAXPROCS); the count is clamped to [1, MaxShards]. New(1) is the
+// serial configuration: identical scheduling, no parallel dispatch.
+func New(shards int) *Engine {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > MaxShards {
+		shards = MaxShards
+	}
+	return &Engine{
+		shards: shards,
+		seed:   maphash.MakeSeed(),
+		cutoff: DefaultSerialCutoff,
+	}
+}
+
+// Shards returns the engine's shard count.
+func (e *Engine) Shards() int { return e.shards }
+
+// SetSerialCutoff overrides DefaultSerialCutoff. A cutoff of 0 forces
+// parallel dispatch for every round, however small — useful under the
+// race detector; counterproductive in production.
+func (e *Engine) SetSerialCutoff(n int) { e.cutoff = n }
+
+// register appends a node to the schedule. Nodes are constructed after
+// their upstreams, so registration order is a topological order of the
+// dataflow DAG and one scheduling pass per round suffices.
+func (e *Engine) register(p processor) { e.nodes = append(e.nodes, p) }
+
+// run executes one round: every node processes once, in topological
+// order. Emissions from node i land in the pending ports of nodes > i,
+// which the same pass then drains.
+func (e *Engine) run() {
+	if e.inRun {
+		panic("engine: re-entrant Push (subscribed handlers must not push)")
+	}
+	e.inRun = true
+	for _, n := range e.nodes {
+		n.process()
+	}
+	e.inRun = false
+}
+
+// shardOf returns the shard owning value x.
+func shardOf[T comparable](e *Engine, x T) int {
+	if e.shards == 1 {
+		return 0
+	}
+	return int(maphash.Comparable(e.seed, x) % uint64(e.shards))
+}
+
+// forN invokes f(0), ..., f(n-1). When the round's work warrants it, the
+// calls are spread over up to Shards() worker goroutines; f must
+// therefore be safe to run concurrently for distinct arguments. forN
+// returns only after every call completes.
+func (e *Engine) forN(work, n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := e.shards
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || work <= e.cutoff {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				f(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// forShards invokes f once per shard; see forN for the dispatch rules.
+func (e *Engine) forShards(work int, f func(s int)) { e.forN(work, e.shards, f) }
+
+// port is one node's pending input from one upstream stream: the batches
+// emitted earlier in the current round, awaiting the owner's process
+// call. Batches are owned by the emitter and are read-only.
+type port[T comparable] struct {
+	batches [][]incremental.Delta[T]
+	total   int
+}
+
+func (p *port[T]) add(batch []incremental.Delta[T]) {
+	p.batches = append(p.batches, batch)
+	p.total += len(batch)
+}
+
+// drain returns and clears the pending batches. The returned slices are
+// valid until the emitting node's next round.
+func (p *port[T]) drain() ([][]incremental.Delta[T], int) {
+	b, n := p.batches, p.total
+	p.batches, p.total = p.batches[:0], 0
+	return b, n
+}
+
+// Stream is the output side of a node: it broadcasts emitted batches to
+// downstream engine nodes (via their ports) and to handlers subscribed
+// through the incremental.Source interface. Operator nodes embed Stream.
+type Stream[T comparable] struct {
+	e        *Engine
+	ports    []*port[T]
+	handlers []incremental.Handler[T]
+}
+
+// Source is a stream of weight differences of type T produced by a
+// sharded dataflow node. Every Source is also an incremental.Source, so
+// the incremental package's sinks (Collect, NewNoisyCountSink) attach to
+// engine pipelines directly. Only this package constructs Sources.
+type Source[T comparable] interface {
+	incremental.Source[T]
+	engine() *Engine
+	newPort() *port[T]
+}
+
+func (s *Stream[T]) engine() *Engine { return s.e }
+
+// newPort registers a downstream engine node's input port.
+func (s *Stream[T]) newPort() *port[T] {
+	p := &port[T]{}
+	s.ports = append(s.ports, p)
+	return p
+}
+
+// Subscribe registers a serial handler, satisfying incremental.Source.
+// The handler runs on the scheduling goroutine once per emitted batch; as
+// in the incremental engine, it must not retain or mutate the batch, and
+// subscriptions must complete before the first push.
+func (s *Stream[T]) Subscribe(h incremental.Handler[T]) {
+	s.handlers = append(s.handlers, h)
+}
+
+// emit broadcasts each non-empty batch downstream. The batches remain
+// owned by the caller, which may reuse them after the round completes.
+func (s *Stream[T]) emit(batches [][]incremental.Delta[T]) {
+	for _, b := range batches {
+		if len(b) == 0 {
+			continue
+		}
+		for _, p := range s.ports {
+			p.add(b)
+		}
+		for _, h := range s.handlers {
+			h(b)
+		}
+	}
+}
+
+// emitOne is emit for a single batch.
+func (s *Stream[T]) emitOne(batch []incremental.Delta[T]) {
+	if len(batch) == 0 {
+		return
+	}
+	for _, p := range s.ports {
+		p.add(batch)
+	}
+	for _, h := range s.handlers {
+		h(batch)
+	}
+}
+
+// sameEngine asserts that two sources belong to the same engine before a
+// binary operator bridges them.
+func sameEngine[A, B comparable](a Source[A], b Source[B]) *Engine {
+	if a.engine() != b.engine() {
+		panic(fmt.Sprintf("engine: binary operator across engines (%p vs %p)", a.engine(), b.engine()))
+	}
+	return a.engine()
+}
+
+// splitChunks cuts the concatenation of batches into contiguous
+// sub-slices of roughly total/n elements without copying, appending them
+// to dst. It yields at least one chunk per non-empty batch, so the chunk
+// count can exceed n when the round consists of many small batches.
+func splitChunks[T comparable](batches [][]incremental.Delta[T], total, n int, dst [][]incremental.Delta[T]) [][]incremental.Delta[T] {
+	if n < 1 {
+		n = 1
+	}
+	target := (total + n - 1) / n
+	if target < 1 {
+		target = 1
+	}
+	for _, b := range batches {
+		for len(b) > target {
+			dst = append(dst, b[:target])
+			b = b[target:]
+		}
+		if len(b) > 0 {
+			dst = append(dst, b)
+		}
+	}
+	return dst
+}
+
+// routed is the hash-exchange scratch of one stateful-operator input: the
+// current round's differences bucketed by owning shard. Partitioning is
+// itself parallel — each worker buckets one contiguous chunk — and every
+// bucket slice is reused across rounds, so steady-state exchange
+// allocates nothing.
+type routed[T comparable] struct {
+	chunks [][]incremental.Delta[T]   // contiguous slices of this round's input
+	parts  [][][]incremental.Delta[T] // [chunk][shard] buckets
+}
+
+// route partitions the round's pending batches by owning shard.
+func (r *routed[T]) route(e *Engine, batches [][]incremental.Delta[T], total int, shard func(T) int) {
+	r.chunks = splitChunks(batches, total, e.shards, r.chunks[:0])
+	for len(r.parts) < len(r.chunks) {
+		r.parts = append(r.parts, make([][]incremental.Delta[T], e.shards))
+	}
+	e.forN(total, len(r.chunks), func(i int) {
+		buckets := r.parts[i]
+		for s := range buckets {
+			buckets[s] = buckets[s][:0]
+		}
+		for _, d := range r.chunks[i] {
+			s := shard(d.Record)
+			buckets[s] = append(buckets[s], d)
+		}
+	})
+}
+
+// gather appends shard s's routed differences to dst in arrival order and
+// returns the extended slice.
+func (r *routed[T]) gather(s int, dst []incremental.Delta[T]) []incremental.Delta[T] {
+	for i := range r.chunks {
+		dst = append(dst, r.parts[i][s]...)
+	}
+	return dst
+}
+
+// each invokes f for shard s's routed differences in arrival order.
+func (r *routed[T]) each(s int, f func(incremental.Delta[T])) {
+	for i := range r.chunks {
+		for _, d := range r.parts[i][s] {
+			f(d)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"wpinq/internal/incremental"
+
+	"wpinq/internal/weighted"
+)
+
+// Input is the root of a sharded dataflow graph: the point where dataset
+// changes enter the computation. It mirrors incremental.Input and
+// satisfies the same pushing contract, so drivers written against the
+// incremental engine (for example mcmc.GraphState) run on either.
+type Input[T comparable] struct {
+	Stream[T]
+	pending [][]incremental.Delta[T]
+}
+
+// NewInput returns a new dataflow input registered with e. Every input
+// and operator of one graph must share one engine.
+func NewInput[T comparable](e *Engine) *Input[T] {
+	in := &Input[T]{Stream: Stream[T]{e: e}}
+	e.register(in)
+	return in
+}
+
+// process emits the batches accumulated since the last round.
+func (in *Input[T]) process() {
+	if len(in.pending) == 0 {
+		return
+	}
+	batches := in.pending
+	in.pending = in.pending[:0]
+	in.emit(batches)
+}
+
+// Push propagates a batch of differences through the graph as one round.
+// When Push returns, every sink reflects the change. The batch is read by
+// the engine only during the call; the caller keeps ownership afterward.
+func (in *Input[T]) Push(batch []incremental.Delta[T]) {
+	if len(batch) > 0 {
+		in.pending = append(in.pending, batch)
+	}
+	in.e.run()
+}
+
+// PushDataset pushes an entire weighted dataset as one batch: the idiom
+// for loading initial data into a freshly built graph.
+func (in *Input[T]) PushDataset(d *weighted.Dataset[T]) {
+	batch := make([]incremental.Delta[T], 0, d.Len())
+	d.Range(func(x T, w float64) {
+		batch = append(batch, incremental.Delta[T]{Record: x, Weight: w})
+	})
+	in.Push(batch)
+}

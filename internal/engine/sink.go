@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"wpinq/internal/incremental"
+	"wpinq/internal/weighted"
+)
+
+// Collector is the sharded materialization sink: it maintains the
+// current state of a stream as record-partitioned weighted datasets,
+// applied in parallel. For scoring sinks attach
+// incremental.NewNoisyCountSink directly to any engine Source — its
+// memoized-noise observations are inherently sequential, and MCMC
+// scoring rounds are far too small to benefit from sharding.
+type Collector[T comparable] struct {
+	e      *Engine
+	in     *port[T]
+	r      routed[T]
+	shards []*weighted.Dataset[T]
+}
+
+// Collect attaches a new Collector to src.
+func Collect[T comparable](src Source[T]) *Collector[T] {
+	e := src.engine()
+	c := &Collector[T]{
+		e:      e,
+		in:     src.newPort(),
+		shards: make([]*weighted.Dataset[T], e.shards),
+	}
+	for s := range c.shards {
+		c.shards[s] = weighted.New[T]()
+	}
+	e.register(c)
+	return c
+}
+
+func (c *Collector[T]) process() {
+	batches, total := c.in.drain()
+	if total == 0 {
+		return
+	}
+	c.r.route(c.e, batches, total, func(x T) int { return shardOf(c.e, x) })
+	c.e.forShards(total, func(s int) {
+		data := c.shards[s]
+		c.r.each(s, func(d incremental.Delta[T]) {
+			data.Add(d.Record, d.Weight)
+		})
+	})
+}
+
+// Snapshot returns a copy of the collector's current dataset, merged
+// across shards.
+func (c *Collector[T]) Snapshot() *weighted.Dataset[T] {
+	n := 0
+	for _, d := range c.shards {
+		n += d.Len()
+	}
+	out := weighted.NewSized[T](n)
+	for _, d := range c.shards {
+		d.Range(func(x T, w float64) { out.Set(x, w) })
+	}
+	return out
+}
+
+// Weight returns the current accumulated weight of record x.
+func (c *Collector[T]) Weight(x T) float64 {
+	return c.shards[shardOf(c.e, x)].Weight(x)
+}
+
+// Norm returns the current ||Q(A)|| of the collected stream.
+func (c *Collector[T]) Norm() float64 {
+	var n float64
+	for _, d := range c.shards {
+		n += d.Norm()
+	}
+	return n
+}
+
+// Len returns the number of records with non-zero weight.
+func (c *Collector[T]) Len() int {
+	n := 0
+	for _, d := range c.shards {
+		n += d.Len()
+	}
+	return n
+}

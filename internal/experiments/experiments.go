@@ -7,7 +7,7 @@
 // run on one machine in minutes; Options restores any scale. Absolute
 // numbers therefore differ from the paper, but the shapes — who wins, by
 // what factor, where the trends point — are the reproduction target (see
-// EXPERIMENTS.md).
+// README.md, "Reproducing the paper").
 package experiments
 
 import (
@@ -17,6 +17,7 @@ import (
 	"math/rand"
 
 	"wpinq/internal/datasets"
+	"wpinq/internal/engine"
 	"wpinq/internal/expt"
 	"wpinq/internal/graph"
 	"wpinq/internal/incremental"
@@ -46,6 +47,11 @@ type Options struct {
 	Samples int
 	// Repeats is the number of repetitions for error bars (Figure 5).
 	Repeats int
+	// Shards selects the dataflow executor for every MCMC fit: 0 runs
+	// the sharded engine with one shard per CPU, n > 0 pins the shard
+	// count, -1 selects the single-threaded reference engine (see
+	// synth.Config.Shards).
+	Shards int
 }
 
 // Defaults returns the scaled-down defaults used by the CLI and benches.
@@ -201,6 +207,7 @@ func Fig3(o Options) error {
 			TbDBucket:  run.bucket,
 			Pow:        o.Pow,
 			Steps:      steps,
+			Shards:     o.Shards,
 		}
 		series, _, err := trajectory(run.g, cfg, o, 33+int64(i), run.name)
 		if err != nil {
@@ -240,6 +247,7 @@ func Fig4(o Options) error {
 		MeasureTbI: true,
 		Pow:        o.Pow,
 		Steps:      o.Steps,
+		Shards:     o.Shards,
 	}
 	i := int64(0)
 	for _, name := range []datasets.Name{datasets.GrQc, datasets.HepTh, datasets.HepPh, datasets.Caltech} {
@@ -280,6 +288,7 @@ func Table2(o Options) error {
 		MeasureTbI: true,
 		Pow:        o.Pow,
 		Steps:      o.Steps,
+		Shards:     o.Shards,
 	}
 	for i, name := range []datasets.Name{datasets.GrQc, datasets.HepPh, datasets.HepTh, datasets.Caltech} {
 		g := graphs[name]
@@ -315,6 +324,7 @@ func Fig5(o Options) error {
 					MeasureTbI: true,
 					Pow:        o.Pow,
 					Steps:      o.Steps,
+					Shards:     o.Shards,
 				}
 				res, err := synth.Run(run.g, cfg, o.rng(90+int64(rep)+int64(eps*1000)))
 				if err != nil {
@@ -427,6 +437,7 @@ func Fig6(o Options) error {
 		MeasureTbI: true,
 		Pow:        o.Pow,
 		Steps:      o.Steps,
+		Shards:     o.Shards,
 	}
 	for i, run := range []struct {
 		label string
@@ -444,12 +455,20 @@ func Fig6(o Options) error {
 	return nil
 }
 
-// tbiLoadAndRate builds a TbI pipeline over g, reports the live heap after
-// loading and the sustained MCMC step rate.
+// tbiLoadAndRate builds a TbI pipeline over g on the executor selected by
+// o.Shards, reports the live heap after loading and the sustained MCMC
+// step rate.
 func tbiLoadAndRate(g *graph.Graph, o Options, seedOffset int64, steps int) (heapMB, stepsPerSec float64, err error) {
 	before := expt.HeapMB()
-	in := queries.NewEdgeInput()
-	stream := queries.TbIPipeline(in)
+	var in mcmc.Input
+	var stream incremental.Source[queries.Unit]
+	if o.Shards < 0 {
+		serialIn := queries.NewEdgeInput()
+		in, stream = serialIn, queries.TbIPipeline(serialIn)
+	} else {
+		engineIn := queries.NewEngineEdgeInput(engine.New(o.Shards))
+		in, stream = engineIn, queries.EngineTbIPipeline(engineIn)
+	}
 	// Score against the graph's own (noiseless) signal: Figure 6 measures
 	// systems behaviour, not accuracy.
 	noise, err := laplace.FromEpsilon(o.Eps)

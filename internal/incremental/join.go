@@ -32,6 +32,15 @@ type JoinNode[A, B comparable, K comparable, R comparable] struct {
 
 	fastPath bool
 	stats    joinStats
+
+	// Batched-update scratch, reused across pushes so hot loops do not
+	// re-allocate a difference map and output batch per push. Safe
+	// because emitted batches are owned by this node and handlers must
+	// not retain them.
+	byKeyA map[K][]Delta[A]
+	byKeyB map[K][]Delta[B]
+	diff   *weighted.Dataset[R]
+	out    []Delta[R]
 }
 
 // joinStats counts key-updates taken through each path, for ablations.
@@ -53,6 +62,9 @@ func Join[A, B comparable, K comparable, R comparable](
 		left:     make(map[K]*stateMap[A]),
 		right:    make(map[K]*stateMap[B]),
 		fastPath: true,
+		byKeyA:   make(map[K][]Delta[A]),
+		byKeyB:   make(map[K][]Delta[B]),
+		diff:     weighted.New[R](),
 	}
 	a.Subscribe(n.onLeft)
 	b.Subscribe(n.onRight)
@@ -82,12 +94,14 @@ func (n *JoinNode[A, B, K, R]) StateSize() int {
 }
 
 func (n *JoinNode[A, B, K, R]) onLeft(batch []Delta[A]) {
-	byKey := make(map[K][]Delta[A])
+	byKey := n.byKeyA
+	clear(byKey)
 	for _, d := range batch {
 		k := n.keyA(d.Record)
 		byKey[k] = append(byKey[k], d)
 	}
-	diff := weighted.New[R]()
+	diff := n.diff
+	diff.Reset()
 	for k, ds := range byKey {
 		joinUpdateSide(&n.stats, ds, n.leftGroup(k), n.rightGroup(k), n.fastPath, n.reduce, diff)
 		n.dropEmpty(k)
@@ -96,12 +110,14 @@ func (n *JoinNode[A, B, K, R]) onLeft(batch []Delta[A]) {
 }
 
 func (n *JoinNode[A, B, K, R]) onRight(batch []Delta[B]) {
-	byKey := make(map[K][]Delta[B])
+	byKey := n.byKeyB
+	clear(byKey)
 	for _, d := range batch {
 		k := n.keyB(d.Record)
 		byKey[k] = append(byKey[k], d)
 	}
-	diff := weighted.New[R]()
+	diff := n.diff
+	diff.Reset()
 	swapped := func(y B, x A) R { return n.reduce(x, y) }
 	for k, ds := range byKey {
 		joinUpdateSide(&n.stats, ds, n.rightGroup(k), n.leftGroup(k), n.fastPath, swapped, diff)
@@ -260,7 +276,8 @@ func joinUpdateSide[X, Y comparable, R comparable](
 }
 
 func (n *JoinNode[A, B, K, R]) emitDiff(diff *weighted.Dataset[R]) {
-	out := make([]Delta[R], 0, diff.Len())
+	out := n.out[:0]
 	diff.Range(func(r R, w float64) { out = append(out, Delta[R]{r, w}) })
+	n.out = out
 	n.emit(out)
 }

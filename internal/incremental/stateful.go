@@ -16,6 +16,9 @@ type MinMaxNode[T comparable] struct {
 	Stream[T]
 	left  *stateMap[T]
 	right *stateMap[T]
+
+	// Batched-update scratch, reused across pushes (see GroupByNode).
+	out []Delta[T]
 }
 
 // Union incrementally computes the element-wise maximum of two streams.
@@ -39,7 +42,7 @@ func minMaxNode[T comparable](a, b Source[T], pick func(x, y float64) float64) *
 	n := &MinMaxNode[T]{left: newStateMap[T](), right: newStateMap[T]()}
 	handle := func(own, other *stateMap[T]) Handler[T] {
 		return func(batch []Delta[T]) {
-			out := make([]Delta[T], 0, len(batch))
+			out := n.out[:0]
 			for _, d := range batch {
 				oldW, newW := own.apply(d.Record, d.Weight)
 				ow := other.weight(d.Record)
@@ -48,6 +51,7 @@ func minMaxNode[T comparable](a, b Source[T], pick func(x, y float64) float64) *
 					out = append(out, Delta[T]{d.Record, diff})
 				}
 			}
+			n.out = out
 			n.emit(out)
 		}
 	}
@@ -62,6 +66,14 @@ type GroupByNode[T comparable, K comparable, R comparable] struct {
 	groups map[K]map[T]float64
 	key    func(T) K
 	reduce func([]T) R
+
+	// Batched-update scratch, reused across pushes so hot loops do not
+	// re-allocate a fresh index and difference map per batch. Safe
+	// because emitted batches are owned by this node and handlers must
+	// not retain them.
+	byKey map[K][]Delta[T]
+	diff  *weighted.Dataset[weighted.Grouped[K, R]]
+	out   []Delta[weighted.Grouped[K, R]]
 }
 
 // GroupBy incrementally groups records by key and re-reduces weight-ordered
@@ -75,6 +87,8 @@ func GroupBy[T comparable, K comparable, R comparable](
 		groups: make(map[K]map[T]float64),
 		key:    key,
 		reduce: reduce,
+		byKey:  make(map[K][]Delta[T]),
+		diff:   weighted.New[weighted.Grouped[K, R]](),
 	}
 	src.Subscribe(n.onInput)
 	return n
@@ -82,12 +96,14 @@ func GroupBy[T comparable, K comparable, R comparable](
 
 func (n *GroupByNode[T, K, R]) onInput(batch []Delta[T]) {
 	// Group arriving differences by key.
-	byKey := make(map[K][]Delta[T])
+	byKey := n.byKey
+	clear(byKey)
 	for _, d := range batch {
 		k := n.key(d.Record)
 		byKey[k] = append(byKey[k], d)
 	}
-	diff := weighted.New[weighted.Grouped[K, R]]()
+	diff := n.diff
+	diff.Reset()
 	for k, ds := range byKey {
 		group := n.groups[k]
 		// Retract old outputs.
@@ -112,10 +128,11 @@ func (n *GroupByNode[T, K, R]) onInput(batch []Delta[T]) {
 		// Assert new outputs.
 		n.expand(k, group, func(g weighted.Grouped[K, R], w float64) { diff.Add(g, w) })
 	}
-	out := make([]Delta[weighted.Grouped[K, R]], 0, diff.Len())
+	out := n.out[:0]
 	diff.Range(func(g weighted.Grouped[K, R], w float64) {
 		out = append(out, Delta[weighted.Grouped[K, R]]{g, w})
 	})
+	n.out = out
 	n.emit(out)
 }
 
@@ -144,6 +161,10 @@ type ShaveNode[T comparable] struct {
 	Stream[weighted.Indexed[T]]
 	state *stateMap[T]
 	f     func(x T, i int) float64
+
+	// Batched-update scratch, reused across pushes (see GroupByNode).
+	diff *weighted.Dataset[weighted.Indexed[T]]
+	out  []Delta[weighted.Indexed[T]]
 }
 
 // Shave incrementally decomposes records into indexed slices following the
@@ -151,7 +172,11 @@ type ShaveNode[T comparable] struct {
 // slices; interior slices cancel, so in the common constant-sequence case
 // only the boundary slices emit differences.
 func Shave[T comparable](src Source[T], f func(x T, i int) float64) *ShaveNode[T] {
-	n := &ShaveNode[T]{state: newStateMap[T](), f: f}
+	n := &ShaveNode[T]{
+		state: newStateMap[T](),
+		f:     f,
+		diff:  weighted.New[weighted.Indexed[T]](),
+	}
 	src.Subscribe(n.onInput)
 	return n
 }
@@ -165,7 +190,8 @@ func ShaveConst[T comparable](src Source[T], w float64) *ShaveNode[T] {
 func (n *ShaveNode[T]) StateSize() int { return len(n.state.w) }
 
 func (n *ShaveNode[T]) onInput(batch []Delta[T]) {
-	diff := weighted.New[weighted.Indexed[T]]()
+	diff := n.diff
+	diff.Reset()
 	for _, d := range batch {
 		oldW, newW := n.state.apply(d.Record, d.Weight)
 		if oldW == newW {
@@ -179,9 +205,10 @@ func (n *ShaveNode[T]) onInput(batch []Delta[T]) {
 			diff.Add(weighted.Indexed[T]{Value: x, Index: i}, wi)
 		})
 	}
-	out := make([]Delta[weighted.Indexed[T]], 0, diff.Len())
+	out := n.out[:0]
 	diff.Range(func(ix weighted.Indexed[T], w float64) {
 		out = append(out, Delta[weighted.Indexed[T]]{ix, w})
 	})
+	n.out = out
 	n.emit(out)
 }

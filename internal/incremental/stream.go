@@ -15,7 +15,11 @@
 //
 // The engine is single-threaded: pushes are synchronous and nodes must not
 // be shared across goroutines without external synchronization. This
-// mirrors the MCMC loop, which is inherently sequential.
+// mirrors the MCMC loop, which is inherently sequential. For parallel
+// execution, wpinq/internal/engine shards this package's operators by
+// record (or key) hash and exchanges differences between shards; its
+// streams remain Sources in this package's sense, so the sinks below
+// terminate pipelines on either engine.
 package incremental
 
 import (

@@ -25,7 +25,19 @@ import (
 
 	"wpinq/internal/graph"
 	"wpinq/internal/incremental"
+	"wpinq/internal/weighted"
 )
+
+// Input is the dataflow entry point the sampler drives: it accepts the
+// edge differences of a proposed swap and propagates them synchronously
+// to every subscribed pipeline. Both the serial reference engine's
+// *incremental.Input[graph.Edge] and the sharded parallel executor's
+// *engine.Input[graph.Edge] satisfy it, so the sampler is agnostic to
+// which engine scores proposals.
+type Input interface {
+	Push(batch []incremental.Delta[graph.Edge])
+	PushDataset(d *weighted.Dataset[graph.Edge])
+}
 
 // GraphState is a synthetic graph coupled to the edge-difference input of
 // one or more incremental query pipelines. Mutations go through proposals
@@ -33,13 +45,13 @@ import (
 type GraphState struct {
 	g     *graph.Graph
 	edges []graph.Edge // normalized (Src < Dst) undirected edge list
-	input *incremental.Input[graph.Edge]
+	input Input
 }
 
 // NewGraphState couples g (cloned) to input and pushes the initial edge
 // dataset through the dataflow graph. All pipeline subscriptions on input
 // must be in place before this call.
-func NewGraphState(g *graph.Graph, input *incremental.Input[graph.Edge]) *GraphState {
+func NewGraphState(g *graph.Graph, input Input) *GraphState {
 	s := &GraphState{
 		g:     g.Clone(),
 		edges: g.EdgeList(),

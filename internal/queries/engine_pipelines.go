@@ -1,0 +1,139 @@
+package queries
+
+import (
+	"wpinq/internal/engine"
+	"wpinq/internal/graph"
+	"wpinq/internal/weighted"
+)
+
+// Sharded pipeline builders: the same dataflow shapes as the incremental
+// pipelines in pipelines.go, wired over the sharded parallel executor
+// (wpinq/internal/engine). Construction mirrors the serial builders
+// one-for-one; only the operator package differs. Because engine streams
+// implement incremental.Source, the returned sources terminate in the
+// same sinks (incremental.NewNoisyCountSink, incremental.Collect) the
+// serial pipelines use — or in engine.Collect when the materialized
+// output itself is large enough to shard.
+
+// NewEngineEdgeInput returns a sharded input for symmetric directed edge
+// differences, registered with e.
+func NewEngineEdgeInput(e *engine.Engine) *engine.Input[graph.Edge] {
+	return engine.NewInput[graph.Edge](e)
+}
+
+// EnginePathsPipeline mirrors PathsPipeline on the sharded executor.
+func EnginePathsPipeline(edges engine.Source[graph.Edge]) engine.Source[Path] {
+	joined := engine.Join(edges, edges,
+		func(e graph.Edge) graph.Node { return e.Dst },
+		func(e graph.Edge) graph.Node { return e.Src },
+		func(x, y graph.Edge) Path { return Path{x.Src, x.Dst, y.Dst} })
+	return engine.Where[Path](joined, func(p Path) bool { return p.A != p.C })
+}
+
+// EngineDegreesPipeline mirrors DegreesPipeline on the sharded executor.
+func EngineDegreesPipeline(edges engine.Source[graph.Edge], bucket int) engine.Source[weighted.Grouped[graph.Node, int]] {
+	return engine.GroupBy(edges,
+		func(e graph.Edge) graph.Node { return e.Src },
+		func(es []graph.Edge) int {
+			if bucket > 1 {
+				return len(es) / bucket
+			}
+			return len(es)
+		})
+}
+
+// EngineTbIPipeline mirrors TbIPipeline on the sharded executor.
+func EngineTbIPipeline(edges engine.Source[graph.Edge]) engine.Source[Unit] {
+	paths := EnginePathsPipeline(edges)
+	rotated := engine.Select(paths, func(p Path) Path { return p.Rotate() })
+	triangles := engine.Intersect[Path](rotated, paths)
+	return engine.Select(triangles, func(Path) Unit { return Unit{} })
+}
+
+// EngineTbDPipeline mirrors TbDPipeline on the sharded executor.
+func EngineTbDPipeline(edges engine.Source[graph.Edge], bucket int) engine.Source[DegTriple] {
+	paths := EnginePathsPipeline(edges)
+	degs := EngineDegreesPipeline(edges, bucket)
+	abc := engine.Join(paths, degs,
+		func(p Path) graph.Node { return p.B },
+		func(d weighted.Grouped[graph.Node, int]) graph.Node { return d.Key },
+		func(p Path, d weighted.Grouped[graph.Node, int]) PathDeg {
+			return PathDeg{Path: p, Deg: d.Result}
+		})
+	bca := engine.Select[PathDeg](abc, func(x PathDeg) PathDeg {
+		return PathDeg{x.Path.Rotate(), x.Deg}
+	})
+	cab := engine.Select(bca, func(x PathDeg) PathDeg {
+		return PathDeg{x.Path.Rotate(), x.Deg}
+	})
+	two := engine.Join[PathDeg, PathDeg, Path, PathDeg2](abc, bca,
+		func(x PathDeg) Path { return x.Path },
+		func(y PathDeg) Path { return y.Path },
+		func(x, y PathDeg) PathDeg2 { return PathDeg2{Path: x.Path, D1: x.Deg, D2: y.Deg} })
+	return engine.Join[PathDeg2, PathDeg, Path, DegTriple](two, cab,
+		func(x PathDeg2) Path { return x.Path },
+		func(y PathDeg) Path { return y.Path },
+		func(x PathDeg2, y PathDeg) DegTriple { return SortTriple(x.D1, x.D2, y.Deg) })
+}
+
+// EngineJDDPipeline mirrors JDDPipeline on the sharded executor.
+func EngineJDDPipeline(edges engine.Source[graph.Edge]) engine.Source[DegPair] {
+	degs := EngineDegreesPipeline(edges, 1)
+	temp := engine.Join(degs, edges,
+		func(d weighted.Grouped[graph.Node, int]) graph.Node { return d.Key },
+		func(e graph.Edge) graph.Node { return e.Src },
+		func(d weighted.Grouped[graph.Node, int], e graph.Edge) EdgeDeg {
+			return EdgeDeg{Edge: e, Deg: d.Result}
+		})
+	return engine.Join[EdgeDeg, EdgeDeg, graph.Edge, DegPair](temp, temp,
+		func(x EdgeDeg) graph.Edge { return x.Edge },
+		func(y EdgeDeg) graph.Edge { return y.Edge.Reverse() },
+		func(x, y EdgeDeg) DegPair { return DegPair{DA: x.Deg, DB: y.Deg} })
+}
+
+// EngineSbDPipeline mirrors SbDPipeline on the sharded executor.
+func EngineSbDPipeline(edges engine.Source[graph.Edge]) engine.Source[DegQuad] {
+	paths := EnginePathsPipeline(edges)
+	degs := EngineDegreesPipeline(edges, 1)
+	abc := engine.Join(paths, degs,
+		func(p Path) graph.Node { return p.B },
+		func(d weighted.Grouped[graph.Node, int]) graph.Node { return d.Key },
+		func(p Path, d weighted.Grouped[graph.Node, int]) PathDeg {
+			return PathDeg{Path: p, Deg: d.Result}
+		})
+	abcd := engine.Join[PathDeg, PathDeg, [2]graph.Node, Path3Deg2](abc, abc,
+		func(x PathDeg) [2]graph.Node { return [2]graph.Node{x.Path.B, x.Path.C} },
+		func(y PathDeg) [2]graph.Node { return [2]graph.Node{y.Path.A, y.Path.B} },
+		func(x, y PathDeg) Path3Deg2 {
+			return Path3Deg2{
+				Path: Path3{A: x.Path.A, B: x.Path.B, C: x.Path.C, D: y.Path.C},
+				DB:   x.Deg, DC: y.Deg,
+			}
+		})
+	filtered := engine.Where[Path3Deg2](abcd, func(p Path3Deg2) bool { return p.Path.A != p.Path.D })
+	cdab := engine.Select[Path3Deg2](filtered, func(x Path3Deg2) Path3Deg2 {
+		return Path3Deg2{Path: x.Path.Rotate2(), DB: x.DB, DC: x.DC}
+	})
+	return engine.Join[Path3Deg2, Path3Deg2, Path3, DegQuad](filtered, cdab,
+		func(x Path3Deg2) Path3 { return x.Path },
+		func(y Path3Deg2) Path3 { return y.Path },
+		func(x, y Path3Deg2) DegQuad { return SortQuad(y.DB, x.DB, x.DC, y.DC) })
+}
+
+// EngineDegreeCCDFPipeline mirrors DegreeCCDFPipeline on the sharded
+// executor.
+func EngineDegreeCCDFPipeline(edges engine.Source[graph.Edge]) engine.Source[int] {
+	names := engine.Select(edges, func(e graph.Edge) graph.Node { return e.Src })
+	shaved := engine.ShaveConst[graph.Node](names, 1.0)
+	return engine.Select[weighted.Indexed[graph.Node], int](shaved,
+		func(ix weighted.Indexed[graph.Node]) int { return ix.Index })
+}
+
+// EngineDegreeSequencePipeline mirrors DegreeSequencePipeline on the
+// sharded executor.
+func EngineDegreeSequencePipeline(edges engine.Source[graph.Edge]) engine.Source[int] {
+	ccdf := EngineDegreeCCDFPipeline(edges)
+	shaved := engine.ShaveConst[int](ccdf, 1.0)
+	return engine.Select[weighted.Indexed[int], int](shaved,
+		func(ix weighted.Indexed[int]) int { return ix.Index })
+}

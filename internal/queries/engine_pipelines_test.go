@@ -1,0 +1,116 @@
+package queries
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wpinq/internal/core"
+	"wpinq/internal/engine"
+	"wpinq/internal/graph"
+	"wpinq/internal/weighted"
+)
+
+// engineShardConfigs enumerates the shard layouts the sharded-pipeline
+// equivalence tests run under; cutoff 0 forces parallel dispatch on every
+// round so the race detector sees real concurrency.
+var engineShardConfigs = []struct {
+	shards int
+	cutoff int
+}{
+	{1, engine.DefaultSerialCutoff},
+	{4, 0},
+}
+
+// checkEnginePipelineMatchesQuery loads a graph into a sharded pipeline,
+// applies random valid edge swaps, and verifies after each step that the
+// pipeline output equals the one-shot query on the current graph — the
+// same end-to-end contract the incremental pipelines are held to.
+func checkEnginePipelineMatchesQuery[T comparable](
+	t *testing.T,
+	name string,
+	buildPipeline func(engine.Source[graph.Edge]) engine.Source[T],
+	buildQuery func(*core.Collection[graph.Edge]) *core.Collection[T],
+	swaps int,
+) {
+	t.Helper()
+	for _, cfg := range engineShardConfigs {
+		cfg := cfg
+		t.Run(fmt.Sprintf("%s/shards=%d,cutoff=%d", name, cfg.shards, cfg.cutoff), func(t *testing.T) {
+			g := testGraph(t)
+			eng := engine.New(cfg.shards)
+			eng.SetSerialCutoff(cfg.cutoff)
+			in := NewEngineEdgeInput(eng)
+			out := engine.Collect(buildPipeline(in))
+			in.PushDataset(graph.SymmetricEdges(g))
+
+			compare := func(step int) {
+				want := buildQuery(core.FromPublic(graph.SymmetricEdges(g))).Snapshot()
+				if !weighted.Equal(out.Snapshot(), want, 1e-6) {
+					t.Fatalf("%s diverged at step %d", name, step)
+				}
+			}
+			compare(-1)
+
+			rng := rand.New(rand.NewSource(99))
+			edges := g.EdgeList()
+			for step := 0; step < swaps; step++ {
+				ei, ej := rng.Intn(len(edges)), rng.Intn(len(edges))
+				if ei == ej {
+					continue
+				}
+				a, b := edges[ei].Src, edges[ei].Dst
+				c, d := edges[ej].Src, edges[ej].Dst
+				if rng.Intn(2) == 0 {
+					c, d = d, c
+				}
+				if a == d || c == b || a == c || b == d || g.HasEdge(a, d) || g.HasEdge(c, b) {
+					continue
+				}
+				g.RemoveEdge(a, b)
+				g.RemoveEdge(c, d)
+				g.AddEdge(a, d)
+				g.AddEdge(c, b)
+				edges[ei] = graph.Edge{Src: a, Dst: d}
+				edges[ej] = graph.Edge{Src: c, Dst: b}
+				in.Push(swapDiffs(a, b, c, d))
+				compare(step)
+			}
+		})
+	}
+}
+
+func TestEngineDegreeCCDFPipelineMatchesQuery(t *testing.T) {
+	checkEnginePipelineMatchesQuery(t, "EngineDegreeCCDF",
+		EngineDegreeCCDFPipeline, DegreeCCDF, 12)
+}
+
+func TestEngineDegreeSequencePipelineMatchesQuery(t *testing.T) {
+	checkEnginePipelineMatchesQuery(t, "EngineDegreeSequence",
+		EngineDegreeSequencePipeline, DegreeSequence, 12)
+}
+
+func TestEngineTbIPipelineMatchesQuery(t *testing.T) {
+	checkEnginePipelineMatchesQuery(t, "EngineTbI",
+		EngineTbIPipeline, TbI, 12)
+}
+
+func TestEngineTbDPipelineMatchesQuery(t *testing.T) {
+	checkEnginePipelineMatchesQuery(t, "EngineTbD",
+		func(s engine.Source[graph.Edge]) engine.Source[DegTriple] { return EngineTbDPipeline(s, 2) },
+		func(c *core.Collection[graph.Edge]) *core.Collection[DegTriple] { return TbD(c, 2) },
+		8)
+}
+
+func TestEngineJDDPipelineMatchesQuery(t *testing.T) {
+	checkEnginePipelineMatchesQuery(t, "EngineJDD",
+		EngineJDDPipeline, JDD, 8)
+}
+
+func TestEngineSbDPipelineMatchesQuery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SbD pipeline is the heaviest; skipped in -short mode")
+	}
+	checkEnginePipelineMatchesQuery(t, "EngineSbD",
+		EngineSbDPipeline, SbD, 4)
+}

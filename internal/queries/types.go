@@ -9,8 +9,11 @@
 //     differentially-private measurements of a protected graph, and
 //   - an incremental pipeline over the dataflow engine, used by MCMC to
 //     score synthetic graphs against those measurements (Section 4.3).
+//     Each pipeline exists twice: over the single-threaded reference
+//     engine (pipelines.go) and over the sharded parallel executor
+//     (engine_pipelines.go, the Engine* builders).
 //
-// The two forms share record types and are proven equivalent by tests.
+// All forms share record types and are proven equivalent by tests.
 //
 // All queries consume the symmetric directed edge dataset produced by
 // graph.SymmetricEdges: both (a,b) and (b,a) at weight 1.0. Privacy costs

@@ -21,6 +21,7 @@ import (
 
 	"wpinq/internal/budget"
 	"wpinq/internal/core"
+	"wpinq/internal/engine"
 	"wpinq/internal/graph"
 	"wpinq/internal/incremental"
 	"wpinq/internal/laplace"
@@ -64,6 +65,16 @@ type Config struct {
 	SampleEvery int
 	// OnSample observes the evolving synthetic graph (optional).
 	OnSample func(step int, g *graph.Graph)
+	// Shards selects the dataflow executor for Phase 2:
+	//
+	//	 0  sharded parallel executor, one shard per CPU (the default);
+	//	>0  sharded parallel executor with exactly that many shards;
+	//	-1  the single-threaded reference engine (internal/incremental).
+	//
+	// Both executors implement identical operator semantics (pinned by
+	// equivalence tests against internal/weighted); sharding pays off on
+	// the bulk initial load and on large per-swap difference fronts.
+	Shards int
 }
 
 // Validate fills defaults and rejects inconsistent configurations.
@@ -82,6 +93,9 @@ func (c *Config) Validate() error {
 	}
 	if c.RecomputeEvery <= 0 {
 		c.RecomputeEvery = 1 << 15
+	}
+	if c.Shards < -1 {
+		return errors.New("synth: Shards must be -1 (reference engine), 0 (auto), or positive")
 	}
 	return nil
 }
@@ -260,52 +274,95 @@ type Result struct {
 	TotalCost float64 // privacy cost in epsilon
 }
 
-// Synthesize implements Phase 2: wire incremental pipelines for the
-// configured fit measurements (TbI, TbD, JDD), seed the MCMC state, and
-// run the fit. The seed graph is not modified; the synthetic result is
-// independent.
+// fitStreams is the executor-agnostic view of the Phase 2 pipelines: the
+// input MCMC drives and one output stream per configured fit measurement.
+// Engine streams implement incremental.Source, so both executors
+// terminate in the same scoring sinks.
+type fitStreams struct {
+	input mcmc.Input
+	tbi   incremental.Source[queries.Unit]
+	tbd   incremental.Source[queries.DegTriple]
+	jdd   incremental.Source[queries.DegPair]
+}
+
+// buildFitStreams wires the configured fit pipelines on the executor
+// selected by cfg.Shards. tbdBucket is the bucket width the TbD
+// measurement was released with (m.TbDBucket) — the pipeline must bucket
+// identically or its records would miss the measured domain entirely and
+// MCMC would fit fresh noise.
+func buildFitStreams(cfg Config, tbdBucket int) fitStreams {
+	if cfg.Shards < 0 {
+		in := queries.NewEdgeInput()
+		s := fitStreams{input: in}
+		if cfg.MeasureTbI {
+			s.tbi = queries.TbIPipeline(in)
+		}
+		if cfg.MeasureTbD {
+			s.tbd = queries.TbDPipeline(in, tbdBucket)
+		}
+		if cfg.MeasureJDD {
+			s.jdd = queries.JDDPipeline(in)
+		}
+		return s
+	}
+	eng := engine.New(cfg.Shards)
+	in := queries.NewEngineEdgeInput(eng)
+	s := fitStreams{input: in}
+	if cfg.MeasureTbI {
+		s.tbi = queries.EngineTbIPipeline(in)
+	}
+	if cfg.MeasureTbD {
+		s.tbd = queries.EngineTbDPipeline(in, tbdBucket)
+	}
+	if cfg.MeasureJDD {
+		s.jdd = queries.EngineJDDPipeline(in)
+	}
+	return s
+}
+
+// Synthesize implements Phase 2: wire dataflow pipelines for the
+// configured fit measurements (TbI, TbD, JDD) on the executor selected
+// by cfg.Shards, seed the MCMC state, and run the fit. The seed graph is
+// not modified; the synthetic result is independent.
 func Synthesize(m *Measurements, seed *graph.Graph, cfg Config, rng *rand.Rand) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	in := queries.NewEdgeInput()
+	streams := buildFitStreams(cfg, m.TbDBucket)
 	scorer := incremental.NewScorer()
 	if cfg.MeasureTbI {
 		if m.TbI == nil {
 			return nil, errors.New("synth: TbI fitting requested but not measured")
 		}
-		stream := queries.TbIPipeline(in)
 		sink := incremental.NewNoisyCountSink[queries.Unit](
-			stream, m.TbI, []queries.Unit{{}}, m.Eps)
+			streams.tbi, m.TbI, []queries.Unit{{}}, m.Eps)
 		scorer.Add(sink)
 	}
 	if cfg.MeasureTbD {
 		if m.TbD == nil {
 			return nil, errors.New("synth: TbD fitting requested but not measured")
 		}
-		stream := queries.TbDPipeline(in, m.TbDBucket)
 		domain := make([]queries.DegTriple, 0)
 		for k := range m.TbD.Materialized() {
 			domain = append(domain, k)
 		}
 		sink := incremental.NewNoisyCountSink[queries.DegTriple](
-			stream, m.TbD, domain, m.Eps)
+			streams.tbd, m.TbD, domain, m.Eps)
 		scorer.Add(sink)
 	}
 	if cfg.MeasureJDD {
 		if m.JDD == nil {
 			return nil, errors.New("synth: JDD fitting requested but not measured")
 		}
-		stream := queries.JDDPipeline(in)
 		domain := make([]queries.DegPair, 0)
 		for k := range m.JDD.Materialized() {
 			domain = append(domain, k)
 		}
 		sink := incremental.NewNoisyCountSink[queries.DegPair](
-			stream, m.JDD, domain, m.Eps)
+			streams.jdd, m.JDD, domain, m.Eps)
 		scorer.Add(sink)
 	}
-	state := mcmc.NewGraphState(seed, in)
+	state := mcmc.NewGraphState(seed, streams.input)
 	onStep := cfg.OnStep
 	if cfg.SampleEvery > 0 && cfg.OnSample != nil {
 		every := cfg.SampleEvery

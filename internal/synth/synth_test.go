@@ -211,3 +211,94 @@ func TestOnStepObservesRun(t *testing.T) {
 		t.Errorf("OnStep calls = %d, want 200", calls)
 	}
 }
+
+func TestExecutorsScoreIdentically(t *testing.T) {
+	// The sharded executor and the serial reference engine must assign
+	// the same fit score to the same seed graph under the same
+	// measurements: Synthesize with zero steps reports the initial
+	// scorer value, which exercises the full TbI+TbD+JDD pipeline stack
+	// end to end on both executors.
+	g := clusteredGraph(t, 90)
+	base := Config{
+		Eps:        1.0,
+		MeasureTbI: true,
+		MeasureTbD: true,
+		MeasureJDD: true,
+		TbDBucket:  10,
+		Pow:        100,
+	}
+	m, err := Measure(g, base, testRng(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := SeedGraph(m, testRng(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := func(shards int) float64 {
+		cfg := base
+		cfg.Shards = shards
+		cfg.Steps = 0
+		res, err := Synthesize(m, seed.Clone(), cfg, testRng(22))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return res.Stats.FinalScore
+	}
+	ref := score(-1)
+	for _, shards := range []int{1, 4} {
+		got := score(shards)
+		if math.Abs(got-ref) > 1e-6*(1+math.Abs(ref)) {
+			t.Errorf("shards=%d score %v, reference engine %v", shards, got, ref)
+		}
+	}
+}
+
+func TestReferenceEngineWorkflowRuns(t *testing.T) {
+	// The serial reference executor stays selectable via Shards: -1.
+	g := clusteredGraph(t, 80)
+	cfg := Config{
+		Eps:        1.0,
+		MeasureTbI: true,
+		Pow:        1000,
+		Steps:      500,
+		Shards:     -1,
+	}
+	res, err := Run(g, cfg, testRng(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Accepted == 0 {
+		t.Error("reference-engine workflow accepted no steps")
+	}
+}
+
+func TestSynthesizeUsesMeasuredTbDBucket(t *testing.T) {
+	// The fit pipeline must bucket degrees exactly as the released TbD
+	// measurement did (m.TbDBucket), even when the caller's Config omits
+	// or mis-states the bucket — otherwise the pipeline's records would
+	// miss the measured domain entirely and MCMC would fit fresh noise.
+	g := clusteredGraph(t, 80)
+	measured := Config{Eps: 1.0, MeasureTbD: true, TbDBucket: 10}
+	m, err := Measure(g, measured, testRng(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := SeedGraph(m, testRng(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := func(cfgBucket int) float64 {
+		cfg := Config{Eps: 1.0, MeasureTbD: true, TbDBucket: cfgBucket, Pow: 100, Steps: 0}
+		res, err := Synthesize(m, seed.Clone(), cfg, testRng(32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.FinalScore
+	}
+	right, wrong := score(10), score(0)
+	if math.Abs(right-wrong) > 1e-6*(1+math.Abs(right)) {
+		t.Errorf("score with cfg bucket 0 = %v, with matching bucket = %v; "+
+			"Synthesize must bucket by the measurement's recorded width", wrong, right)
+	}
+}

@@ -196,6 +196,13 @@ func (d *Dataset[T]) Clone() *Dataset[T] {
 	return c
 }
 
+// Reset removes every record while keeping the map's allocated capacity:
+// the idiom for the reusable difference accumulators in the incremental
+// and sharded engines' hot loops.
+func (d *Dataset[T]) Reset() {
+	clear(d.w)
+}
+
 // Scale multiplies every weight by s, in place, and returns the receiver.
 func (d *Dataset[T]) Scale(s float64) *Dataset[T] {
 	if d == nil {

@@ -8,6 +8,10 @@
 //
 // Experiments: table1, table2, table3, fig1, fig3, fig4, fig5, fig6, all.
 //
+// Beyond the experiments it ships the workflow tools (measure,
+// synthesize, motif) and the `remote` verbs, which drive a wpinqd
+// curator server (see cmd/wpinqd).
+//
 // The defaults run each experiment on one machine in minutes by scaling the
 // paper's datasets and MCMC budgets down; raise -scale and -steps to
 // approach the paper's setup (see README.md for the scale mapping).
@@ -56,6 +60,8 @@ func run(args []string) error {
 		return runSynthesize(args[1:])
 	case "motif":
 		return runMotif(args[1:])
+	case "remote":
+		return runRemote(args[1:])
 	}
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
 	opts := experiments.Defaults(os.Stdout)
@@ -114,6 +120,11 @@ workflow tools:
   synthesize  build a synthetic graph from a measurements JSON
   motif       release a DP motif prevalence (triangle/square/wedge/star4)
 
+remote verbs (clients of a wpinqd curator server; see `+"`wpinqd -h`"+`):
+  remote measure     upload an edge list and take DP measurements server-side
+  remote synthesize  run an async synthesis job against a stored release
+  remote status      inspect dataset ledgers, releases, and jobs
+
 flags (after the experiment name): -scale -epinions-scale -steps -eps -pow -seed -samples -repeats -shards
-(measure/synthesize take their own flags; run them with -h)`)
+(measure/synthesize/motif and the remote verbs take their own flags; run them with -h)`)
 }

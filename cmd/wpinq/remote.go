@@ -1,0 +1,203 @@
+package main
+
+// The remote subcommands are the client side of the wpinqd curator
+// service: `wpinq remote measure` uploads an edge list and takes DP
+// measurements of it on the server (which then discards the graph),
+// `wpinq remote synthesize` fits a synthetic graph to a stored release
+// as an asynchronous server-side job, and `wpinq remote status`
+// inspects ledgers, releases, and jobs. Machine-readable output (the
+// measurement ID, the synthetic edge list) goes to stdout or -out;
+// diagnostics go to stderr, so the verbs compose in scripts.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wpinq/internal/graph"
+	"wpinq/internal/service"
+)
+
+func runRemote(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("remote: a verb is required: measure, synthesize, or status")
+	}
+	switch args[0] {
+	case "measure":
+		return runRemoteMeasure(args[1:])
+	case "synthesize":
+		return runRemoteSynthesize(args[1:])
+	case "status":
+		return runRemoteStatus(args[1:])
+	}
+	return fmt.Errorf("remote: unknown verb %q (want measure, synthesize, or status)", args[0])
+}
+
+func runRemoteMeasure(args []string) error {
+	fs := flag.NewFlagSet("remote measure", flag.ContinueOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "wpinqd base URL")
+	in := fs.String("in", "", "input edge list (u<TAB>v per line; # comments ok)")
+	name := fs.String("name", "", "dataset name (default: derived server-side)")
+	total := fs.Float64("budget", 0, "total privacy budget for the dataset (epsilon; required)")
+	eps := fs.Float64("eps", 0.1, "per-measurement privacy parameter")
+	tbi := fs.Bool("tbi", true, "measure triangles-by-intersect (4 eps)")
+	tbd := fs.Bool("tbd", false, "measure triangles-by-degree (9 eps)")
+	jdd := fs.Bool("jdd", false, "measure the joint degree distribution (4 eps)")
+	bucket := fs.Int("bucket", 20, "TbD degree bucket width")
+	keep := fs.Bool("keep", false, "keep the protected graph on the server after measuring (default: discard)")
+	seed := fs.Int64("seed", 0, "noise seed (0 = server-derived)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("remote measure: -in is required")
+	}
+	if *total <= 0 {
+		return fmt.Errorf("remote measure: -budget is required and must be positive")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	c := service.NewClient(*server)
+	ds, err := c.Upload(*name, *total, f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "remote: uploaded %s as %s (%d nodes, %d edges, budget %g)\n",
+		*in, ds.ID, ds.Nodes, ds.Edges, ds.Ledger.Budget)
+	res, err := c.Measure(ds.ID, service.MeasureRequest{
+		Eps: *eps, TbI: *tbi, TbD: *tbd, JDD: *jdd,
+		Bucket: *bucket, Keep: *keep, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "remote: measured %s at cost %g (remaining budget %g, discarded=%v)\n",
+		res.Measurement.ID, res.Cost, res.Ledger.Remaining, res.Discarded)
+	// The measurement ID is the verb's machine-readable result.
+	fmt.Println(res.Measurement.ID)
+	return nil
+}
+
+func runRemoteSynthesize(args []string) error {
+	fs := flag.NewFlagSet("remote synthesize", flag.ContinueOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "wpinqd base URL")
+	measurement := fs.String("measurement", "", "stored measurement ID (from `wpinq remote measure`)")
+	out := fs.String("out", "", "output synthetic edge list (default stdout)")
+	steps := fs.Int("steps", 100000, "MCMC steps")
+	pow := fs.Float64("pow", 10000, "posterior sharpening")
+	shards := fs.Int("shards", 0, "dataflow shards: 0 = one per CPU, -1 = serial reference engine (omit to use the server default)")
+	seed := fs.Int64("seed", 0, "job seed (0 = server-derived)")
+	poll := fs.Duration("poll", 500*time.Millisecond, "progress polling interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *measurement == "" {
+		return fmt.Errorf("remote synthesize: -measurement is required")
+	}
+	req := service.JobRequest{
+		Measurement: *measurement,
+		Steps:       *steps,
+		Pow:         *pow,
+		Seed:        *seed,
+	}
+	// Only override the server's default shard configuration when the
+	// flag was explicitly given (0 is a meaningful value: auto).
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			req.Shards = shards
+		}
+	})
+	c := service.NewClient(*server)
+	job, err := c.SubmitJob(req)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "remote: job %s submitted (%d steps, shards=%d)\n", job.ID, job.Steps, job.Shards)
+	final, err := c.WaitJob(job.ID, *poll, func(st service.JobStatus) {
+		if st.State == service.JobRunning {
+			fmt.Fprintf(os.Stderr, "remote: %s step %d/%d score %.6g accept %.1f%%\n",
+				st.ID, st.Step, st.Steps, st.Score, 100*st.AcceptRate)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if final.State != service.JobDone {
+		return fmt.Errorf("remote synthesize: job %s finished %s: %s", final.ID, final.State, final.Error)
+	}
+	fmt.Fprintf(os.Stderr, "remote: job %s done, final score %.6g (%d/%d accepted)\n",
+		final.ID, final.Score, final.Accepted, final.Steps)
+	g, err := c.JobResult(final.ID)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		w = file
+	}
+	return graph.WriteEdgeList(w, g)
+}
+
+func runRemoteStatus(args []string) error {
+	fs := flag.NewFlagSet("remote status", flag.ContinueOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "wpinqd base URL")
+	jobID := fs.String("job", "", "show one job instead of the full overview")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c := service.NewClient(*server)
+	if *jobID != "" {
+		st, err := c.Job(*jobID)
+		if err != nil {
+			return err
+		}
+		printJob(st)
+		return nil
+	}
+	datasets, err := c.Datasets()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("datasets (%d):\n", len(datasets))
+	for _, d := range datasets {
+		fmt.Printf("  %s %q: %d nodes, %d edges, budget %g spent %g remaining %g, discarded=%v\n",
+			d.ID, d.Name, d.Nodes, d.Edges, d.Ledger.Budget, d.Ledger.Spent, d.Ledger.Remaining, d.Discarded)
+	}
+	measurements, err := c.Measurements()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("measurements (%d):\n", len(measurements))
+	for _, m := range measurements {
+		fmt.Printf("  %s: eps %g, cost %g, kinds %v, %d bytes\n", m.ID, m.Eps, m.TotalCost, m.Kinds, m.Bytes)
+	}
+	jobs, err := c.Jobs()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("jobs (%d):\n", len(jobs))
+	for _, j := range jobs {
+		fmt.Print("  ")
+		printJob(j)
+	}
+	return nil
+}
+
+func printJob(st service.JobStatus) {
+	fmt.Printf("%s [%s] measurement %s step %d/%d score %.6g accept %.1f%%",
+		st.ID, st.State, st.Measurement, st.Step, st.Steps, st.Score, 100*st.AcceptRate)
+	if st.Error != "" {
+		fmt.Printf(" error: %s", st.Error)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,80 @@
+// Command wpinqd serves the wPINQ curator workflow over HTTP: upload a
+// protected edge list with a privacy budget, take differentially
+// private measurements of it (after which the graph is discarded), and
+// let analysts fetch releases and fit synthetic graphs asynchronously.
+//
+// Usage:
+//
+//	wpinqd [-addr :8080] [-data DIR] [-shards N] [-workers N] [-seed N]
+//
+// The API is documented on service.Handler; `wpinq remote` is the
+// matching command-line client. See README.md, "Serving".
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wpinq/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wpinqd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wpinqd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	data := fs.String("data", "", "directory persisting released measurements (empty = in-memory)")
+	shards := fs.Int("shards", 0, "default dataflow shards per synthesis job: 0 = one per CPU, -1 = serial reference engine")
+	workers := fs.Int("workers", 0, "synthesis worker pool size (0 = GOMAXPROCS divided by per-job shards)")
+	seed := fs.Int64("seed", 1, "base seed for requests that do not supply one")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	svc, err := service.New(service.Options{
+		Dir:     *data,
+		Shards:  *shards,
+		Workers: *workers,
+		Seed:    *seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("wpinqd: serving on %s (measurement store: %s)", *addr, storeDesc(*data))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("wpinqd: %v, shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+}
+
+func storeDesc(dir string) string {
+	if dir == "" {
+		return "in-memory"
+	}
+	return dir
+}

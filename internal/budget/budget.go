@@ -62,6 +62,43 @@ func (s *Source) Spent() float64 {
 // Unlimited reports whether the source has no budget cap.
 func (s *Source) Unlimited() bool { return s.unlimited }
 
+// Budget returns the total budget the source was registered with
+// (0 for unlimited sources).
+func (s *Source) Budget() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.budget
+}
+
+// Snapshot is a point-in-time view of one source's ledger, safe to
+// serialize for reporting (e.g. a curator service's budget endpoint).
+type Snapshot struct {
+	Name      string  `json:"name"`
+	Budget    float64 `json:"budget"`
+	Spent     float64 `json:"spent"`
+	Remaining float64 `json:"remaining"`
+	Unlimited bool    `json:"unlimited,omitempty"`
+}
+
+// Snapshot returns a consistent view of the source's ledger: all three
+// figures are read under one lock, so Spent+Remaining == Budget even
+// while concurrent aggregations are charging.
+func (s *Source) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := Snapshot{
+		Name:      s.name,
+		Budget:    s.budget,
+		Spent:     s.spent,
+		Remaining: s.budget - s.spent,
+		Unlimited: s.unlimited,
+	}
+	if s.unlimited {
+		snap.Budget, snap.Remaining = 0, 0
+	}
+	return snap
+}
+
 // InsufficientBudgetError reports an aggregation that would overdraw a
 // source's privacy budget.
 type InsufficientBudgetError struct {

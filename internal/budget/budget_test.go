@@ -157,3 +157,25 @@ func TestNilUsesValid(t *testing.T) {
 		t.Error("empty plan should have zero cost")
 	}
 }
+
+func TestSnapshot(t *testing.T) {
+	s := NewSource("snap", 2)
+	if err := s.Charge(0.5); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Snapshot()
+	want := Snapshot{Name: "snap", Budget: 2, Spent: 0.5, Remaining: 1.5}
+	if got != want {
+		t.Errorf("Snapshot() = %+v, want %+v", got, want)
+	}
+	if got.Spent+got.Remaining != got.Budget {
+		t.Errorf("snapshot not internally consistent: %+v", got)
+	}
+	u := NewUnlimitedSource("pub").Snapshot()
+	if !u.Unlimited || u.Budget != 0 || u.Remaining != 0 {
+		t.Errorf("unlimited snapshot = %+v", u)
+	}
+	if b := s.Budget(); b != 2 {
+		t.Errorf("Budget() = %v, want 2", b)
+	}
+}

@@ -1,0 +1,185 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"wpinq/internal/graph"
+)
+
+// Client is the Go client for a wpinqd server, used by `wpinq remote`
+// and the integration tests. Failed requests return *APIError when the
+// server sent a structured body.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets a wpinqd base URL (e.g. "http://127.0.0.1:8080").
+func NewClient(base string) *Client {
+	return &Client{base: base, hc: &http.Client{Timeout: 5 * time.Minute}}
+}
+
+// Health checks the server's liveness endpoint.
+func (c *Client) Health() error {
+	var out map[string]string
+	return c.do(http.MethodGet, "/v1/healthz", nil, "", &out)
+}
+
+// Upload registers an edge list under the given name and total privacy
+// budget (epsilon).
+func (c *Client) Upload(name string, totalBudget float64, edges io.Reader) (DatasetInfo, error) {
+	var out DatasetInfo
+	path := fmt.Sprintf("/v1/datasets?name=%s&budget=%g", url.QueryEscape(name), totalBudget)
+	err := c.do(http.MethodPost, path, edges, "text/plain", &out)
+	return out, err
+}
+
+// Datasets lists dataset ledgers.
+func (c *Client) Datasets() ([]DatasetInfo, error) {
+	var out []DatasetInfo
+	err := c.do(http.MethodGet, "/v1/datasets", nil, "", &out)
+	return out, err
+}
+
+// Dataset fetches one dataset's ledger.
+func (c *Client) Dataset(id string) (DatasetInfo, error) {
+	var out DatasetInfo
+	err := c.do(http.MethodGet, "/v1/datasets/"+url.PathEscape(id), nil, "", &out)
+	return out, err
+}
+
+// Measure takes DP measurements of a dataset.
+func (c *Client) Measure(id string, req MeasureRequest) (MeasureResult, error) {
+	var out MeasureResult
+	err := c.doJSON(http.MethodPost, "/v1/datasets/"+url.PathEscape(id)+"/measure", req, &out)
+	return out, err
+}
+
+// Measurements lists stored releases.
+func (c *Client) Measurements() ([]MeasurementInfo, error) {
+	var out []MeasurementInfo
+	err := c.do(http.MethodGet, "/v1/measurements", nil, "", &out)
+	return out, err
+}
+
+// Measurement fetches one release's stored bytes (the Save format).
+func (c *Client) Measurement(id string) ([]byte, error) {
+	return c.raw(http.MethodGet, "/v1/measurements/"+url.PathEscape(id))
+}
+
+// SubmitJob submits an asynchronous synthesis job.
+func (c *Client) SubmitJob(req JobRequest) (JobStatus, error) {
+	var out JobStatus
+	err := c.doJSON(http.MethodPost, "/v1/jobs", req, &out)
+	return out, err
+}
+
+// Jobs lists jobs.
+func (c *Client) Jobs() ([]JobStatus, error) {
+	var out []JobStatus
+	err := c.do(http.MethodGet, "/v1/jobs", nil, "", &out)
+	return out, err
+}
+
+// Job polls one job's progress.
+func (c *Client) Job(id string) (JobStatus, error) {
+	var out JobStatus
+	err := c.do(http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, "", &out)
+	return out, err
+}
+
+// CancelJob requests cancellation of a job.
+func (c *Client) CancelJob(id string) (JobStatus, error) {
+	var out JobStatus
+	err := c.do(http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, "", &out)
+	return out, err
+}
+
+// JobResult downloads and parses a finished job's synthetic edge list.
+func (c *Client) JobResult(id string) (*graph.Graph, error) {
+	data, err := c.raw(http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/result")
+	if err != nil {
+		return nil, err
+	}
+	return graph.ReadEdgeList(bytes.NewReader(data))
+}
+
+// WaitJob polls a job until it reaches a terminal state, invoking
+// onPoll (if set) with each observed status.
+func (c *Client) WaitJob(id string, poll time.Duration, onPoll func(JobStatus)) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	for {
+		st, err := c.Job(id)
+		if err != nil {
+			return st, err
+		}
+		if onPoll != nil {
+			onPoll(st)
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		time.Sleep(poll)
+	}
+}
+
+func (c *Client) doJSON(method, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	return c.do(method, path, bytes.NewReader(body), "application/json", out)
+}
+
+// do performs one request, decoding a JSON success body into out and a
+// structured error body into *APIError.
+func (c *Client) do(method, path string, body io.Reader, contentType string, out any) error {
+	data, err := c.request(method, path, body, contentType)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// raw performs one request and returns the response bytes verbatim.
+func (c *Client) raw(method, path string) ([]byte, error) {
+	return c.request(method, path, nil, "")
+}
+
+func (c *Client) request(method, path string, body io.Reader, contentType string) ([]byte, error) {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 400 {
+		api := &APIError{Status: resp.StatusCode}
+		if err := json.Unmarshal(data, api); err != nil || api.Code == "" {
+			return nil, fmt.Errorf("service: %s %s: %s: %s", method, path, resp.Status, data)
+		}
+		return nil, api
+	}
+	return data, nil
+}

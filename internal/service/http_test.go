@@ -1,0 +1,227 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"wpinq/internal/synth"
+)
+
+func newTestClient(t *testing.T, opts Options) *Client {
+	t.Helper()
+	svc := newTestService(t, opts)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return NewClient(srv.URL)
+}
+
+// TestEndToEndOverHTTP drives the full two-party workflow over the
+// wire: the curator uploads a graph with budget for exactly one
+// measurement bundle, measures it (debiting the budget and discarding
+// the graph), and is refused a second measurement with a structured
+// overdraw error; the analyst lists and fetches the release, runs an
+// async synthesis job, polls it, and downloads a synthetic edge list
+// whose fit score matches the same workflow run in-process with the
+// same seeds and shard configuration.
+func TestEndToEndOverHTTP(t *testing.T) {
+	const (
+		shards      = 2
+		measureSeed = 101
+		jobSeed     = 202
+		steps       = 400
+	)
+	client := newTestClient(t, Options{})
+	g := testGraph(t, 60)
+
+	// Curator: upload with budget for exactly one TbI bundle.
+	ds, err := client.Upload("caltech", tbiCost, bytes.NewReader(edgeListBytes(t, g)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Nodes != g.NumNodes() || ds.Edges != g.NumEdges() || ds.Ledger.Remaining != tbiCost {
+		t.Fatalf("upload info %+v does not match graph (%d nodes, %d edges)", ds, g.NumNodes(), g.NumEdges())
+	}
+
+	// Curator: measure; the budget is debited and the graph discarded.
+	mres, err := client.Measure(ds.ID, MeasureRequest{Eps: 1, TbI: true, Seed: measureSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.Cost != tbiCost || !mres.Discarded {
+		t.Fatalf("measure result %+v, want cost %g and discarded", mres, tbiCost)
+	}
+	if mres.Ledger.Remaining > 1e-9 {
+		t.Errorf("remaining budget %g after exact spend", mres.Ledger.Remaining)
+	}
+
+	// A second measurement past the budget: structured overdraw error.
+	_, err = client.Measure(ds.ID, MeasureRequest{Eps: 1, TbI: true, Seed: 9})
+	var api *APIError
+	if !errors.As(err, &api) || api.Code != CodeInsufficientBudget {
+		t.Fatalf("second measure: got %v, want APIError %s", err, CodeInsufficientBudget)
+	}
+	if api.Status != http.StatusPaymentRequired || api.Requested != tbiCost {
+		t.Errorf("overdraw detail: %+v", api)
+	}
+
+	// Analyst: list and fetch the release. (Measurement noise is not
+	// byte-reproducible across runs — NoisyCount assigns noise in map
+	// iteration order — so the fetched bytes, not a re-measurement, are
+	// the ground truth everything downstream must agree on.)
+	list, err := client.Measurements()
+	if err != nil || len(list) != 1 || list[0].ID != mres.Measurement.ID {
+		t.Fatalf("measurement listing %v (%v)", list, err)
+	}
+	stored, err := client.Measurement(mres.Measurement.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check, err := synth.LoadMeasurements(bytes.NewReader(stored), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check.Eps != 1 || check.TbI == nil || check.TbD != nil {
+		t.Fatalf("fetched release has wrong shape: %+v", check)
+	}
+
+	// Analyst: async synthesis job, polled to completion.
+	sh := shards
+	job, err := client.SubmitJob(JobRequest{
+		Measurement:   mres.Measurement.ID,
+		Steps:         steps,
+		Shards:        &sh,
+		Seed:          jobSeed,
+		ProgressEvery: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := client.WaitJob(job.ID, 10*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != JobDone || final.Step != steps {
+		t.Fatalf("job finished as %+v", final)
+	}
+	synthetic, err := client.JobResult(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if synthetic.NumEdges() == 0 {
+		t.Fatal("synthetic graph is empty")
+	}
+
+	// The job must reproduce the in-process workflow exactly: load the
+	// same release bytes, seed, and fit with the same rng and shard
+	// config, and compare fit score and edge list.
+	rng := rand.New(rand.NewSource(jobSeed))
+	m2, err := synth.LoadMeasurements(bytes.NewReader(stored), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedG, err := synth.SeedGraph(m2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := synth.Synthesize(m2, seedG, synth.Config{
+		Eps: m2.Eps, MeasureTbI: true, Pow: 10000, Steps: steps, Shards: shards,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trajectories are identical (the edge lists match exactly,
+	// below); the scores agree to accumulation tolerance — sink state is
+	// summed in dataset map-iteration order, so the last few bits of the
+	// L1 norm differ between any two runs (see DESIGN.md on float
+	// accumulation order).
+	if diff := math.Abs(res.Stats.FinalScore - final.Score); diff > 1e-9*(1+math.Abs(final.Score)) {
+		t.Errorf("fit score over HTTP %v != in-process %v (diff %g)", final.Score, res.Stats.FinalScore, diff)
+	}
+	want := edgeListBytes(t, res.Synthetic)
+	got := edgeListBytes(t, synthetic)
+	if !bytes.Equal(got, want) {
+		t.Error("synthetic edge list differs from in-process run with identical seeds")
+	}
+}
+
+// TestConcurrentOverdrawOverHTTP hammers one dataset with parallel
+// measurement requests; the ledger admits exactly the affordable number.
+func TestConcurrentOverdrawOverHTTP(t *testing.T) {
+	client := newTestClient(t, Options{Shards: -1})
+	g := testGraph(t, 60)
+	ds, err := client.Upload("race", 2*tbiCost, bytes.NewReader(edgeListBytes(t, g)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const attempts = 8
+	var wg sync.WaitGroup
+	errs := make([]error, attempts)
+	for i := 0; i < attempts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = client.Measure(ds.ID, MeasureRequest{
+				Eps: 1, TbI: true, Keep: true, Seed: int64(300 + i),
+			})
+		}(i)
+	}
+	wg.Wait()
+	ok := 0
+	for _, err := range errs {
+		if err == nil {
+			ok++
+			continue
+		}
+		var api *APIError
+		if !errors.As(err, &api) || api.Code != CodeInsufficientBudget {
+			t.Fatalf("unexpected failure: %v", err)
+		}
+	}
+	if ok != 2 {
+		t.Fatalf("%d concurrent measurements succeeded, want exactly 2", ok)
+	}
+	after, err := client.Dataset(ds.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Ledger.Spent != 2*tbiCost {
+		t.Errorf("spent %g, want %g", after.Ledger.Spent, 2*tbiCost)
+	}
+}
+
+func TestHTTPErrorShapes(t *testing.T) {
+	client := newTestClient(t, Options{})
+	if err := client.Health(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		err  error
+		code string
+	}{
+		{"unknown dataset", func() error { _, err := client.Dataset("d404"); return err }(), CodeNotFound},
+		{"unknown measurement", func() error { _, err := client.Measurement("m404"); return err }(), CodeNotFound},
+		{"unknown job", func() error { _, err := client.Job("j404"); return err }(), CodeNotFound},
+		{"bad upload", func() error {
+			_, err := client.Upload("x", 1, bytes.NewReader([]byte("not numbers here\n")))
+			return err
+		}(), CodeBadRequest},
+		{"missing budget", func() error {
+			_, err := client.Upload("x", 0, bytes.NewReader([]byte("0 1\n")))
+			return err
+		}(), CodeBadRequest},
+	}
+	for _, c := range cases {
+		var api *APIError
+		if !errors.As(c.err, &api) || api.Code != c.code {
+			t.Errorf("%s: got %v, want code %s", c.name, c.err, c.code)
+		}
+	}
+}

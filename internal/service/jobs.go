@@ -1,0 +1,381 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"wpinq/internal/graph"
+	"wpinq/internal/synth"
+)
+
+// jobQueueDepth bounds how many submitted-but-unstarted jobs the
+// manager will hold before refusing submissions with ErrQueueFull.
+const jobQueueDepth = 256
+
+// Job states reported by JobStatus.State.
+const (
+	JobQueued    = "queued"
+	JobRunning   = "running"
+	JobDone      = "done"
+	JobCancelled = "cancelled"
+	JobFailed    = "failed"
+)
+
+// JobRequest submits an asynchronous synthesis run against a stored
+// release. Everything after submission consumes only the release: jobs
+// are analyst-side work with no privacy cost.
+type JobRequest struct {
+	// Measurement is the stored release ID to fit against (required).
+	Measurement string `json:"measurement"`
+	// Steps is the MCMC step count (required, > 0).
+	Steps int `json:"steps"`
+	// Pow sharpens the posterior (default 10000, the paper's setting).
+	Pow float64 `json:"pow,omitempty"`
+	// Shards overrides the service's default executor shard count for
+	// this job (synth.Config.Shards semantics). Nil uses the default.
+	Shards *int `json:"shards,omitempty"`
+	// Seed, when non-zero, fixes the job rng (measurement lazy noise,
+	// seed-graph construction, and the MCMC walk) for reproducibility.
+	Seed int64 `json:"seed,omitempty"`
+	// ProgressEvery is the progress-update cadence in MCMC steps
+	// (default 1024). It also bounds cancellation latency.
+	ProgressEvery int `json:"progressEvery,omitempty"`
+}
+
+// JobStatus is the pollable view of one job.
+type JobStatus struct {
+	ID          string  `json:"id"`
+	Measurement string  `json:"measurement"`
+	State       string  `json:"state"`
+	Steps       int     `json:"steps"`
+	Step        int     `json:"step"`
+	Accepted    int     `json:"accepted"`
+	AcceptRate  float64 `json:"acceptRate"`
+	Score       float64 `json:"score"`
+	Shards      int     `json:"shards"`
+	Seed        int64   `json:"seed"`
+	SeedNodes   int     `json:"seedNodes,omitempty"`
+	SeedEdges   int     `json:"seedEdges,omitempty"`
+	ResultNodes int     `json:"resultNodes,omitempty"`
+	ResultEdges int     `json:"resultEdges,omitempty"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// Terminal reports whether the job has stopped (done, cancelled, or
+// failed).
+func (js JobStatus) Terminal() bool {
+	return js.State == JobDone || js.State == JobCancelled || js.State == JobFailed
+}
+
+// Job is one asynchronous synthesis run.
+type Job struct {
+	req JobRequest // immutable after Submit
+
+	mu        sync.Mutex
+	status    JobStatus
+	result    *graph.Graph
+	cancelled atomic.Bool
+	done      chan struct{}
+}
+
+// JobManager runs synthesis jobs on a bounded worker pool. Jobs past
+// the pool size queue; cancellation reaches queued jobs immediately and
+// running jobs at their next progress checkpoint.
+type JobManager struct {
+	store         *Store
+	defaultShards int
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	nextID int
+
+	queue chan *Job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewJobManager starts workers goroutines consuming the job queue.
+func NewJobManager(store *Store, defaultShards, workers int) *JobManager {
+	if workers < 1 {
+		workers = 1
+	}
+	jm := &JobManager{
+		store:         store,
+		defaultShards: defaultShards,
+		jobs:          make(map[string]*Job),
+		queue:         make(chan *Job, jobQueueDepth),
+		quit:          make(chan struct{}),
+	}
+	jm.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go jm.worker()
+	}
+	return jm
+}
+
+// Close cancels every live job and waits for the workers to exit.
+// Jobs still queued are finished as cancelled, so waiters on their
+// Done channels unblock.
+func (jm *JobManager) Close() {
+	jm.mu.Lock()
+	for _, j := range jm.jobs {
+		j.cancelled.Store(true)
+	}
+	jm.mu.Unlock()
+	close(jm.quit)
+	jm.wg.Wait()
+	for {
+		select {
+		case j := <-jm.queue:
+			j.finish(func(st *JobStatus) { st.State = JobCancelled })
+		default:
+			return
+		}
+	}
+}
+
+// Submit validates and enqueues a job.
+func (jm *JobManager) Submit(req JobRequest) (JobStatus, error) {
+	if req.Steps <= 0 {
+		return JobStatus{}, fmt.Errorf("job Steps must be positive, got %d", req.Steps)
+	}
+	if _, err := jm.store.Info(req.Measurement); err != nil {
+		return JobStatus{}, err
+	}
+	shards := jm.defaultShards
+	if req.Shards != nil {
+		shards = *req.Shards
+	}
+	if shards < -1 {
+		return JobStatus{}, fmt.Errorf("job Shards must be >= -1, got %d", shards)
+	}
+	if req.Pow == 0 {
+		req.Pow = 10000
+	}
+	if req.Pow < 0 {
+		return JobStatus{}, fmt.Errorf("job Pow must be positive, got %g", req.Pow)
+	}
+	if req.ProgressEvery <= 0 {
+		req.ProgressEvery = 1024
+	}
+
+	run := req
+	run.Shards = &shards
+	jm.mu.Lock()
+	jm.nextID++
+	j := &Job{
+		req: run,
+		status: JobStatus{
+			ID:          fmt.Sprintf("j%d", jm.nextID),
+			Measurement: req.Measurement,
+			State:       JobQueued,
+			Steps:       req.Steps,
+			Shards:      shards,
+			Seed:        req.Seed,
+		},
+		done: make(chan struct{}),
+	}
+	jm.jobs[j.status.ID] = j
+	jm.order = append(jm.order, j.status.ID)
+	jm.mu.Unlock()
+
+	select {
+	case jm.queue <- j:
+	default:
+		j.finish(func(st *JobStatus) {
+			st.State = JobFailed
+			st.Error = ErrQueueFull.Error()
+		})
+		return j.Status(), ErrQueueFull
+	}
+	return j.Status(), nil
+}
+
+// Status returns a snapshot of the job's state.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// finish transitions the job to a terminal state exactly once.
+func (j *Job) finish(update func(*JobStatus)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.Terminal() {
+		return
+	}
+	update(&j.status)
+	close(j.done)
+}
+
+// Get returns a job's status.
+func (jm *JobManager) Get(id string) (JobStatus, error) {
+	j, err := jm.get(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return j.Status(), nil
+}
+
+func (jm *JobManager) get(id string) (*Job, error) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	j, ok := jm.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: job %s", ErrNotFound, id)
+	}
+	return j, nil
+}
+
+// List returns every job's status in submission order.
+func (jm *JobManager) List() []JobStatus {
+	jm.mu.Lock()
+	js := make([]*Job, 0, len(jm.order))
+	for _, id := range jm.order {
+		js = append(js, jm.jobs[id])
+	}
+	jm.mu.Unlock()
+	out := make([]JobStatus, 0, len(js))
+	for _, j := range js {
+		out = append(out, j.Status())
+	}
+	return out
+}
+
+// Cancel requests cancellation: queued jobs stop before starting,
+// running jobs stop at their next progress checkpoint (keeping the
+// partial synthetic graph as their result).
+func (jm *JobManager) Cancel(id string) (JobStatus, error) {
+	j, err := jm.get(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if j.Status().Terminal() {
+		return j.Status(), fmt.Errorf("%w: job %s", ErrJobFinished, id)
+	}
+	j.cancelled.Store(true)
+	return j.Status(), nil
+}
+
+// Result returns the synthetic graph of a finished job. Cancelled jobs
+// that got far enough to hold a partial graph return it.
+func (jm *JobManager) Result(id string) (*graph.Graph, JobStatus, error) {
+	j, err := jm.get(id)
+	if err != nil {
+		return nil, JobStatus{}, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.result == nil {
+		return nil, j.status, fmt.Errorf("%w: job %s is %s", ErrJobNotDone, id, j.status.State)
+	}
+	return j.result, j.status, nil
+}
+
+// worker consumes the queue until Close.
+func (jm *JobManager) worker() {
+	defer jm.wg.Done()
+	for {
+		select {
+		case <-jm.quit:
+			return
+		case j := <-jm.queue:
+			select {
+			case <-jm.quit:
+				j.finish(func(st *JobStatus) { st.State = JobCancelled })
+				return
+			default:
+			}
+			if j.cancelled.Load() {
+				j.finish(func(st *JobStatus) { st.State = JobCancelled })
+				continue
+			}
+			jm.run(j)
+		}
+	}
+}
+
+// run executes one job: load the release, build the seed graph, fit.
+// The whole pipeline shares one rng seeded from the request, so a job
+// is reproducible given (stored bytes, seed, shard config) — the same
+// guarantee the in-process workflow gives.
+func (jm *JobManager) run(j *Job) {
+	req := j.req
+	seed := req.Seed
+	shards := *req.Shards
+	j.mu.Lock()
+	j.status.State = JobRunning
+	j.mu.Unlock()
+
+	rng := rand.New(rand.NewSource(seed))
+	m, err := jm.store.Load(req.Measurement, rng)
+	if err != nil {
+		j.finish(func(st *JobStatus) { st.State = JobFailed; st.Error = err.Error() })
+		return
+	}
+	seedG, err := synth.SeedGraph(m, rng)
+	if err != nil {
+		j.finish(func(st *JobStatus) { st.State = JobFailed; st.Error = err.Error() })
+		return
+	}
+	j.mu.Lock()
+	j.status.SeedNodes = seedG.NumNodes()
+	j.status.SeedEdges = seedG.NumEdges()
+	j.mu.Unlock()
+
+	cfg := synth.Config{
+		Eps:           m.Eps,
+		MeasureTbI:    m.TbI != nil,
+		MeasureTbD:    m.TbD != nil,
+		MeasureJDD:    m.JDD != nil,
+		TbDBucket:     m.TbDBucket,
+		Pow:           req.Pow,
+		Steps:         req.Steps,
+		Shards:        shards,
+		ProgressEvery: req.ProgressEvery,
+		OnProgress: func(p synth.Progress) bool {
+			j.mu.Lock()
+			j.status.Step = p.Step
+			j.status.Accepted = p.Accepted
+			j.status.AcceptRate = p.AcceptRate()
+			j.status.Score = p.Score
+			j.mu.Unlock()
+			select {
+			case <-jm.quit:
+				return false
+			default:
+			}
+			return !j.cancelled.Load()
+		},
+	}
+	res, err := synth.Synthesize(m, seedG, cfg, rng)
+	if err != nil {
+		j.finish(func(st *JobStatus) { st.State = JobFailed; st.Error = err.Error() })
+		return
+	}
+	j.mu.Lock()
+	j.result = res.Synthetic
+	j.mu.Unlock()
+	j.finish(func(st *JobStatus) {
+		if res.Cancelled {
+			st.State = JobCancelled
+		} else {
+			st.State = JobDone
+		}
+		st.Score = res.Stats.FinalScore
+		st.Accepted = res.Stats.Accepted
+		if res.Stats.Steps > 0 {
+			st.AcceptRate = float64(res.Stats.Accepted) / float64(res.Stats.Steps)
+		}
+		st.Step = res.Stats.Steps
+		st.ResultNodes = res.Synthetic.NumNodes()
+		st.ResultEdges = res.Synthetic.NumEdges()
+	})
+}

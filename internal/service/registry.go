@@ -1,0 +1,255 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+
+	"wpinq/internal/budget"
+	"wpinq/internal/graph"
+	"wpinq/internal/synth"
+)
+
+// Registry holds protected datasets and their budget ledgers. The
+// protected graph itself is transient — by default it is discarded the
+// moment it has been measured — but the ledger entry is permanent, so
+// budget spent on a dataset stays spent for the lifetime of the
+// service (budget monotonicity across sessions of the same ledger).
+type Registry struct {
+	mu     sync.Mutex
+	byID   map[string]*dataset
+	order  []string
+	nextID int
+}
+
+// dataset is one registry entry. mu serializes measurement requests on
+// this dataset (the budget pre-check, the charge, the measurement, and
+// the discard are one atomic step); concurrent requests on different
+// datasets proceed in parallel.
+type dataset struct {
+	id   string
+	name string
+	src  *budget.Source
+
+	mu           sync.Mutex
+	g            *graph.Graph // nil once discarded
+	nodes, edges int
+	measurements []string
+}
+
+// DatasetInfo is the curator-facing view of one registry entry: the
+// ledger plus public bookkeeping. (Node/edge counts are visible to the
+// curator who uploaded the data; analysts interact only with the
+// measurement store.)
+type DatasetInfo struct {
+	ID           string          `json:"id"`
+	Name         string          `json:"name"`
+	Nodes        int             `json:"nodes"`
+	Edges        int             `json:"edges"`
+	Ledger       budget.Snapshot `json:"ledger"`
+	Discarded    bool            `json:"discarded"`
+	Measurements []string        `json:"measurements,omitempty"`
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[string]*dataset)}
+}
+
+// Upload registers an edge list as a protected graph with the given
+// total privacy budget (in epsilon). The budget is fixed at upload
+// time: every measurement debits it, and it can never be raised.
+func (r *Registry) Upload(name string, totalBudget float64, edges io.Reader) (DatasetInfo, error) {
+	if totalBudget <= 0 {
+		return DatasetInfo{}, fmt.Errorf("dataset budget must be positive, got %g", totalBudget)
+	}
+	g, err := graph.ReadEdgeList(edges)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	if g.NumEdges() == 0 {
+		return DatasetInfo{}, fmt.Errorf("uploaded edge list contains no edges")
+	}
+	r.mu.Lock()
+	r.nextID++
+	id := fmt.Sprintf("d%d", r.nextID)
+	if name == "" {
+		name = id
+	}
+	d := &dataset{
+		id:    id,
+		name:  name,
+		src:   budget.NewSource(name, totalBudget),
+		g:     g,
+		nodes: g.NumNodes(),
+		edges: g.NumEdges(),
+	}
+	r.byID[id] = d
+	r.order = append(r.order, id)
+	r.mu.Unlock()
+	return d.info(), nil
+}
+
+func (r *Registry) get(id string) (*dataset, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: dataset %s", ErrNotFound, id)
+	}
+	return d, nil
+}
+
+// Info returns one dataset's ledger view.
+func (r *Registry) Info(id string) (DatasetInfo, error) {
+	d, err := r.get(id)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	return d.info(), nil
+}
+
+// List returns every dataset's ledger view in upload order.
+func (r *Registry) List() []DatasetInfo {
+	r.mu.Lock()
+	ds := make([]*dataset, 0, len(r.order))
+	for _, id := range r.order {
+		ds = append(ds, r.byID[id])
+	}
+	r.mu.Unlock()
+	out := make([]DatasetInfo, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, d.info())
+	}
+	return out
+}
+
+func (d *dataset) info() DatasetInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DatasetInfo{
+		ID:           d.id,
+		Name:         d.name,
+		Nodes:        d.nodes,
+		Edges:        d.edges,
+		Ledger:       d.src.Snapshot(),
+		Discarded:    d.g == nil,
+		Measurements: append([]string(nil), d.measurements...),
+	}
+}
+
+// MeasureRequest parameterizes one measurement of a protected dataset.
+type MeasureRequest struct {
+	// Eps is the per-measurement privacy parameter (required, > 0).
+	Eps float64 `json:"eps"`
+	// TbI/TbD/JDD select the fit measurements (at least one; costs 4,
+	// 9, and 4 eps respectively, on top of the 3-eps seed bundle).
+	TbI bool `json:"tbi"`
+	TbD bool `json:"tbd"`
+	JDD bool `json:"jdd"`
+	// Bucket is the TbD degree bucket width (synth.Config.TbDBucket).
+	Bucket int `json:"bucket,omitempty"`
+	// Keep retains the protected graph after this measurement. The
+	// default (false) implements the paper's workflow: measure once,
+	// then discard the data. Keep=true supports spending one ledger
+	// across several measurement rounds.
+	Keep bool `json:"keep,omitempty"`
+	// Seed, when non-zero, seeds the noise rng. (The record-to-noise
+	// assignment also depends on map iteration order, so a seed pins the
+	// noise stream but not the exact released bytes.)
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Config converts the request to the synthesis workflow configuration.
+func (mr MeasureRequest) Config() synth.Config {
+	return synth.Config{
+		Eps:        mr.Eps,
+		MeasureTbI: mr.TbI,
+		MeasureTbD: mr.TbD,
+		MeasureJDD: mr.JDD,
+		TbDBucket:  mr.Bucket,
+	}
+}
+
+// MeasureResult reports a successful measurement.
+type MeasureResult struct {
+	Measurement MeasurementInfo `json:"measurement"`
+	Cost        float64         `json:"cost"`
+	Ledger      budget.Snapshot `json:"ledger"`
+	Discarded   bool            `json:"discarded"`
+	Seed        int64           `json:"seed"`
+}
+
+// Measure takes the requested DP measurements of dataset id, stores the
+// release, and unless req.Keep is set discards the protected graph.
+//
+// The ledger enforces sequential composition under concurrency: the
+// budget pre-check, the debit, and the measurement happen under the
+// dataset's lock, so of any set of concurrent requests exactly the
+// affordable prefix succeeds and the rest receive a structured
+// *budget.InsufficientBudgetError — the budget is never overdrawn and
+// never double-spent. The overdraw check deliberately precedes the
+// discard check: once the budget is exhausted, "out of budget" is the
+// durable answer, whether or not the graph is still resident.
+func (s *Service) Measure(id string, req MeasureRequest) (MeasureResult, error) {
+	cfg := req.Config()
+	if err := cfg.Validate(); err != nil {
+		return MeasureResult{}, err
+	}
+	d, err := s.registry.get(id)
+	if err != nil {
+		return MeasureResult{}, err
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = s.nextSeed()
+	}
+	cost := cfg.MeasureCost()
+
+	d.mu.Lock()
+	snap := d.src.Snapshot()
+	if cost > snap.Remaining+1e-12 {
+		d.mu.Unlock()
+		return MeasureResult{}, &budget.InsufficientBudgetError{
+			Source:    snap.Name,
+			Requested: cost,
+			Remaining: snap.Remaining,
+		}
+	}
+	if d.g == nil {
+		d.mu.Unlock()
+		return MeasureResult{}, fmt.Errorf("%w: dataset %s", ErrDiscarded, id)
+	}
+	if err := d.src.Charge(cost); err != nil {
+		d.mu.Unlock()
+		return MeasureResult{}, err
+	}
+	m, err := synth.Measure(d.g, cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		// The debit stands: failing open would risk re-running against a
+		// budget the failed attempt may already have touched.
+		d.mu.Unlock()
+		return MeasureResult{}, err
+	}
+	// Persist before discarding: a store failure (e.g. full disk) must
+	// not destroy the only copy of a release the budget already paid for.
+	info, err := s.store.Put(m)
+	if err != nil {
+		d.mu.Unlock()
+		return MeasureResult{}, err
+	}
+	if !req.Keep {
+		d.g = nil // the paper's "discard the data" step
+	}
+	d.measurements = append(d.measurements, info.ID)
+	res := MeasureResult{
+		Measurement: info,
+		Cost:        cost,
+		Ledger:      d.src.Snapshot(),
+		Discarded:   d.g == nil,
+		Seed:        seed,
+	}
+	d.mu.Unlock()
+	return res, nil
+}

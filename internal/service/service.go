@@ -1,0 +1,136 @@
+// Package service is the curator layer of the paper's two-party
+// workflow (Section 5.1) as a long-lived, concurrent subsystem.
+//
+// The paper's deployment story is: a curator holds the protected graph,
+// takes differentially private wPINQ measurements of it, and can then
+// discard the data; any analyst may later fit synthetic datasets to the
+// released measurements, with no further privacy cost. This package
+// owns each piece of state that story needs on a server:
+//
+//   - a dataset Registry: uploaded edge lists become budgeted,
+//     budget.Source-backed protected graphs. The graph is dropped from
+//     memory as soon as it is measured (the "discard the data" step);
+//     its budget ledger outlives it, so spent budget stays spent.
+//   - a measurement Store: released synth.Measurements persisted via
+//     their Save format under content-addressed IDs, listable and
+//     fetchable by analysts — the public face of the service.
+//   - a budget ledger per dataset enforcing sequential composition
+//     across concurrent requests: measurement requests are charged
+//     atomically and refused with a structured overdraw error rather
+//     than exceeding the registered budget.
+//   - a JobManager: a bounded worker pool running SeedGraph+Synthesize
+//     asynchronously with cancellation and progress (step count,
+//     current score, accept rate) observable by polling.
+//
+// cmd/wpinqd exposes the service over HTTP (Handler); Client is the
+// matching Go client used by `wpinq remote` and the integration tests.
+package service
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// Options configures a Service.
+type Options struct {
+	// Dir, when non-empty, persists stored measurements as files under
+	// this directory (created if absent). Empty keeps the store
+	// memory-only.
+	Dir string
+	// Shards is the default dataflow shard count for synthesis jobs
+	// (synth.Config.Shards semantics: 0 = one per CPU, -1 = serial
+	// reference engine). Individual jobs may override it.
+	Shards int
+	// Workers bounds the synthesis worker pool. 0 sizes it off the
+	// hardware: GOMAXPROCS divided by the CPUs each job's executor
+	// uses, and at least 1.
+	Workers int
+	// Seed is the base for deriving per-request noise/MCMC seeds when a
+	// request does not supply one. Defaults to 1.
+	Seed int64
+}
+
+// Service owns the curator-side state: datasets and their budget
+// ledgers, the measurement store, and the synthesis job manager.
+// All methods are safe for concurrent use.
+type Service struct {
+	opts     Options
+	store    *Store
+	registry *Registry
+	jobs     *JobManager
+	seedCtr  atomic.Int64
+}
+
+// New builds a Service, loading any measurements already persisted
+// under opts.Dir.
+func New(opts Options) (*Service, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Shards < -1 {
+		return nil, fmt.Errorf("service: invalid shard count %d", opts.Shards)
+	}
+	st, err := NewStore(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		opts:     opts,
+		store:    st,
+		registry: NewRegistry(),
+	}
+	s.jobs = NewJobManager(st, opts.Shards, workerCount(opts))
+	return s, nil
+}
+
+// workerCount sizes the job pool: each job's executor occupies roughly
+// `shards` CPUs (GOMAXPROCS for the auto setting, 1 for the serial
+// reference engine), so the pool admits GOMAXPROCS/shards jobs at once.
+func workerCount(opts Options) int {
+	if opts.Workers > 0 {
+		return opts.Workers
+	}
+	procs := runtime.GOMAXPROCS(0)
+	perJob := opts.Shards
+	switch {
+	case perJob <= -1:
+		perJob = 1
+	case perJob == 0:
+		perJob = procs
+	}
+	n := procs / perJob
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Store returns the measurement store.
+func (s *Service) Store() *Store { return s.store }
+
+// Registry returns the dataset registry.
+func (s *Service) Registry() *Registry { return s.registry }
+
+// Jobs returns the synthesis job manager.
+func (s *Service) Jobs() *JobManager { return s.jobs }
+
+// Close stops the job workers, cancelling any running jobs, and waits
+// for them to exit.
+func (s *Service) Close() { s.jobs.Close() }
+
+// SubmitJob fills the request defaults the service owns (the derived
+// seed) and enqueues a synthesis job.
+func (s *Service) SubmitJob(req JobRequest) (JobStatus, error) {
+	if req.Seed == 0 {
+		req.Seed = s.nextSeed()
+	}
+	return s.jobs.Submit(req)
+}
+
+// nextSeed derives a deterministic per-request seed for requests that
+// do not supply one: distinct requests get distinct, reproducible
+// noise streams under a fixed Options.Seed.
+func (s *Service) nextSeed() int64 {
+	return s.opts.Seed + s.seedCtr.Add(1)*2654435761
+}

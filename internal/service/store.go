@@ -1,0 +1,190 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"wpinq/internal/synth"
+)
+
+// Store persists released measurements under content-addressed IDs.
+//
+// The stored bytes are exactly what synth.(*Measurements).Save writes
+// (format-version header + JSON), and the ID is derived from those
+// bytes, so a release can be re-fetched, mirrored, or re-uploaded
+// without ever colliding or silently mutating: same bytes, same ID.
+// Measurements are differentially private, so the store is the public,
+// analyst-facing half of the service — nothing in it is sensitive.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	entries map[string]storeEntry
+	order   []string // insertion order, for stable listings
+}
+
+type storeEntry struct {
+	info MeasurementInfo
+	data []byte
+}
+
+// MeasurementInfo describes one stored release.
+type MeasurementInfo struct {
+	ID        string   `json:"id"`
+	Eps       float64  `json:"eps"`
+	TotalCost float64  `json:"totalCost"`
+	Kinds     []string `json:"kinds"`
+	TbDBucket int      `json:"tbdBucket,omitempty"`
+	Bytes     int      `json:"bytes"`
+}
+
+// NewStore opens (and if needed creates) a store rooted at dir, loading
+// every previously persisted measurement. An empty dir keeps the store
+// in memory only.
+func NewStore(dir string) (*Store, error) {
+	st := &Store{dir: dir, entries: make(map[string]storeEntry)}
+	if dir == "" {
+		return st, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: creating store dir: %w", err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "m*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("service: reading stored measurement: %w", err)
+		}
+		id := contentID(data)
+		if want := strings.TrimSuffix(filepath.Base(name), ".json"); want != id {
+			return nil, fmt.Errorf("service: %s content hashes to %s: file corrupted or renamed", name, id)
+		}
+		info, err := describeMeasurement(id, data)
+		if err != nil {
+			return nil, fmt.Errorf("service: %s: %w", name, err)
+		}
+		st.entries[id] = storeEntry{info: info, data: data}
+		st.order = append(st.order, id)
+	}
+	return st, nil
+}
+
+// contentID derives the content-addressed ID of a saved release.
+func contentID(data []byte) string {
+	sum := sha256.Sum256(data)
+	return "m" + hex.EncodeToString(sum[:8])
+}
+
+// describeMeasurement parses saved bytes into listing metadata (the
+// disk-load path). The throwaway rng is never sampled: only presence
+// and bookkeeping fields are inspected.
+func describeMeasurement(id string, data []byte) (MeasurementInfo, error) {
+	m, err := synth.LoadMeasurements(bytes.NewReader(data), rand.New(rand.NewSource(0)))
+	if err != nil {
+		return MeasurementInfo{}, err
+	}
+	return describeLoaded(id, m, len(data)), nil
+}
+
+// describeLoaded builds listing metadata from a live release.
+func describeLoaded(id string, m *synth.Measurements, size int) MeasurementInfo {
+	info := MeasurementInfo{
+		ID:        id,
+		Eps:       m.Eps,
+		TotalCost: m.TotalCost,
+		Kinds:     []string{"degseq", "ccdf", "nodecount"},
+		TbDBucket: m.TbDBucket,
+		Bytes:     size,
+	}
+	if m.TbI != nil {
+		info.Kinds = append(info.Kinds, "tbi")
+	}
+	if m.TbD != nil {
+		info.Kinds = append(info.Kinds, "tbd")
+	}
+	if m.JDD != nil {
+		info.Kinds = append(info.Kinds, "jdd")
+	}
+	return info
+}
+
+// Put serializes m and stores it, returning its metadata. Storing the
+// same release twice is an idempotent no-op (same content, same ID).
+func (st *Store) Put(m *synth.Measurements) (MeasurementInfo, error) {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return MeasurementInfo{}, err
+	}
+	data := buf.Bytes()
+	id := contentID(data)
+	info := describeLoaded(id, m, len(data))
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if prev, ok := st.entries[id]; ok {
+		return prev.info, nil
+	}
+	if st.dir != "" {
+		if err := os.WriteFile(filepath.Join(st.dir, id+".json"), data, 0o644); err != nil {
+			return MeasurementInfo{}, fmt.Errorf("%w: persisting measurement: %v", ErrInternal, err)
+		}
+	}
+	st.entries[id] = storeEntry{info: info, data: data}
+	st.order = append(st.order, id)
+	return info, nil
+}
+
+// List returns every stored release's metadata in insertion order.
+func (st *Store) List() []MeasurementInfo {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]MeasurementInfo, 0, len(st.order))
+	for _, id := range st.order {
+		out = append(out, st.entries[id].info)
+	}
+	return out
+}
+
+// Info returns one release's metadata.
+func (st *Store) Info(id string) (MeasurementInfo, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[id]
+	if !ok {
+		return MeasurementInfo{}, fmt.Errorf("%w: measurement %s", ErrNotFound, id)
+	}
+	return e.info, nil
+}
+
+// Bytes returns the exact stored bytes of one release.
+func (st *Store) Bytes(id string) ([]byte, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: measurement %s", ErrNotFound, id)
+	}
+	return append([]byte(nil), e.data...), nil
+}
+
+// Load deserializes one release. The rng serves memoized noise for
+// records never requested before the release was saved (see
+// synth.LoadMeasurements).
+func (st *Store) Load(id string, rng *rand.Rand) (*synth.Measurements, error) {
+	data, err := st.Bytes(id)
+	if err != nil {
+		return nil, err
+	}
+	return synth.LoadMeasurements(bytes.NewReader(data), rng)
+}

@@ -1,0 +1,101 @@
+package synth
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestGoldenMeasurementsStayLoadable pins the on-disk format: the
+// checked-in golden file (saved by format v1 with every measurement
+// kind populated) must keep loading, and a load→save→load round trip
+// must preserve every released value byte-for-byte. If the format ever
+// evolves, this test forces the new code to keep reading v1 releases —
+// the measurement store depends on old releases staying loadable.
+func TestGoldenMeasurementsStayLoadable(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "measurements.v1.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "wpinq-measurements v1\n") {
+		t.Fatalf("golden file lost its format-version header: %q", data[:32])
+	}
+
+	m, err := LoadMeasurements(bytes.NewReader(data), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("golden v1 release no longer loads: %v", err)
+	}
+	if m.Eps != 1 || m.TotalCost != 20 || m.TbDBucket != 5 {
+		t.Errorf("golden bookkeeping: eps=%g cost=%g bucket=%d", m.Eps, m.TotalCost, m.TbDBucket)
+	}
+	for name, ok := range map[string]bool{
+		"DegSeq": m.DegSeq != nil, "CCDF": m.CCDF != nil, "NodeCount": m.NodeCount != nil,
+		"TbI": m.TbI != nil, "TbD": m.TbD != nil, "JDD": m.JDD != nil,
+	} {
+		if !ok {
+			t.Errorf("golden release lost its %s measurement", name)
+		}
+	}
+
+	// Round trip: Save is canonical (sorted entries), so saving the
+	// loaded release must reproduce the golden bytes exactly.
+	var out bytes.Buffer
+	if err := m.Save(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Error("save(load(golden)) != golden: Save is no longer canonical for v1 releases")
+	}
+
+	// And the reloaded copy must carry identical released values.
+	m2, err := LoadMeasurements(bytes.NewReader(out.Bytes()), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.TbD.Materialized(), m2.TbD.Materialized()) {
+		t.Error("TbD values changed across round trip")
+	}
+	if !reflect.DeepEqual(m.JDD.Materialized(), m2.JDD.Materialized()) {
+		t.Error("JDD values changed across round trip")
+	}
+	if !reflect.DeepEqual(m.DegSeq.Materialized(), m2.DegSeq.Materialized()) {
+		t.Error("degree sequence changed across round trip")
+	}
+}
+
+// TestLegacyBareJSONStaysLoadable covers releases written before the
+// format-version header existed: a bare JSON body must still load.
+func TestLegacyBareJSONStaysLoadable(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "measurements.v1.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, body, ok := bytes.Cut(data, []byte("\n"))
+	if !ok {
+		t.Fatal("golden file has no header line")
+	}
+	m, err := LoadMeasurements(bytes.NewReader(body), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("legacy bare-JSON release no longer loads: %v", err)
+	}
+	if m.Eps != 1 || m.TbI == nil {
+		t.Errorf("legacy load dropped fields: eps=%g", m.Eps)
+	}
+}
+
+func TestLoadRejectsUnknownHeader(t *testing.T) {
+	cases := map[string]string{
+		"wrong magic":    "not-wpinq v1\n{}",
+		"future version": "wpinq-measurements v99\n{}",
+		"empty":          "",
+	}
+	for name, in := range cases {
+		if _, err := LoadMeasurements(strings.NewReader(in), rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

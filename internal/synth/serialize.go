@@ -1,10 +1,13 @@
 package synth
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
+	"strings"
 
 	"wpinq/internal/core"
 	"wpinq/internal/queries"
@@ -48,8 +51,19 @@ type degTripleCount struct {
 
 const serializationVersion = 1
 
-// Save writes the released measurements as JSON.
+// formatHeader is the first line of every measurements file:
+// a magic string plus the format version, so tools (and future versions
+// of this package) can identify and dispatch on the format without
+// parsing the JSON body. The JSON body repeats the version for
+// defense in depth.
+const formatHeader = "wpinq-measurements"
+
+// Save writes the released measurements as a one-line format-version
+// header followed by JSON.
 func (m *Measurements) Save(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s v%d\n", formatHeader, serializationVersion); err != nil {
+		return err
+	}
 	out := measurementsJSON{
 		Version:   serializationVersion,
 		Eps:       m.Eps,
@@ -57,12 +71,17 @@ func (m *Measurements) Save(w io.Writer) error {
 		TbDBucket: m.TbDBucket,
 		NodeCount: m.NodeCount.Get(queries.Unit{}),
 	}
+	// Entries are sorted so identical measurements serialize to identical
+	// bytes: Save output is canonical, which is what lets a measurement
+	// store address releases by content hash.
 	for i, c := range m.DegSeq.Materialized() {
 		out.DegSeq = append(out.DegSeq, intCount{i, c})
 	}
+	sort.Slice(out.DegSeq, func(i, j int) bool { return out.DegSeq[i].Index < out.DegSeq[j].Index })
 	for i, c := range m.CCDF.Materialized() {
 		out.CCDF = append(out.CCDF, intCount{i, c})
 	}
+	sort.Slice(out.CCDF, func(i, j int) bool { return out.CCDF[i].Index < out.CCDF[j].Index })
 	if m.TbI != nil {
 		v := m.TbI.Get(queries.Unit{})
 		out.TbI = &v
@@ -71,11 +90,27 @@ func (m *Measurements) Save(w io.Writer) error {
 		for t, c := range m.TbD.Materialized() {
 			out.TbD = append(out.TbD, degTripleCount{[3]int(t), c})
 		}
+		sort.Slice(out.TbD, func(i, j int) bool {
+			a, b := out.TbD[i].Triple, out.TbD[j].Triple
+			if a[0] != b[0] {
+				return a[0] < b[0]
+			}
+			if a[1] != b[1] {
+				return a[1] < b[1]
+			}
+			return a[2] < b[2]
+		})
 	}
 	if m.JDD != nil {
 		for p, c := range m.JDD.Materialized() {
 			out.JDD = append(out.JDD, degPairCount{p.DA, p.DB, c})
 		}
+		sort.Slice(out.JDD, func(i, j int) bool {
+			if out.JDD[i].DA != out.JDD[j].DA {
+				return out.JDD[i].DA < out.JDD[j].DA
+			}
+			return out.JDD[i].DB < out.JDD[j].DB
+		})
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
@@ -84,9 +119,31 @@ func (m *Measurements) Save(w io.Writer) error {
 // LoadMeasurements reads measurements saved by Save. The supplied rng
 // continues to serve fresh memoized noise for records never requested
 // before the save (NoisyCount's lazy dictionary survives serialization).
+//
+// Both the current headered format ("wpinq-measurements v1" + JSON) and
+// the legacy bare-JSON format (which begins with '{') are accepted, so
+// releases stored before the header was introduced stay loadable.
 func LoadMeasurements(r io.Reader, rng *rand.Rand) (*Measurements, error) {
+	br := bufio.NewReader(r)
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, fmt.Errorf("synth: reading measurements: %w", err)
+	}
+	if first[0] != '{' {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("synth: reading measurements header: %w", err)
+		}
+		var v int
+		if _, err := fmt.Sscanf(strings.TrimSpace(line), formatHeader+" v%d", &v); err != nil {
+			return nil, fmt.Errorf("synth: not a measurements file (header %q)", strings.TrimSpace(line))
+		}
+		if v != serializationVersion {
+			return nil, fmt.Errorf("synth: unsupported measurements format version %d", v)
+		}
+	}
 	var in measurementsJSON
-	dec := json.NewDecoder(r)
+	dec := json.NewDecoder(br)
 	if err := dec.Decode(&in); err != nil {
 		return nil, fmt.Errorf("synth: decoding measurements: %w", err)
 	}
@@ -105,7 +162,6 @@ func LoadMeasurements(r io.Reader, rng *rand.Rand) (*Measurements, error) {
 	for _, p := range in.DegSeq {
 		seq[p.Index] = p.Count
 	}
-	var err error
 	if m.DegSeq, err = core.HistogramFromMaterialized(seq, in.Eps, rng); err != nil {
 		return nil, err
 	}

@@ -65,6 +65,17 @@ type Config struct {
 	SampleEvery int
 	// OnSample observes the evolving synthetic graph (optional).
 	OnSample func(step int, g *graph.Graph)
+	// OnProgress, when set, observes Phase 2 progress every ProgressEvery
+	// steps and once after the final step. Returning false cancels the
+	// run: Synthesize stops after the current chunk and returns the
+	// partial synthetic graph with Result.Cancelled set. Long-running
+	// fits become observable and stoppable (e.g. by an async job
+	// manager) without touching the MCMC trace: chunking the run does
+	// not change the sequence of proposals.
+	OnProgress func(Progress) bool
+	// ProgressEvery is the OnProgress callback cadence in steps
+	// (default 1024; only consulted when OnProgress is set).
+	ProgressEvery int
 	// Shards selects the dataflow executor for Phase 2:
 	//
 	//	 0  sharded parallel executor, one shard per CPU (the default);
@@ -97,7 +108,45 @@ func (c *Config) Validate() error {
 	if c.Shards < -1 {
 		return errors.New("synth: Shards must be -1 (reference engine), 0 (auto), or positive")
 	}
+	if c.ProgressEvery <= 0 {
+		c.ProgressEvery = 1024
+	}
 	return nil
+}
+
+// Progress is a snapshot of a running Phase 2 fit, delivered to
+// Config.OnProgress.
+type Progress struct {
+	Step     int     // MCMC steps completed so far
+	Steps    int     // total steps configured
+	Accepted int     // proposals accepted so far
+	Score    float64 // current fit score (lower is better)
+}
+
+// AcceptRate returns the fraction of completed steps that were accepted.
+func (p Progress) AcceptRate() float64 {
+	if p.Step == 0 {
+		return 0
+	}
+	return float64(p.Accepted) / float64(p.Step)
+}
+
+// MeasureCost returns the total privacy cost, in epsilon, that Measure
+// will charge for this configuration: SeedCost for the Phase 1
+// measurements plus the cost of each configured fit measurement
+// (Section 5: TbI 4eps, TbD 9eps, JDD 4eps).
+func (c Config) MeasureCost() float64 {
+	needed := float64(SeedCost)
+	if c.MeasureTbI {
+		needed += 4
+	}
+	if c.MeasureTbD {
+		needed += 9
+	}
+	if c.MeasureJDD {
+		needed += 4
+	}
+	return needed * c.Eps
 }
 
 // SeedCost is the privacy cost of the Phase 1 measurements in units of
@@ -126,17 +175,7 @@ func Measure(g *graph.Graph, cfg Config, rng *rand.Rand) (*Measurements, error) 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	needed := float64(SeedCost)
-	if cfg.MeasureTbI {
-		needed += 4
-	}
-	if cfg.MeasureTbD {
-		needed += 9
-	}
-	if cfg.MeasureJDD {
-		needed += 4
-	}
-	src := budget.NewSource("edges", needed*cfg.Eps*(1+1e-9))
+	src := budget.NewSource("edges", cfg.MeasureCost()*(1+1e-9))
 	edges := core.FromDataset(graph.SymmetricEdges(g), src)
 
 	m := &Measurements{Eps: cfg.Eps, TbDBucket: cfg.TbDBucket}
@@ -272,6 +311,9 @@ type Result struct {
 	Synthetic *graph.Graph // Phase 2 output
 	Stats     mcmc.Stats
 	TotalCost float64 // privacy cost in epsilon
+	// Cancelled reports that OnProgress stopped the fit early; Synthetic
+	// holds the partial result at the point of cancellation.
+	Cancelled bool
 }
 
 // fitStreams is the executor-agnostic view of the Phase 2 pipelines: the
@@ -387,13 +429,47 @@ func Synthesize(m *Measurements, seed *graph.Graph, cfg Config, rng *rand.Rand) 
 	if err != nil {
 		return nil, err
 	}
-	stats := runner.Run(cfg.Steps)
+	stats, cancelled := runChunked(runner, cfg)
 	return &Result{
 		Seed:      seed,
 		Synthetic: state.Graph(),
 		Stats:     stats,
 		TotalCost: m.TotalCost,
+		Cancelled: cancelled,
 	}, nil
+}
+
+// runChunked drives the runner in ProgressEvery-step chunks so OnProgress
+// can observe and cancel the fit. The runner keeps its step counter and
+// score across Run calls, so the proposal trace is identical to one
+// uninterrupted Run(cfg.Steps).
+func runChunked(runner *mcmc.Runner, cfg Config) (mcmc.Stats, bool) {
+	if cfg.OnProgress == nil {
+		return runner.Run(cfg.Steps), false
+	}
+	var stats mcmc.Stats
+	for done := 0; done < cfg.Steps; {
+		n := cfg.ProgressEvery
+		if rest := cfg.Steps - done; n > rest {
+			n = rest
+		}
+		s := runner.Run(n)
+		stats.Steps += s.Steps
+		stats.Accepted += s.Accepted
+		stats.Rejected += s.Rejected
+		stats.Invalid += s.Invalid
+		stats.FinalScore = s.FinalScore
+		done += n
+		if !cfg.OnProgress(Progress{
+			Step:     done,
+			Steps:    cfg.Steps,
+			Accepted: stats.Accepted,
+			Score:    s.FinalScore,
+		}) {
+			return stats, true
+		}
+	}
+	return stats, false
 }
 
 // Run executes the complete workflow: Measure -> SeedGraph -> Synthesize.

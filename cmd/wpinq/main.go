@@ -9,8 +9,9 @@
 // Experiments: table1, table2, table3, fig1, fig3, fig4, fig5, fig6, all.
 //
 // Beyond the experiments it ships the workflow tools (measure,
-// synthesize, motif) and the `remote` verbs, which drive a wpinqd
-// curator server (see cmd/wpinqd).
+// synthesize, motif, workloads) and the `remote` verbs, which drive a
+// wpinqd curator server (see cmd/wpinqd). Fit workloads are named
+// against the workload registry; `wpinq workloads` lists them.
 //
 // The defaults run each experiment on one machine in minutes by scaling the
 // paper's datasets and MCMC budgets down; raise -scale and -steps to
@@ -60,6 +61,8 @@ func run(args []string) error {
 		return runSynthesize(args[1:])
 	case "motif":
 		return runMotif(args[1:])
+	case "workloads":
+		return runWorkloads(args[1:])
 	case "remote":
 		return runRemote(args[1:])
 	}
@@ -119,6 +122,7 @@ workflow tools:
   measure     take DP measurements of an edge-list file -> measurements JSON
   synthesize  build a synthetic graph from a measurements JSON
   motif       release a DP motif prevalence (triangle/square/wedge/star4)
+  workloads   list the registered fit workloads (names for -workloads flags)
 
 remote verbs (clients of a wpinqd curator server; see `+"`wpinqd -h`"+`):
   remote measure     upload an edge list and take DP measurements server-side

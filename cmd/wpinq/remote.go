@@ -17,6 +17,7 @@ import (
 
 	"wpinq/internal/graph"
 	"wpinq/internal/service"
+	"wpinq/internal/workload"
 )
 
 func runRemote(args []string) error {
@@ -41,10 +42,9 @@ func runRemoteMeasure(args []string) error {
 	name := fs.String("name", "", "dataset name (default: derived server-side)")
 	total := fs.Float64("budget", 0, "total privacy budget for the dataset (epsilon; required)")
 	eps := fs.Float64("eps", 0.1, "per-measurement privacy parameter")
-	tbi := fs.Bool("tbi", true, "measure triangles-by-intersect (4 eps)")
-	tbd := fs.Bool("tbd", false, "measure triangles-by-degree (9 eps)")
-	jdd := fs.Bool("jdd", false, "measure the joint degree distribution (4 eps)")
-	bucket := fs.Int("bucket", 20, "TbD degree bucket width")
+	names := fs.String("workloads", "tbi",
+		"comma-separated fit workloads to measure (see `wpinq workloads`)")
+	bucket := fs.Int("bucket", 20, "degree bucket width for bucketed workloads (e.g. tbd)")
 	keep := fs.Bool("keep", false, "keep the protected graph on the server after measuring (default: discard)")
 	seed := fs.Int64("seed", 0, "noise seed (0 = server-derived)")
 	if err := fs.Parse(args); err != nil {
@@ -55,6 +55,10 @@ func runRemoteMeasure(args []string) error {
 	}
 	if *total <= 0 {
 		return fmt.Errorf("remote measure: -budget is required and must be positive")
+	}
+	workloads, err := workload.ParseList(*names)
+	if err != nil {
+		return fmt.Errorf("remote measure: %w", err)
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -70,7 +74,7 @@ func runRemoteMeasure(args []string) error {
 	fmt.Fprintf(os.Stderr, "remote: uploaded %s as %s (%d nodes, %d edges, budget %g)\n",
 		*in, ds.ID, ds.Nodes, ds.Edges, ds.Ledger.Budget)
 	res, err := c.Measure(ds.ID, service.MeasureRequest{
-		Eps: *eps, TbI: *tbi, TbD: *tbd, JDD: *jdd,
+		Eps: *eps, Workloads: workloads,
 		Bucket: *bucket, Keep: *keep, Seed: *seed,
 	})
 	if err != nil {
@@ -88,6 +92,8 @@ func runRemoteSynthesize(args []string) error {
 	server := fs.String("server", "http://127.0.0.1:8080", "wpinqd base URL")
 	measurement := fs.String("measurement", "", "stored measurement ID (from `wpinq remote measure`)")
 	out := fs.String("out", "", "output synthetic edge list (default stdout)")
+	fitNames := fs.String("workloads", "",
+		"comma-separated fit workloads (default: every workload in the release)")
 	steps := fs.Int("steps", 100000, "MCMC steps")
 	pow := fs.Float64("pow", 10000, "posterior sharpening")
 	shards := fs.Int("shards", 0, "dataflow shards: 0 = one per CPU, -1 = serial reference engine (omit to use the server default)")
@@ -99,8 +105,13 @@ func runRemoteSynthesize(args []string) error {
 	if *measurement == "" {
 		return fmt.Errorf("remote synthesize: -measurement is required")
 	}
+	workloads, err := workload.ParseList(*fitNames)
+	if err != nil {
+		return fmt.Errorf("remote synthesize: %w", err)
+	}
 	req := service.JobRequest{
 		Measurement: *measurement,
+		Workloads:   workloads,
 		Steps:       *steps,
 		Pow:         *pow,
 		Seed:        *seed,

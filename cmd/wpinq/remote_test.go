@@ -56,16 +56,19 @@ func TestRemoteWorkflow(t *testing.T) {
 	edges := writeTestGraph(t, dir)
 	out := filepath.Join(dir, "synth.txt")
 
+	// Workloads named explicitly: tbi (4 eps) + wedges (2 eps) on top of
+	// the 3-eps seed bundle, budget sized exactly.
 	measurementID := strings.TrimSpace(captureStdout(t, func() error {
 		return runRemote([]string{"measure",
-			"-server", url, "-in", edges, "-budget", "7", "-eps", "1", "-seed", "11"})
+			"-server", url, "-in", edges, "-workloads", "tbi,wedges",
+			"-budget", "9", "-eps", "1", "-seed", "11"})
 	}))
 	if !strings.HasPrefix(measurementID, "m") {
 		t.Fatalf("remote measure printed %q, want a measurement ID", measurementID)
 	}
 
 	if err := runRemote([]string{"synthesize",
-		"-server", url, "-measurement", measurementID,
+		"-server", url, "-measurement", measurementID, "-workloads", "tbi,wedges",
 		"-steps", "300", "-seed", "12", "-shards", "-1", "-poll", "10ms", "-out", out}); err != nil {
 		t.Fatal(err)
 	}

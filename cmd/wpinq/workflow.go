@@ -14,6 +14,7 @@ import (
 
 	"wpinq/internal/graph"
 	"wpinq/internal/synth"
+	"wpinq/internal/workload"
 )
 
 func runMeasure(args []string) error {
@@ -21,16 +22,19 @@ func runMeasure(args []string) error {
 	in := fs.String("in", "", "input edge list (u<TAB>v per line; # comments ok)")
 	out := fs.String("out", "", "output measurements JSON (default stdout)")
 	eps := fs.Float64("eps", 0.1, "per-measurement privacy parameter")
-	tbi := fs.Bool("tbi", true, "measure triangles-by-intersect (4 eps)")
-	tbd := fs.Bool("tbd", false, "measure triangles-by-degree (9 eps)")
-	jdd := fs.Bool("jdd", false, "measure the joint degree distribution (4 eps)")
-	bucket := fs.Int("bucket", 20, "TbD degree bucket width")
+	names := fs.String("workloads", "tbi",
+		"comma-separated fit workloads to measure (see `wpinq workloads`)")
+	bucket := fs.Int("bucket", 20, "degree bucket width for bucketed workloads (e.g. tbd)")
 	seed := fs.Int64("seed", 1, "random seed for the noise")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("measure: -in is required")
+	}
+	workloads, err := workload.ParseList(*names)
+	if err != nil {
+		return fmt.Errorf("measure: %w", err)
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -47,11 +51,9 @@ func runMeasure(args []string) error {
 	fmt.Fprintf(os.Stderr, "measure: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
 
 	cfg := synth.Config{
-		Eps:        *eps,
-		MeasureTbI: *tbi,
-		MeasureTbD: *tbd,
-		MeasureJDD: *jdd,
-		TbDBucket:  *bucket,
+		Eps:       *eps,
+		Workloads: workloads,
+		Bucket:    *bucket,
 	}
 	m, err := synth.Measure(g, cfg, rand.New(rand.NewSource(*seed)))
 	if err != nil {
@@ -75,6 +77,8 @@ func runSynthesize(args []string) error {
 	fs := flag.NewFlagSet("synthesize", flag.ContinueOnError)
 	in := fs.String("in", "", "input measurements JSON (from `wpinq measure`)")
 	out := fs.String("out", "", "output synthetic edge list (default stdout)")
+	names := fs.String("workloads", "",
+		"comma-separated fit workloads (default: every workload in the measurements)")
 	steps := fs.Int("steps", 100000, "MCMC steps")
 	pow := fs.Float64("pow", 10000, "posterior sharpening")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -84,6 +88,10 @@ func runSynthesize(args []string) error {
 	}
 	if *in == "" {
 		return fmt.Errorf("synthesize: -in is required")
+	}
+	workloads, err := workload.ParseList(*names)
+	if err != nil {
+		return fmt.Errorf("synthesize: %w", err)
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -103,14 +111,11 @@ func runSynthesize(args []string) error {
 		seedGraph.NumNodes(), seedGraph.NumEdges(), seedGraph.Triangles())
 
 	cfg := synth.Config{
-		Eps:        m.Eps,
-		MeasureTbI: m.TbI != nil,
-		MeasureTbD: m.TbD != nil,
-		MeasureJDD: m.JDD != nil,
-		TbDBucket:  m.TbDBucket,
-		Pow:        *pow,
-		Steps:      *steps,
-		Shards:     *shards,
+		Eps:       m.Eps,
+		Workloads: workloads, // empty = every workload in the file
+		Pow:       *pow,
+		Steps:     *steps,
+		Shards:    *shards,
 	}
 	res, err := synth.Synthesize(m, seedGraph, cfg, rng)
 	if err != nil {

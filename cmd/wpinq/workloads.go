@@ -1,0 +1,29 @@
+package main
+
+// The workloads subcommand lists the registered fit workloads: the
+// names accepted by `wpinq measure -workloads`, `wpinq synthesize
+// -workloads`, the remote verbs, and the wpinqd API.
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"wpinq/internal/workload"
+)
+
+func runWorkloads(args []string) error {
+	if len(args) > 0 {
+		return fmt.Errorf("workloads: unexpected arguments %v", args)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tUSES\tBUCKETED\tDESCRIPTION")
+	for _, w := range workload.All() {
+		bucketed := ""
+		if w.Bucketed {
+			bucketed = "yes"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\n", w.Name, w.Uses, bucketed, w.Description)
+	}
+	return tw.Flush()
+}

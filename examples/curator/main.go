@@ -64,10 +64,11 @@ func run() error {
 		return err
 	}
 	curator := service.NewClient(base)
-	// Budget for exactly one TbI measurement bundle: 3 eps of seed
-	// measurements + 4 eps for triangles-by-intersect, at eps = 0.5.
+	// Budget for exactly one measurement bundle, by registered workload
+	// cost: 3 eps of seed measurements + 4 eps for "tbi" + 2 eps for
+	// "wedges", at eps = 0.5. (`wpinq workloads` lists the registry.)
 	const eps = 0.5
-	budget := 7 * eps
+	budget := 9 * eps
 	ds, err := curator.Upload("collab", budget, &edges)
 	if err != nil {
 		return err
@@ -75,7 +76,9 @@ func run() error {
 	fmt.Printf("curator: uploaded %q as %s: %d nodes, %d edges, budget %g\n",
 		ds.Name, ds.ID, ds.Nodes, ds.Edges, ds.Ledger.Budget)
 
-	mres, err := curator.Measure(ds.ID, service.MeasureRequest{Eps: eps, TbI: true, Seed: 7})
+	mres, err := curator.Measure(ds.ID, service.MeasureRequest{
+		Eps: eps, Workloads: []string{"tbi", "wedges"}, Seed: 7,
+	})
 	if err != nil {
 		return err
 	}
@@ -84,7 +87,7 @@ func run() error {
 
 	// The budget is spent and the graph is gone: a second measurement is
 	// structurally refused.
-	_, err = curator.Measure(ds.ID, service.MeasureRequest{Eps: eps, TbI: true})
+	_, err = curator.Measure(ds.ID, service.MeasureRequest{Eps: eps, Workloads: []string{"tbi"}})
 	var api *service.APIError
 	if !errors.As(err, &api) {
 		return fmt.Errorf("expected a structured overdraw error, got %v", err)

@@ -37,12 +37,12 @@ func main() {
 		g.NumNodes(), g.NumEdges(), g.Triangles(), g.Assortativity())
 
 	cfg := synth.Config{
-		Eps:        0.5,   // per-measurement privacy parameter
-		MeasureTbI: true,  // triangles-by-intersect (4 eps)
-		Pow:        10000, // near-greedy posterior
-		Steps:      30000,
-		Shards:     0, // sharded executor, one shard per CPU
-		OnStep:     nil,
+		Eps:       0.5,             // per-measurement privacy parameter
+		Workloads: []string{"tbi"}, // triangles-by-intersect (4 eps)
+		Pow:       10000,           // near-greedy posterior
+		Steps:     30000,
+		Shards:    0, // sharded executor, one shard per CPU
+		OnStep:    nil,
 	}
 	cfg.SampleEvery = 5000
 	cfg.OnSample = func(step int, sg *graph.Graph) {

@@ -83,6 +83,11 @@ func HistogramFromMaterialized[T comparable](counts map[T]float64, eps float64, 
 // fails (releasing nothing) if any budget would be overdrawn. The noise
 // magnitude never depends on the query: wPINQ scales record weights down
 // instead of scaling noise up.
+//
+// Noise is assigned in sorted record order (weighted.PairsSorted), not
+// map iteration order, so a fixed rng seed pins the released values
+// exactly: identically-seeded measurement runs are byte-identical, which
+// content-addressed measurement stores depend on.
 func NoisyCount[T comparable](c *Collection[T], eps float64, rng *rand.Rand) (*Histogram[T], error) {
 	dist, err := laplace.FromEpsilon(eps)
 	if err != nil {
@@ -96,9 +101,9 @@ func NoisyCount[T comparable](c *Collection[T], eps float64, rng *rand.Rand) (*H
 		dist:   dist,
 		rng:    rng,
 	}
-	c.data.Range(func(x T, w float64) {
-		h.counts[x] = w + dist.Sample(rng)
-	})
+	for _, p := range c.data.PairsSorted() {
+		h.counts[p.Record] = p.Weight + dist.Sample(rng)
+	}
 	return h, nil
 }
 
@@ -114,16 +119,18 @@ func NoisySum[T comparable](c *Collection[T], eps float64, f func(T) float64, rn
 	if err := c.uses.ChargeAll(eps); err != nil {
 		return 0, err
 	}
+	// Deterministic accumulation order, for the same reason NoisyCount
+	// sorts: float addition does not associate exactly.
 	var sum float64
-	c.data.Range(func(x T, w float64) {
-		v := f(x)
+	for _, p := range c.data.PairsSorted() {
+		v := f(p.Record)
 		if v > 1 {
 			v = 1
 		} else if v < -1 {
 			v = -1
 		}
-		sum += v * w
-	})
+		sum += v * p.Weight
+	}
 	return sum + dist.Sample(rng), nil
 }
 

@@ -202,12 +202,12 @@ func Fig3(o Options) error {
 	}
 	for i, run := range runs {
 		cfg := synth.Config{
-			Eps:        o.Eps,
-			MeasureTbD: true,
-			TbDBucket:  run.bucket,
-			Pow:        o.Pow,
-			Steps:      steps,
-			Shards:     o.Shards,
+			Eps:       o.Eps,
+			Workloads: []string{"tbd"},
+			Bucket:    run.bucket,
+			Pow:       o.Pow,
+			Steps:     steps,
+			Shards:    o.Shards,
 		}
 		series, _, err := trajectory(run.g, cfg, o, 33+int64(i), run.name)
 		if err != nil {
@@ -243,11 +243,11 @@ func Fig4(o Options) error {
 	}
 	fmt.Fprintln(o.Out, "Figure 4: fitting triangles with TbI (real vs random)")
 	cfg := synth.Config{
-		Eps:        o.Eps,
-		MeasureTbI: true,
-		Pow:        o.Pow,
-		Steps:      o.Steps,
-		Shards:     o.Shards,
+		Eps:       o.Eps,
+		Workloads: []string{"tbi"},
+		Pow:       o.Pow,
+		Steps:     o.Steps,
+		Shards:    o.Shards,
 	}
 	i := int64(0)
 	for _, name := range []datasets.Name{datasets.GrQc, datasets.HepTh, datasets.HepPh, datasets.Caltech} {
@@ -284,11 +284,11 @@ func Table2(o Options) error {
 	fmt.Fprintln(o.Out, "Table 2: triangles before MCMC (seed), after TbI MCMC, and in the original")
 	tb := expt.NewTable("Graph", "Seed", "MCMC", "Truth")
 	cfg := synth.Config{
-		Eps:        o.Eps,
-		MeasureTbI: true,
-		Pow:        o.Pow,
-		Steps:      o.Steps,
-		Shards:     o.Shards,
+		Eps:       o.Eps,
+		Workloads: []string{"tbi"},
+		Pow:       o.Pow,
+		Steps:     o.Steps,
+		Shards:    o.Shards,
 	}
 	for i, name := range []datasets.Name{datasets.GrQc, datasets.HepPh, datasets.HepTh, datasets.Caltech} {
 		g := graphs[name]
@@ -320,11 +320,11 @@ func Fig5(o Options) error {
 			var finals []float64
 			for rep := 0; rep < o.Repeats; rep++ {
 				cfg := synth.Config{
-					Eps:        eps,
-					MeasureTbI: true,
-					Pow:        o.Pow,
-					Steps:      o.Steps,
-					Shards:     o.Shards,
+					Eps:       eps,
+					Workloads: []string{"tbi"},
+					Pow:       o.Pow,
+					Steps:     o.Steps,
+					Shards:    o.Shards,
 				}
 				res, err := synth.Run(run.g, cfg, o.rng(90+int64(rep)+int64(eps*1000)))
 				if err != nil {
@@ -433,11 +433,11 @@ func Fig6(o Options) error {
 	}
 	random := datasets.Randomized(g, o.rng(131))
 	cfg := synth.Config{
-		Eps:        o.Eps,
-		MeasureTbI: true,
-		Pow:        o.Pow,
-		Steps:      o.Steps,
-		Shards:     o.Shards,
+		Eps:       o.Eps,
+		Workloads: []string{"tbi"},
+		Pow:       o.Pow,
+		Steps:     o.Steps,
+		Shards:    o.Shards,
 	}
 	for i, run := range []struct {
 		label string

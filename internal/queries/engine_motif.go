@@ -1,0 +1,87 @@
+package queries
+
+import (
+	"wpinq/internal/engine"
+	"wpinq/internal/graph"
+	"wpinq/internal/weighted"
+)
+
+// Sharded mirrors of the motif builders (motif.go, motifdegree.go): the
+// same compiled join plans wired over the parallel executor, so motif
+// workloads run on either engine. Construction mirrors the incremental
+// builders one-for-one; only the operator package differs.
+
+// EngineWedgeCountPipeline mirrors WedgeCountPipeline on the sharded
+// executor. Cost model: 2 uses of the edge input.
+func EngineWedgeCountPipeline(edges engine.Source[graph.Edge]) engine.Source[Unit] {
+	return engine.Select(EnginePathsPipeline(edges), func(Path) Unit { return Unit{} })
+}
+
+// EngineMotifPipeline mirrors MotifPipeline on the sharded executor.
+// Cost model: p.Uses() uses of the edge input.
+func EngineMotifPipeline(edges engine.Source[graph.Edge], p Pattern) (engine.Source[Unit], error) {
+	emb, err := engineEmbeddings(edges, p)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Select[Embedding, Unit](emb, func(Embedding) Unit { return Unit{} }), nil
+}
+
+// EngineMotifByDegreePipeline mirrors MotifByDegreePipeline on the
+// sharded executor. Cost model: MotifByDegreeUses(p) uses.
+func EngineMotifByDegreePipeline(edges engine.Source[graph.Edge], p Pattern, bucket int) (engine.Source[DegProfile], error) {
+	emb, err := engineEmbeddings(edges, p)
+	if err != nil {
+		return nil, err
+	}
+	degs := EngineDegreesPipeline(edges, bucket)
+	var cur engine.Source[embDegs] = engine.Select[Embedding, embDegs](emb,
+		func(e Embedding) embDegs { return embDegs{Emb: e} })
+	for v := 0; v < p.K; v++ {
+		v := v
+		cur = engine.Join[embDegs, weighted.Grouped[graph.Node, int], graph.Node, embDegs](cur, degs,
+			func(x embDegs) graph.Node { return x.Emb[v] },
+			func(d weighted.Grouped[graph.Node, int]) graph.Node { return d.Key },
+			func(x embDegs, d weighted.Grouped[graph.Node, int]) embDegs {
+				x.Degs[v] = d.Result
+				return x
+			})
+	}
+	k := p.K
+	return engine.Select[embDegs, DegProfile](cur,
+		func(x embDegs) DegProfile { return sortProfile(x.Degs[:k]) }), nil
+}
+
+// engineEmbeddings compiles the pattern's join plan over the sharded
+// executor, producing the stream of injective partial embeddings.
+func engineEmbeddings(edges engine.Source[graph.Edge], p Pattern) (engine.Source[Embedding], error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	first, steps := p.compile()
+	var emb engine.Source[Embedding] = engine.Select(edges, func(e graph.Edge) Embedding {
+		out := emptyEmbedding()
+		out[first[0]] = e.Src
+		out[first[1]] = e.Dst
+		return out
+	})
+	for _, s := range steps {
+		s := s
+		if s.Closing {
+			emb = engine.Join[Embedding, graph.Edge, anchorKey, Embedding](emb, edges,
+				func(e Embedding) anchorKey { return anchorKey{e[s.U], e[s.V]} },
+				func(ed graph.Edge) anchorKey { return anchorKey{ed.Src, ed.Dst} },
+				func(e Embedding, _ graph.Edge) Embedding { return e })
+			continue
+		}
+		joined := engine.Join[Embedding, graph.Edge, anchorKey, Embedding](emb, edges,
+			func(e Embedding) anchorKey { return anchorKey{e[s.U], -1} },
+			func(ed graph.Edge) anchorKey { return anchorKey{ed.Src, -1} },
+			func(e Embedding, ed graph.Edge) Embedding {
+				e[s.V] = ed.Dst
+				return e
+			})
+		emb = engine.Where[Embedding](joined, injective)
+	}
+	return emb, nil
+}

@@ -90,22 +90,9 @@ func TestEngineDegreeSequencePipelineMatchesQuery(t *testing.T) {
 		EngineDegreeSequencePipeline, DegreeSequence, 12)
 }
 
-func TestEngineTbIPipelineMatchesQuery(t *testing.T) {
-	checkEnginePipelineMatchesQuery(t, "EngineTbI",
-		EngineTbIPipeline, TbI, 12)
-}
-
-func TestEngineTbDPipelineMatchesQuery(t *testing.T) {
-	checkEnginePipelineMatchesQuery(t, "EngineTbD",
-		func(s engine.Source[graph.Edge]) engine.Source[DegTriple] { return EngineTbDPipeline(s, 2) },
-		func(c *core.Collection[graph.Edge]) *core.Collection[DegTriple] { return TbD(c, 2) },
-		8)
-}
-
-func TestEngineJDDPipelineMatchesQuery(t *testing.T) {
-	checkEnginePipelineMatchesQuery(t, "EngineJDD",
-		EngineJDDPipeline, JDD, 8)
-}
+// Engine TbI/TbD/JDD equivalence moved to the registry-driven table
+// test in wpinq/internal/workload, which runs every registered workload
+// across executors and shard layouts.
 
 func TestEngineSbDPipelineMatchesQuery(t *testing.T) {
 	if testing.Short() {

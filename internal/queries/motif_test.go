@@ -159,13 +159,6 @@ func TestWedgeCountMatchesPathNorm(t *testing.T) {
 	}
 }
 
-func TestWedgeCountPipelineMatches(t *testing.T) {
-	checkPipelineMatchesQuery(t, "WedgeCount",
-		func(s incremental.Source[graph.Edge]) incremental.Source[Unit] { return WedgeCountPipeline(s) },
-		func(c *core.Collection[graph.Edge]) *core.Collection[Unit] { return WedgeCount(c) },
-		15)
-}
-
 func TestSbDPipelineMatchesQuery(t *testing.T) {
 	checkPipelineMatchesQuery(t, "SbD",
 		func(s incremental.Source[graph.Edge]) incremental.Source[DegQuad] { return SbDPipeline(s) },

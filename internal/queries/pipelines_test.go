@@ -103,33 +103,11 @@ func max32(a, b graph.Node) graph.Node {
 	return b
 }
 
-func TestTbIPipelineMatchesQuery(t *testing.T) {
-	checkPipelineMatchesQuery(t, "TbI",
-		func(s incremental.Source[graph.Edge]) incremental.Source[Unit] { return TbIPipeline(s) },
-		func(c *core.Collection[graph.Edge]) *core.Collection[Unit] { return TbI(c) },
-		25)
-}
-
-func TestTbDPipelineMatchesQuery(t *testing.T) {
-	checkPipelineMatchesQuery(t, "TbD",
-		func(s incremental.Source[graph.Edge]) incremental.Source[DegTriple] { return TbDPipeline(s, 1) },
-		func(c *core.Collection[graph.Edge]) *core.Collection[DegTriple] { return TbD(c, 1) },
-		12)
-}
-
-func TestTbDPipelineBucketedMatchesQuery(t *testing.T) {
-	checkPipelineMatchesQuery(t, "TbD-bucketed",
-		func(s incremental.Source[graph.Edge]) incremental.Source[DegTriple] { return TbDPipeline(s, 5) },
-		func(c *core.Collection[graph.Edge]) *core.Collection[DegTriple] { return TbD(c, 5) },
-		12)
-}
-
-func TestJDDPipelineMatchesQuery(t *testing.T) {
-	checkPipelineMatchesQuery(t, "JDD",
-		func(s incremental.Source[graph.Edge]) incremental.Source[DegPair] { return JDDPipeline(s) },
-		func(c *core.Collection[graph.Edge]) *core.Collection[DegPair] { return JDD(c) },
-		25)
-}
+// The per-workload TbI/TbD/JDD equivalence tests that used to live
+// here were superseded by the registry-driven table test in
+// wpinq/internal/workload (TestRegisteredWorkloadsMatchQueryOnEveryExecutor),
+// which covers every registered workload on both executors. The checks
+// below cover the pipelines that are not registry workloads.
 
 func TestDegreePipelinesMatchQueries(t *testing.T) {
 	checkPipelineMatchesQuery(t, "DegreeCCDF",

@@ -71,10 +71,8 @@ func TestEndToEndOverHTTP(t *testing.T) {
 		t.Errorf("overdraw detail: %+v", api)
 	}
 
-	// Analyst: list and fetch the release. (Measurement noise is not
-	// byte-reproducible across runs — NoisyCount assigns noise in map
-	// iteration order — so the fetched bytes, not a re-measurement, are
-	// the ground truth everything downstream must agree on.)
+	// Analyst: list and fetch the release; the stored bytes are the
+	// ground truth everything downstream must agree on.
 	list, err := client.Measurements()
 	if err != nil || len(list) != 1 || list[0].ID != mres.Measurement.ID {
 		t.Fatalf("measurement listing %v (%v)", list, err)
@@ -87,8 +85,8 @@ func TestEndToEndOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if check.Eps != 1 || check.TbI == nil || check.TbD != nil {
-		t.Fatalf("fetched release has wrong shape: %+v", check)
+	if _, hasTbI := check.Fits["tbi"]; check.Eps != 1 || !hasTbI || len(check.Fits) != 1 {
+		t.Fatalf("fetched release has wrong shape: eps=%g fits=%v", check.Eps, check.FitNames())
 	}
 
 	// Analyst: async synthesis job, polled to completion.
@@ -131,7 +129,7 @@ func TestEndToEndOverHTTP(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, err := synth.Synthesize(m2, seedG, synth.Config{
-		Eps: m2.Eps, MeasureTbI: true, Pow: 10000, Steps: steps, Shards: shards,
+		Eps: m2.Eps, Workloads: []string{"tbi"}, Pow: 10000, Steps: steps, Shards: shards,
 	}, rng)
 	if err != nil {
 		t.Fatal(err)

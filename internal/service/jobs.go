@@ -8,6 +8,7 @@ import (
 
 	"wpinq/internal/graph"
 	"wpinq/internal/synth"
+	"wpinq/internal/workload"
 )
 
 // jobQueueDepth bounds how many submitted-but-unstarted jobs the
@@ -29,6 +30,10 @@ const (
 type JobRequest struct {
 	// Measurement is the stored release ID to fit against (required).
 	Measurement string `json:"measurement"`
+	// Workloads selects which of the release's fit measurements to fit
+	// against, by registry name. Empty fits every workload the release
+	// contains.
+	Workloads []string `json:"workloads,omitempty"`
 	// Steps is the MCMC step count (required, > 0).
 	Steps int `json:"steps"`
 	// Pow sharpens the posterior (default 10000, the paper's setting).
@@ -142,8 +147,24 @@ func (jm *JobManager) Submit(req JobRequest) (JobStatus, error) {
 	if req.Steps <= 0 {
 		return JobStatus{}, fmt.Errorf("job Steps must be positive, got %d", req.Steps)
 	}
-	if _, err := jm.store.Info(req.Measurement); err != nil {
+	info, err := jm.store.Info(req.Measurement)
+	if err != nil {
 		return JobStatus{}, err
+	}
+	if _, err := workload.Resolve(req.Workloads); err != nil {
+		return JobStatus{}, err
+	}
+	// Reject workloads the release does not contain at submission time
+	// rather than letting the job fail asynchronously after queueing.
+	have := make(map[string]bool, len(info.Kinds))
+	for _, k := range info.Kinds {
+		have[k] = true
+	}
+	for _, name := range req.Workloads {
+		if !have[name] {
+			return JobStatus{}, fmt.Errorf("measurement %s does not contain workload %q (kinds: %v)",
+				req.Measurement, name, info.Kinds)
+		}
 	}
 	shards := jm.defaultShards
 	if req.Shards != nil {
@@ -332,10 +353,7 @@ func (jm *JobManager) run(j *Job) {
 
 	cfg := synth.Config{
 		Eps:           m.Eps,
-		MeasureTbI:    m.TbI != nil,
-		MeasureTbD:    m.TbD != nil,
-		MeasureJDD:    m.JDD != nil,
-		TbDBucket:     m.TbDBucket,
+		Workloads:     req.Workloads, // empty = every measured workload
 		Pow:           req.Pow,
 		Steps:         req.Steps,
 		Shards:        shards,

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"strings"
 	"sync"
 
 	"wpinq/internal/budget"
 	"wpinq/internal/graph"
 	"wpinq/internal/synth"
+	"wpinq/internal/workload"
 )
 
 // Registry holds protected datasets and their budget ledgers. The
@@ -143,32 +145,53 @@ func (d *dataset) info() DatasetInfo {
 type MeasureRequest struct {
 	// Eps is the per-measurement privacy parameter (required, > 0).
 	Eps float64 `json:"eps"`
-	// TbI/TbD/JDD select the fit measurements (at least one; costs 4,
-	// 9, and 4 eps respectively, on top of the 3-eps seed bundle).
-	TbI bool `json:"tbi"`
-	TbD bool `json:"tbd"`
-	JDD bool `json:"jdd"`
-	// Bucket is the TbD degree bucket width (synth.Config.TbDBucket).
+	// Workloads names the fit workloads to measure, resolved against
+	// the workload registry (at least one, counting the legacy flags;
+	// each costs its registered use count times eps on top of the
+	// 3-eps seed bundle). `wpinq workloads` lists the registry.
+	Workloads []string `json:"workloads,omitempty"`
+	// TbI/TbD/JDD are the pre-registry selectors, kept so existing
+	// clients keep working; they append "tbi"/"tbd"/"jdd" to Workloads.
+	//
+	// Deprecated: name workloads in Workloads instead.
+	TbI bool `json:"tbi,omitempty"`
+	TbD bool `json:"tbd,omitempty"`
+	JDD bool `json:"jdd,omitempty"`
+	// Bucket is the degree bucket width for bucketed workloads
+	// (synth.Config.Bucket).
 	Bucket int `json:"bucket,omitempty"`
 	// Keep retains the protected graph after this measurement. The
 	// default (false) implements the paper's workflow: measure once,
 	// then discard the data. Keep=true supports spending one ledger
 	// across several measurement rounds.
 	Keep bool `json:"keep,omitempty"`
-	// Seed, when non-zero, seeds the noise rng. (The record-to-noise
-	// assignment also depends on map iteration order, so a seed pins the
-	// noise stream but not the exact released bytes.)
+	// Seed, when non-zero, seeds the noise rng. Noise is assigned in
+	// sorted record order, so a seed pins the released bytes exactly:
+	// identically-seeded measurements of the same graph and workloads
+	// store under the same content-addressed ID.
 	Seed int64 `json:"seed,omitempty"`
 }
 
-// Config converts the request to the synthesis workflow configuration.
+// Config converts the request to the synthesis workflow configuration,
+// folding the deprecated boolean selectors into the workload list.
 func (mr MeasureRequest) Config() synth.Config {
+	names := append([]string(nil), mr.Workloads...)
+	has := make(map[string]bool, len(names))
+	for _, n := range names {
+		has[n] = true
+	}
+	for _, legacy := range []struct {
+		on   bool
+		name string
+	}{{mr.TbI, "tbi"}, {mr.TbD, "tbd"}, {mr.JDD, "jdd"}} {
+		if legacy.on && !has[legacy.name] {
+			names = append(names, legacy.name)
+		}
+	}
 	return synth.Config{
-		Eps:        mr.Eps,
-		MeasureTbI: mr.TbI,
-		MeasureTbD: mr.TbD,
-		MeasureJDD: mr.JDD,
-		TbDBucket:  mr.Bucket,
+		Eps:       mr.Eps,
+		Workloads: names,
+		Bucket:    mr.Bucket,
 	}
 }
 
@@ -196,6 +219,13 @@ func (s *Service) Measure(id string, req MeasureRequest) (MeasureResult, error) 
 	cfg := req.Config()
 	if err := cfg.Validate(); err != nil {
 		return MeasureResult{}, err
+	}
+	// Reject an empty workload list here, before any charge: the deeper
+	// check in synth.Measure only fires after the ledger was debited,
+	// and measurement failures deliberately do not refund.
+	if len(cfg.Workloads) == 0 {
+		return MeasureResult{}, fmt.Errorf("measure request names no fit workloads (registered: %s)",
+			strings.Join(workload.Names(), ", "))
 	}
 	d, err := s.registry.get(id)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -48,7 +49,7 @@ const tbiCost = 7.0
 func TestStorePersistsAcrossRestart(t *testing.T) {
 	dir := t.TempDir()
 	g := testGraph(t, 60)
-	m, err := synth.Measure(g, synth.Config{Eps: 1, MeasureTbI: true}, rand.New(rand.NewSource(3)))
+	m, err := synth.Measure(g, synth.Config{Eps: 1, Workloads: []string{"tbi"}}, rand.New(rand.NewSource(3)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestStorePersistsAcrossRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if loaded.Eps != 1 || loaded.TbI == nil {
+	if _, hasTbI := loaded.Fits["tbi"]; loaded.Eps != 1 || !hasTbI {
 		t.Fatalf("loaded measurement lost fields: %+v", loaded)
 	}
 	if _, err := st2.Bytes("mdeadbeef"); !errors.Is(err, ErrNotFound) {
@@ -276,5 +277,69 @@ func TestWorkerCount(t *testing.T) {
 		if got := workerCount(c.opts); got < c.min {
 			t.Errorf("workerCount(%+v) = %d, want >= %d", c.opts, got, c.min)
 		}
+	}
+}
+
+func TestMeasureEmptyWorkloadsChargesNothing(t *testing.T) {
+	// A measure request naming no fit workloads must be rejected before
+	// the ledger is touched: the deeper check inside synth.Measure only
+	// fires after the debit, which deliberately does not refund.
+	svc := newTestService(t, Options{Shards: -1})
+	g := testGraph(t, 60)
+	info, err := svc.Registry().Upload("empty", tbiCost, bytes.NewReader(edgeListBytes(t, g)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Measure(info.ID, MeasureRequest{Eps: 1}); err == nil {
+		t.Fatal("measure request with no workloads accepted")
+	}
+	after, err := svc.Registry().Info(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Ledger.Spent != 0 {
+		t.Errorf("empty-workload request spent %g of the budget", after.Ledger.Spent)
+	}
+	if after.Discarded {
+		t.Error("empty-workload request discarded the graph")
+	}
+	// The budget remains fully usable.
+	if _, err := svc.Measure(info.ID, MeasureRequest{Eps: 1, Workloads: []string{"tbi"}}); err != nil {
+		t.Fatalf("valid measurement after rejected request: %v", err)
+	}
+}
+
+func TestSubmitRejectsUnmeasuredWorkload(t *testing.T) {
+	// Requesting a fit against a workload the release does not contain
+	// must fail at submission, not asynchronously in a worker.
+	svc := newTestService(t, Options{Shards: -1})
+	g := testGraph(t, 60)
+	info, err := svc.Registry().Upload("subset", tbiCost, bytes.NewReader(edgeListBytes(t, g)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.Measure(info.ID, MeasureRequest{Eps: 1, Workloads: []string{"tbi"}, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.SubmitJob(JobRequest{
+		Measurement: res.Measurement.ID, Workloads: []string{"tbd"}, Steps: 10,
+	}); err == nil || !strings.Contains(err.Error(), "does not contain") {
+		t.Fatalf("job against unmeasured tbd: got %v, want submission-time rejection", err)
+	}
+	if _, err := svc.SubmitJob(JobRequest{
+		Measurement: res.Measurement.ID, Workloads: []string{"no-such-workload"}, Steps: 10,
+	}); err == nil {
+		t.Fatal("job naming an unregistered workload accepted")
+	}
+	// The measured subset is accepted.
+	st, err := svc.SubmitJob(JobRequest{
+		Measurement: res.Measurement.ID, Workloads: []string{"tbi"}, Steps: 10, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Jobs().Get(st.ID); err != nil {
+		t.Fatal(err)
 	}
 }

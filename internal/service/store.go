@@ -38,12 +38,16 @@ type storeEntry struct {
 
 // MeasurementInfo describes one stored release.
 type MeasurementInfo struct {
-	ID        string   `json:"id"`
-	Eps       float64  `json:"eps"`
-	TotalCost float64  `json:"totalCost"`
-	Kinds     []string `json:"kinds"`
-	TbDBucket int      `json:"tbdBucket,omitempty"`
-	Bytes     int      `json:"bytes"`
+	ID        string  `json:"id"`
+	Eps       float64 `json:"eps"`
+	TotalCost float64 `json:"totalCost"`
+	// Kinds lists the seed measurements plus every fit workload name
+	// the release contains (sorted).
+	Kinds []string `json:"kinds"`
+	// Buckets maps bucketed fit workloads to the degree bucket width
+	// they were measured with.
+	Buckets map[string]int `json:"buckets,omitempty"`
+	Bytes   int            `json:"bytes"`
 }
 
 // NewStore opens (and if needed creates) a store rooted at dir, loading
@@ -105,17 +109,16 @@ func describeLoaded(id string, m *synth.Measurements, size int) MeasurementInfo 
 		Eps:       m.Eps,
 		TotalCost: m.TotalCost,
 		Kinds:     []string{"degseq", "ccdf", "nodecount"},
-		TbDBucket: m.TbDBucket,
 		Bytes:     size,
 	}
-	if m.TbI != nil {
-		info.Kinds = append(info.Kinds, "tbi")
-	}
-	if m.TbD != nil {
-		info.Kinds = append(info.Kinds, "tbd")
-	}
-	if m.JDD != nil {
-		info.Kinds = append(info.Kinds, "jdd")
+	for _, name := range m.FitNames() {
+		info.Kinds = append(info.Kinds, name)
+		if fit := m.Fits[name]; fit.Bucket > 1 {
+			if info.Buckets == nil {
+				info.Buckets = make(map[string]int)
+			}
+			info.Buckets[name] = fit.Bucket
+		}
 	}
 	return info
 }

@@ -61,7 +61,7 @@ func TestSeedGraphIsWellMixed(t *testing.T) {
 	// sequence: on a clustered input its triangle count should be near the
 	// configuration-model baseline, far below the protected graph's.
 	g := clusteredGraph(t, 150)
-	m, err := Measure(g, Config{Eps: 1.0, MeasureTbI: true}, testRng(30))
+	m, err := Measure(g, Config{Eps: 1.0, Workloads: []string{"tbi"}}, testRng(30))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package synth
 
 import (
 	"bytes"
+	"flag"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -10,13 +11,17 @@ import (
 	"testing"
 )
 
-// TestGoldenMeasurementsStayLoadable pins the on-disk format: the
+// -update-golden regenerates testdata/measurements.v2.golden from the
+// checked-in v1 golden (the upgrade path is the generator, so the two
+// files always describe the same release).
+var updateGolden = flag.Bool("update-golden", false, "rewrite measurements.v2.golden from the v1 golden")
+
+// TestGoldenV1MeasurementsStayLoadable pins the v1 on-disk format: the
 // checked-in golden file (saved by format v1 with every measurement
-// kind populated) must keep loading, and a load→save→load round trip
-// must preserve every released value byte-for-byte. If the format ever
-// evolves, this test forces the new code to keep reading v1 releases —
-// the measurement store depends on old releases staying loadable.
-func TestGoldenMeasurementsStayLoadable(t *testing.T) {
+// kind populated) must keep loading, with its fixed tbi/tbd/jdd fields
+// landing in the registry-backed fit map. The measurement store depends
+// on old releases staying loadable.
+func TestGoldenV1MeasurementsStayLoadable(t *testing.T) {
 	data, err := os.ReadFile(filepath.Join("testdata", "measurements.v1.golden"))
 	if err != nil {
 		t.Fatal(err)
@@ -29,41 +34,94 @@ func TestGoldenMeasurementsStayLoadable(t *testing.T) {
 	if err != nil {
 		t.Fatalf("golden v1 release no longer loads: %v", err)
 	}
-	if m.Eps != 1 || m.TotalCost != 20 || m.TbDBucket != 5 {
-		t.Errorf("golden bookkeeping: eps=%g cost=%g bucket=%d", m.Eps, m.TotalCost, m.TbDBucket)
+	if m.Eps != 1 || m.TotalCost != 20 {
+		t.Errorf("golden bookkeeping: eps=%g cost=%g", m.Eps, m.TotalCost)
 	}
-	for name, ok := range map[string]bool{
-		"DegSeq": m.DegSeq != nil, "CCDF": m.CCDF != nil, "NodeCount": m.NodeCount != nil,
-		"TbI": m.TbI != nil, "TbD": m.TbD != nil, "JDD": m.JDD != nil,
-	} {
-		if !ok {
-			t.Errorf("golden release lost its %s measurement", name)
-		}
+	if got, want := m.FitNames(), []string{"jdd", "tbd", "tbi"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("golden fits = %v, want %v", got, want)
 	}
+	if got := m.Fits["tbd"].Bucket; got != 5 {
+		t.Errorf("golden tbd bucket = %d, want 5", got)
+	}
+	if m.DegSeq == nil || m.CCDF == nil || m.NodeCount == nil {
+		t.Error("golden release lost a seed measurement")
+	}
+}
 
-	// Round trip: Save is canonical (sorted entries), so saving the
-	// loaded release must reproduce the golden bytes exactly.
+// TestGoldenV1UpgradesToV2 pins the upgrade path: saving the loaded v1
+// release must produce exactly the checked-in v2 golden (Save writes
+// the current format and is canonical, so the upgrade is deterministic).
+func TestGoldenV1UpgradesToV2(t *testing.T) {
+	v1, err := os.ReadFile(filepath.Join("testdata", "measurements.v1.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadMeasurements(bytes.NewReader(v1), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
 	var out bytes.Buffer
 	if err := m.Save(&out); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(out.Bytes(), data) {
-		t.Error("save(load(golden)) != golden: Save is no longer canonical for v1 releases")
+	if !strings.HasPrefix(out.String(), "wpinq-measurements v2\n") {
+		t.Fatalf("upgraded save lost the v2 header: %q", out.String()[:32])
 	}
-
-	// And the reloaded copy must carry identical released values.
-	m2, err := LoadMeasurements(bytes.NewReader(out.Bytes()), rand.New(rand.NewSource(2)))
+	v2path := filepath.Join("testdata", "measurements.v2.golden")
+	if *updateGolden {
+		if err := os.WriteFile(v2path, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", v2path, out.Len())
+		return
+	}
+	v2, err := os.ReadFile(v2path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(m.TbD.Materialized(), m2.TbD.Materialized()) {
-		t.Error("TbD values changed across round trip")
+	if !bytes.Equal(out.Bytes(), v2) {
+		t.Error("save(load(v1 golden)) != v2 golden: the v1→v2 upgrade changed shape " +
+			"(regenerate with -update-golden if intentional)")
 	}
-	if !reflect.DeepEqual(m.JDD.Materialized(), m2.JDD.Materialized()) {
-		t.Error("JDD values changed across round trip")
+}
+
+// TestGoldenV2MeasurementsRoundTrip pins the current format: the v2
+// golden must load, carry the same released values as the v1 golden,
+// and save back to byte-identical output (Save stays canonical).
+func TestGoldenV2MeasurementsRoundTrip(t *testing.T) {
+	v2, err := os.ReadFile(filepath.Join("testdata", "measurements.v2.golden"))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(m.DegSeq.Materialized(), m2.DegSeq.Materialized()) {
-		t.Error("degree sequence changed across round trip")
+	m, err := LoadMeasurements(bytes.NewReader(v2), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatalf("golden v2 release no longer loads: %v", err)
+	}
+
+	var out bytes.Buffer
+	if err := m.Save(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), v2) {
+		t.Error("save(load(v2 golden)) != v2 golden: Save is no longer canonical")
+	}
+
+	// Same released values as the v1 golden describes.
+	v1, err := os.ReadFile(filepath.Join("testdata", "measurements.v1.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv1, err := LoadMeasurements(bytes.NewReader(v1), rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.DegSeq.Materialized(), mv1.DegSeq.Materialized()) {
+		t.Error("degree sequence differs between v1 and v2 goldens")
+	}
+	for _, name := range mv1.FitNames() {
+		if got, want := fitEntries(t, m, name), fitEntries(t, mv1, name); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s values differ between v1 and v2 goldens", name)
+		}
 	}
 }
 
@@ -82,8 +140,8 @@ func TestLegacyBareJSONStaysLoadable(t *testing.T) {
 	if err != nil {
 		t.Fatalf("legacy bare-JSON release no longer loads: %v", err)
 	}
-	if m.Eps != 1 || m.TbI == nil {
-		t.Errorf("legacy load dropped fields: eps=%g", m.Eps)
+	if _, okFit := m.Fits["tbi"]; m.Eps != 1 || !okFit {
+		t.Errorf("legacy load dropped fields: eps=%g fits=%v", m.Eps, m.FitNames())
 	}
 }
 

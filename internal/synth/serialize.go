@@ -11,26 +11,51 @@ import (
 
 	"wpinq/internal/core"
 	"wpinq/internal/queries"
+	"wpinq/internal/workload"
 )
 
 // Serialization of released measurements. Once Measure has run, the
 // protected graph can be discarded and the measurements stored: they are
 // differentially private, so the file is safe to share, and synthesis can
 // run later (or elsewhere) from the file alone.
+//
+// Format v2 ("wpinq-measurements v2") stores the fit measurements as a
+// name-keyed list: each registered workload's histogram serializes to
+// canonically sorted (JSON key, count) entries, so any workload the
+// registry knows — not just the original TbI/TbD/JDD trio — round-trips.
+// Save output is canonical (workloads sorted by name, entries sorted by
+// key bytes): identical measurements serialize to identical bytes, which
+// is what lets the service's measurement store address releases by
+// content hash. Format v1 (fixed tbi/tbd/jdd fields) and the pre-header
+// legacy bare-JSON layout still load; saving a v1 release upgrades it
+// to v2.
 
-// measurementsJSON is the on-disk layout. Map-valued histograms are stored
-// as pair lists so composite record types (degree triples) round-trip.
+// measurementsJSON is the on-disk layout, covering both versions: v2
+// populates Fits; v1 populated the fixed TbI/TbD/JDD fields, which are
+// retained for the load path only.
 type measurementsJSON struct {
-	Version   int              `json:"version"`
-	Eps       float64          `json:"eps"`
-	TotalCost float64          `json:"totalCost"`
+	Version   int        `json:"version"`
+	Eps       float64    `json:"eps"`
+	TotalCost float64    `json:"totalCost"`
+	DegSeq    []intCount `json:"degSeq"`
+	CCDF      []intCount `json:"ccdf"`
+	NodeCount float64    `json:"nodeCount"`
+	// Fits is the v2 fit-measurement list, sorted by workload name.
+	Fits []fitJSON `json:"fits,omitempty"`
+	// Legacy v1 fields (load path only).
 	TbDBucket int              `json:"tbdBucket,omitempty"`
-	DegSeq    []intCount       `json:"degSeq"`
-	CCDF      []intCount       `json:"ccdf"`
-	NodeCount float64          `json:"nodeCount"`
 	TbI       *float64         `json:"tbi,omitempty"`
 	TbD       []degTripleCount `json:"tbd,omitempty"`
 	JDD       []degPairCount   `json:"jdd,omitempty"`
+}
+
+// fitJSON is one workload's released histogram: the registry name, the
+// degree bucket width the measurement was taken with (bucketed
+// workloads only), and the canonical entry list.
+type fitJSON struct {
+	Name    string           `json:"name"`
+	Bucket  int              `json:"bucket,omitempty"`
+	Entries []workload.Entry `json:"entries"`
 }
 
 type degPairCount struct {
@@ -49,7 +74,7 @@ type degTripleCount struct {
 	Count  float64 `json:"c"`
 }
 
-const serializationVersion = 1
+const serializationVersion = 2
 
 // formatHeader is the first line of every measurements file:
 // a magic string plus the format version, so tools (and future versions
@@ -59,7 +84,7 @@ const serializationVersion = 1
 const formatHeader = "wpinq-measurements"
 
 // Save writes the released measurements as a one-line format-version
-// header followed by JSON.
+// header followed by JSON (format v2, whatever format they loaded from).
 func (m *Measurements) Save(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "%s v%d\n", formatHeader, serializationVersion); err != nil {
 		return err
@@ -68,7 +93,6 @@ func (m *Measurements) Save(w io.Writer) error {
 		Version:   serializationVersion,
 		Eps:       m.Eps,
 		TotalCost: m.TotalCost,
-		TbDBucket: m.TbDBucket,
 		NodeCount: m.NodeCount.Get(queries.Unit{}),
 	}
 	// Entries are sorted so identical measurements serialize to identical
@@ -82,35 +106,16 @@ func (m *Measurements) Save(w io.Writer) error {
 		out.CCDF = append(out.CCDF, intCount{i, c})
 	}
 	sort.Slice(out.CCDF, func(i, j int) bool { return out.CCDF[i].Index < out.CCDF[j].Index })
-	if m.TbI != nil {
-		v := m.TbI.Get(queries.Unit{})
-		out.TbI = &v
-	}
-	if m.TbD != nil {
-		for t, c := range m.TbD.Materialized() {
-			out.TbD = append(out.TbD, degTripleCount{[3]int(t), c})
+	for _, name := range m.FitNames() {
+		fit := m.Fits[name]
+		entries, err := fit.Entries()
+		if err != nil {
+			return fmt.Errorf("synth: serializing %s: %w", name, err)
 		}
-		sort.Slice(out.TbD, func(i, j int) bool {
-			a, b := out.TbD[i].Triple, out.TbD[j].Triple
-			if a[0] != b[0] {
-				return a[0] < b[0]
-			}
-			if a[1] != b[1] {
-				return a[1] < b[1]
-			}
-			return a[2] < b[2]
-		})
-	}
-	if m.JDD != nil {
-		for p, c := range m.JDD.Materialized() {
-			out.JDD = append(out.JDD, degPairCount{p.DA, p.DB, c})
+		if entries == nil {
+			entries = []workload.Entry{}
 		}
-		sort.Slice(out.JDD, func(i, j int) bool {
-			if out.JDD[i].DA != out.JDD[j].DA {
-				return out.JDD[i].DA < out.JDD[j].DA
-			}
-			return out.JDD[i].DB < out.JDD[j].DB
-		})
+		out.Fits = append(out.Fits, fitJSON{Name: name, Bucket: fit.Bucket, Entries: entries})
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
@@ -120,9 +125,10 @@ func (m *Measurements) Save(w io.Writer) error {
 // continues to serve fresh memoized noise for records never requested
 // before the save (NoisyCount's lazy dictionary survives serialization).
 //
-// Both the current headered format ("wpinq-measurements v1" + JSON) and
-// the legacy bare-JSON format (which begins with '{') are accepted, so
-// releases stored before the header was introduced stay loadable.
+// The current headered v2 format, the v1 format (fixed tbi/tbd/jdd
+// fields), and the pre-header legacy bare-JSON layout (which begins
+// with '{') are all accepted, so releases stored before the workload
+// registry existed stay loadable.
 func LoadMeasurements(r io.Reader, rng *rand.Rand) (*Measurements, error) {
 	br := bufio.NewReader(r)
 	first, err := br.Peek(1)
@@ -138,7 +144,7 @@ func LoadMeasurements(r io.Reader, rng *rand.Rand) (*Measurements, error) {
 		if _, err := fmt.Sscanf(strings.TrimSpace(line), formatHeader+" v%d", &v); err != nil {
 			return nil, fmt.Errorf("synth: not a measurements file (header %q)", strings.TrimSpace(line))
 		}
-		if v != serializationVersion {
+		if v < 1 || v > serializationVersion {
 			return nil, fmt.Errorf("synth: unsupported measurements format version %d", v)
 		}
 	}
@@ -147,7 +153,7 @@ func LoadMeasurements(r io.Reader, rng *rand.Rand) (*Measurements, error) {
 	if err := dec.Decode(&in); err != nil {
 		return nil, fmt.Errorf("synth: decoding measurements: %w", err)
 	}
-	if in.Version != serializationVersion {
+	if in.Version < 1 || in.Version > serializationVersion {
 		return nil, fmt.Errorf("synth: unsupported measurements version %d", in.Version)
 	}
 	if in.Eps <= 0 {
@@ -156,7 +162,7 @@ func LoadMeasurements(r io.Reader, rng *rand.Rand) (*Measurements, error) {
 	m := &Measurements{
 		Eps:       in.Eps,
 		TotalCost: in.TotalCost,
-		TbDBucket: in.TbDBucket,
+		Fits:      make(map[string]workload.Measured),
 	}
 	seq := make(map[int]float64, len(in.DegSeq))
 	for _, p := range in.DegSeq {
@@ -176,29 +182,75 @@ func LoadMeasurements(r io.Reader, rng *rand.Rand) (*Measurements, error) {
 		map[queries.Unit]float64{{}: in.NodeCount}, in.Eps, rng); err != nil {
 		return nil, err
 	}
+	for _, f := range in.Fits {
+		w, err := workload.Get(f.Name)
+		if err != nil {
+			return nil, fmt.Errorf("synth: measurements contain %w", err)
+		}
+		fit, err := w.Load(f.Entries, f.Bucket, in.Eps, rng)
+		if err != nil {
+			return nil, fmt.Errorf("synth: %w", err)
+		}
+		m.Fits[f.Name] = fit
+	}
+	if err := loadLegacyFits(m, in, rng); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// loadLegacyFits upgrades the v1 fixed fields (tbi/tbd/jdd) into
+// registry workloads, so pre-registry releases keep loading and re-save
+// as v2.
+func loadLegacyFits(m *Measurements, in measurementsJSON, rng *rand.Rand) error {
+	load := func(name string, bucket int, entries []workload.Entry) error {
+		w, err := workload.Get(name)
+		if err != nil {
+			return fmt.Errorf("synth: legacy measurement needs %w", err)
+		}
+		fit, err := w.Load(entries, bucket, in.Eps, rng)
+		if err != nil {
+			return fmt.Errorf("synth: %w", err)
+		}
+		m.Fits[name] = fit
+		return nil
+	}
 	if in.TbI != nil {
-		if m.TbI, err = core.HistogramFromMaterialized(
-			map[queries.Unit]float64{{}: *in.TbI}, in.Eps, rng); err != nil {
-			return nil, err
+		if err := load("tbi", 0, unitEntries(*in.TbI)); err != nil {
+			return err
 		}
 	}
 	if in.TbD != nil {
-		tbd := make(map[queries.DegTriple]float64, len(in.TbD))
+		entries := make([]workload.Entry, 0, len(in.TbD))
 		for _, p := range in.TbD {
-			tbd[queries.DegTriple(p.Triple)] = p.Count
+			key, err := json.Marshal(queries.DegTriple(p.Triple))
+			if err != nil {
+				return err
+			}
+			entries = append(entries, workload.Entry{Key: key, Count: p.Count})
 		}
-		if m.TbD, err = core.HistogramFromMaterialized(tbd, in.Eps, rng); err != nil {
-			return nil, err
+		if err := load("tbd", in.TbDBucket, entries); err != nil {
+			return err
 		}
 	}
 	if in.JDD != nil {
-		jdd := make(map[queries.DegPair]float64, len(in.JDD))
+		entries := make([]workload.Entry, 0, len(in.JDD))
 		for _, p := range in.JDD {
-			jdd[queries.DegPair{DA: p.DA, DB: p.DB}] = p.Count
+			key, err := json.Marshal(queries.DegPair{DA: p.DA, DB: p.DB})
+			if err != nil {
+				return err
+			}
+			entries = append(entries, workload.Entry{Key: key, Count: p.Count})
 		}
-		if m.JDD, err = core.HistogramFromMaterialized(jdd, in.Eps, rng); err != nil {
-			return nil, err
+		if err := load("jdd", 0, entries); err != nil {
+			return err
 		}
 	}
-	return m, nil
+	return nil
+}
+
+// unitEntries builds the one-record entry list of a Unit-typed release.
+func unitEntries(count float64) []workload.Entry {
+	key, _ := json.Marshal(queries.Unit{})
+	return []workload.Entry{{Key: key, Count: count}}
 }

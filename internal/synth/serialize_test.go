@@ -2,15 +2,32 @@ package synth
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
 	"wpinq/internal/queries"
+	"wpinq/internal/workload"
 )
+
+// fitEntries returns the canonical entries of one fit measurement,
+// failing the test if the workload was not measured.
+func fitEntries(t *testing.T, m *Measurements, name string) []workload.Entry {
+	t.Helper()
+	fit, ok := m.Fits[name]
+	if !ok {
+		t.Fatalf("fit %q missing (have %v)", name, m.FitNames())
+	}
+	entries, err := fit.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entries
+}
 
 func TestMeasurementsRoundTrip(t *testing.T) {
 	g := clusteredGraph(t, 80)
-	m, err := Measure(g, Config{Eps: 0.5, MeasureTbI: true, MeasureTbD: true, TbDBucket: 5}, testRng(20))
+	m, err := Measure(g, Config{Eps: 0.5, Workloads: []string{"tbi", "tbd"}, Bucket: 5}, testRng(20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,10 +39,11 @@ func TestMeasurementsRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Eps != m.Eps || back.TotalCost != m.TotalCost || back.TbDBucket != m.TbDBucket {
-		t.Errorf("metadata mismatch: %+v vs %+v",
-			[3]float64{back.Eps, back.TotalCost, float64(back.TbDBucket)},
-			[3]float64{m.Eps, m.TotalCost, float64(m.TbDBucket)})
+	if back.Eps != m.Eps || back.TotalCost != m.TotalCost {
+		t.Errorf("metadata mismatch: eps %v/%v cost %v/%v", back.Eps, m.Eps, back.TotalCost, m.TotalCost)
+	}
+	if got := back.Fits["tbd"].Bucket; got != 5 {
+		t.Errorf("tbd bucket = %d, want 5", got)
 	}
 	// Released values identical.
 	for i := 0; i < 50; i++ {
@@ -41,12 +59,9 @@ func TestMeasurementsRoundTrip(t *testing.T) {
 	if got, want := back.NodeCount.Get(queries.Unit{}), m.NodeCount.Get(queries.Unit{}); got != want {
 		t.Errorf("nodeCount = %v, want %v", got, want)
 	}
-	if got, want := back.TbI.Get(queries.Unit{}), m.TbI.Get(queries.Unit{}); got != want {
-		t.Errorf("tbi = %v, want %v", got, want)
-	}
-	for k, want := range m.TbD.Materialized() {
-		if got := back.TbD.Get(k); got != want {
-			t.Fatalf("tbd[%v] = %v, want %v", k, got, want)
+	for _, name := range m.FitNames() {
+		if got, want := fitEntries(t, back, name), fitEntries(t, m, name); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s entries changed across round trip:\n got %v\nwant %v", name, got, want)
 		}
 	}
 }
@@ -54,7 +69,7 @@ func TestMeasurementsRoundTrip(t *testing.T) {
 func TestLoadedMeasurementsSynthesize(t *testing.T) {
 	// The full measure -> save -> load -> synthesize round trip.
 	g := clusteredGraph(t, 80)
-	m, err := Measure(g, Config{Eps: 1.0, MeasureTbI: true}, testRng(22))
+	m, err := Measure(g, Config{Eps: 1.0, Workloads: []string{"tbi"}}, testRng(22))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,8 +85,9 @@ func TestLoadedMeasurementsSynthesize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Empty Workloads fits everything the release contains.
 	res, err := Synthesize(back, seed, Config{
-		Eps: 1.0, MeasureTbI: true, Pow: 2000, Steps: 2000,
+		Eps: 1.0, Pow: 2000, Steps: 2000,
 	}, testRng(25))
 	if err != nil {
 		t.Fatal(err)
@@ -92,11 +108,16 @@ func TestLoadMeasurementsRejectsBadInput(t *testing.T) {
 	if _, err := LoadMeasurements(strings.NewReader(`{"version":1,"eps":0}`), testRng(1)); err == nil {
 		t.Error("invalid eps accepted")
 	}
+	if _, err := LoadMeasurements(strings.NewReader(
+		`{"version":2,"eps":0.1,"nodeCount":1,"fits":[{"name":"no-such-workload","entries":[]}]}`,
+	), testRng(1)); err == nil {
+		t.Error("unregistered workload accepted")
+	}
 }
 
 func TestSaveOmitsUnmeasured(t *testing.T) {
 	g := clusteredGraph(t, 60)
-	m, err := Measure(g, Config{Eps: 0.5, MeasureTbI: true}, testRng(26))
+	m, err := Measure(g, Config{Eps: 0.5, Workloads: []string{"tbi"}}, testRng(26))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +132,42 @@ func TestSaveOmitsUnmeasured(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.TbD != nil {
-		t.Error("loaded TbD should be nil when not measured")
+	if _, ok := back.Fits["tbd"]; ok {
+		t.Error("loaded measurements contain tbd which was never measured")
+	}
+	if _, ok := back.Fits["tbi"]; !ok {
+		t.Error("loaded measurements lost tbi")
+	}
+}
+
+// TestMeasureSaveIsDeterministic pins the released bytes: two
+// identically-seeded Measure runs over the same graph must Save
+// byte-identical output. Noise is assigned in sorted record order
+// (core.NoisyCount), Save is canonical, and fit workloads are measured
+// in sorted name order, so the whole release is a pure function of
+// (graph, config, seed) — the property the content-addressed
+// measurement store builds on.
+func TestMeasureSaveIsDeterministic(t *testing.T) {
+	g := clusteredGraph(t, 80)
+	cfg := Config{
+		Eps:       0.5,
+		Workloads: []string{"tbd", "jdd", "wedges", "star4-by-degree", "tbi"},
+		Bucket:    5,
+	}
+	release := func() []byte {
+		t.Helper()
+		m, err := Measure(g, cfg, testRng(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := release(), release()
+	if !bytes.Equal(a, b) {
+		t.Errorf("identically-seeded Measure runs released different bytes:\n%s\n---\n%s", a, b)
 	}
 }

@@ -3,11 +3,18 @@
 //
 //	Phase 0: take differentially-private wPINQ measurements of the
 //	         protected graph (degree sequence, degree CCDF, node count,
-//	         plus any of TbI, TbD, JDD), then discard the protected graph.
+//	         plus any set of registered fit workloads — TbI, TbD, JDD,
+//	         wedges, motif profiles), then discard the protected graph.
 //	Phase 1: regress a DP degree sequence from the noisy measurements
 //	         (lowest-cost grid path) and seed a random graph matching it.
-//	Phase 2: fit the seed to the triangle measurements with
+//	Phase 2: fit the seed to the released fit measurements with
 //	         Metropolis-Hastings over degree-preserving edge swaps.
+//
+// Fit workloads are resolved by name against the workload registry
+// (wpinq/internal/workload): each workload carries its own privacy use
+// count, measurement query, and fit pipelines for both executors, so
+// adding a new fittable analysis is one registration, not a change to
+// this package.
 //
 // Everything after Phase 0 consumes only released measurements: the
 // synthetic graphs are public.
@@ -18,16 +25,16 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"wpinq/internal/budget"
 	"wpinq/internal/core"
-	"wpinq/internal/engine"
 	"wpinq/internal/graph"
-	"wpinq/internal/incremental"
 	"wpinq/internal/laplace"
 	"wpinq/internal/mcmc"
 	"wpinq/internal/postprocess"
 	"wpinq/internal/queries"
+	"wpinq/internal/workload"
 )
 
 // Config parameterizes the workflow. The defaults mirror the paper's
@@ -35,17 +42,16 @@ import (
 type Config struct {
 	// Eps is the per-measurement privacy parameter (paper: 0.1).
 	Eps float64
-	// MeasureTbI includes the triangles-by-intersect measurement (4 eps).
-	MeasureTbI bool
-	// MeasureTbD includes the triangles-by-degree measurement (9 eps).
-	MeasureTbD bool
-	// MeasureJDD includes the joint-degree-distribution measurement
-	// (4 eps) and fits it during MCMC: the earlier-workshop workflow the
-	// paper builds on, which constrains assortativity.
-	MeasureJDD bool
-	// TbDBucket groups degrees into floor(d/bucket) buckets for TbD
-	// (paper Figure 3 uses 20; <= 1 disables bucketing).
-	TbDBucket int
+	// Workloads names the fit workloads, resolved against the workload
+	// registry (workload.Names lists them; e.g. "tbi" 4 eps, "tbd"
+	// 9 eps, "jdd" 4 eps, "wedges" 2 eps). Measure requires at least
+	// one; Synthesize treats an empty list as "fit every workload
+	// present in the measurements".
+	Workloads []string
+	// Bucket groups degrees into floor(d/bucket) buckets for bucketed
+	// workloads such as "tbd" (paper Figure 3 uses 20; <= 1 disables
+	// bucketing). Workloads that do not bucket ignore it.
+	Bucket int
 	// Pow sharpens the MCMC posterior (paper: 10000).
 	Pow float64
 	// PowSchedule, when set, overrides Pow with a per-step annealing
@@ -93,8 +99,8 @@ func (c *Config) Validate() error {
 	if c.Eps <= 0 {
 		return errors.New("synth: Eps must be positive")
 	}
-	if !c.MeasureTbI && !c.MeasureTbD && !c.MeasureJDD {
-		return errors.New("synth: at least one fit measurement (TbI, TbD, JDD) is required")
+	if _, err := workload.Resolve(c.Workloads); err != nil {
+		return fmt.Errorf("synth: %w", err)
 	}
 	if c.Pow <= 0 && c.PowSchedule == nil {
 		c.Pow = 10000
@@ -133,18 +139,15 @@ func (p Progress) AcceptRate() float64 {
 
 // MeasureCost returns the total privacy cost, in epsilon, that Measure
 // will charge for this configuration: SeedCost for the Phase 1
-// measurements plus the cost of each configured fit measurement
-// (Section 5: TbI 4eps, TbD 9eps, JDD 4eps).
+// measurements plus each configured workload's registered use count
+// (Section 5: tbi 4 eps, tbd 9 eps, jdd 4 eps). Call Validate first;
+// unresolvable names contribute nothing.
 func (c Config) MeasureCost() float64 {
 	needed := float64(SeedCost)
-	if c.MeasureTbI {
-		needed += 4
-	}
-	if c.MeasureTbD {
-		needed += 9
-	}
-	if c.MeasureJDD {
-		needed += 4
+	for _, name := range c.Workloads {
+		if w, err := workload.Get(name); err == nil {
+			needed += float64(w.Uses)
+		}
 	}
 	return needed * c.Eps
 }
@@ -160,26 +163,45 @@ type Measurements struct {
 	DegSeq    *core.Histogram[int]
 	CCDF      *core.Histogram[int]
 	NodeCount *core.Histogram[queries.Unit]
-	TbI       *core.Histogram[queries.Unit]
-	TbD       *core.Histogram[queries.DegTriple]
-	JDD       *core.Histogram[queries.DegPair]
-	TbDBucket int
+	// Fits maps workload name to its released histogram (type-erased;
+	// the workload knows its record type) plus the bucket width it was
+	// measured with.
+	Fits map[string]workload.Measured
 	// TotalCost is the total privacy cost actually charged, in epsilon.
 	TotalCost float64
+}
+
+// FitNames returns the names of the measured fit workloads, sorted.
+func (m *Measurements) FitNames() []string {
+	out := make([]string, 0, len(m.Fits))
+	for name := range m.Fits {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Measure takes every configured measurement of the protected graph g,
 // charging an internally created budget source sized exactly to the
 // query plan (a smaller budget would make the final aggregation fail).
+// Fit workloads are measured in sorted name order, so identically-seeded
+// runs release byte-identical measurements.
 func Measure(g *graph.Graph, cfg Config, rng *rand.Rand) (*Measurements, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	ws, err := workload.Resolve(cfg.Workloads)
+	if err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
+	}
+	if len(ws) == 0 {
+		return nil, errors.New("synth: at least one fit workload is required (see `wpinq workloads`)")
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].Name < ws[j].Name })
 	src := budget.NewSource("edges", cfg.MeasureCost()*(1+1e-9))
 	edges := core.FromDataset(graph.SymmetricEdges(g), src)
 
-	m := &Measurements{Eps: cfg.Eps, TbDBucket: cfg.TbDBucket}
-	var err error
+	m := &Measurements{Eps: cfg.Eps, Fits: make(map[string]workload.Measured, len(ws))}
 	if m.DegSeq, err = core.NoisyCount(queries.DegreeSequence(edges), cfg.Eps, rng); err != nil {
 		return nil, fmt.Errorf("synth: degree sequence: %w", err)
 	}
@@ -189,20 +211,12 @@ func Measure(g *graph.Graph, cfg Config, rng *rand.Rand) (*Measurements, error) 
 	if m.NodeCount, err = core.NoisyCount(queries.NodeCount(edges), cfg.Eps, rng); err != nil {
 		return nil, fmt.Errorf("synth: node count: %w", err)
 	}
-	if cfg.MeasureTbI {
-		if m.TbI, err = core.NoisyCount(queries.TbI(edges), cfg.Eps, rng); err != nil {
-			return nil, fmt.Errorf("synth: tbi: %w", err)
+	for _, w := range ws {
+		fit, err := w.Measure(edges, cfg.Bucket, cfg.Eps, rng)
+		if err != nil {
+			return nil, fmt.Errorf("synth: %w", err)
 		}
-	}
-	if cfg.MeasureTbD {
-		if m.TbD, err = core.NoisyCount(queries.TbD(edges, cfg.TbDBucket), cfg.Eps, rng); err != nil {
-			return nil, fmt.Errorf("synth: tbd: %w", err)
-		}
-	}
-	if cfg.MeasureJDD {
-		if m.JDD, err = core.NoisyCount(queries.JDD(edges), cfg.Eps, rng); err != nil {
-			return nil, fmt.Errorf("synth: jdd: %w", err)
-		}
+		m.Fits[w.Name] = fit
 	}
 	m.TotalCost = src.Spent()
 	return m, nil
@@ -316,95 +330,39 @@ type Result struct {
 	Cancelled bool
 }
 
-// fitStreams is the executor-agnostic view of the Phase 2 pipelines: the
-// input MCMC drives and one output stream per configured fit measurement.
-// Engine streams implement incremental.Source, so both executors
-// terminate in the same scoring sinks.
-type fitStreams struct {
-	input mcmc.Input
-	tbi   incremental.Source[queries.Unit]
-	tbd   incremental.Source[queries.DegTriple]
-	jdd   incremental.Source[queries.DegPair]
-}
-
-// buildFitStreams wires the configured fit pipelines on the executor
-// selected by cfg.Shards. tbdBucket is the bucket width the TbD
-// measurement was released with (m.TbDBucket) — the pipeline must bucket
-// identically or its records would miss the measured domain entirely and
-// MCMC would fit fresh noise.
-func buildFitStreams(cfg Config, tbdBucket int) fitStreams {
-	if cfg.Shards < 0 {
-		in := queries.NewEdgeInput()
-		s := fitStreams{input: in}
-		if cfg.MeasureTbI {
-			s.tbi = queries.TbIPipeline(in)
-		}
-		if cfg.MeasureTbD {
-			s.tbd = queries.TbDPipeline(in, tbdBucket)
-		}
-		if cfg.MeasureJDD {
-			s.jdd = queries.JDDPipeline(in)
-		}
-		return s
-	}
-	eng := engine.New(cfg.Shards)
-	in := queries.NewEngineEdgeInput(eng)
-	s := fitStreams{input: in}
-	if cfg.MeasureTbI {
-		s.tbi = queries.EngineTbIPipeline(in)
-	}
-	if cfg.MeasureTbD {
-		s.tbd = queries.EngineTbDPipeline(in, tbdBucket)
-	}
-	if cfg.MeasureJDD {
-		s.jdd = queries.EngineJDDPipeline(in)
-	}
-	return s
-}
-
-// Synthesize implements Phase 2: wire dataflow pipelines for the
-// configured fit measurements (TbI, TbD, JDD) on the executor selected
-// by cfg.Shards, seed the MCMC state, and run the fit. The seed graph is
-// not modified; the synthetic result is independent.
+// Synthesize implements Phase 2: build a fit plan on the executor
+// selected by cfg.Shards, attach each requested workload's pipeline and
+// scoring sink (cfg.Workloads; empty fits everything measured), seed
+// the MCMC state, and run the fit. Each workload fits at the bucket
+// width its measurement was released with — a pipeline bucketed
+// differently would miss the measured domain and fit fresh noise. The
+// seed graph is not modified; the synthetic result is independent.
 func Synthesize(m *Measurements, seed *graph.Graph, cfg Config, rng *rand.Rand) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	streams := buildFitStreams(cfg, m.TbDBucket)
-	scorer := incremental.NewScorer()
-	if cfg.MeasureTbI {
-		if m.TbI == nil {
-			return nil, errors.New("synth: TbI fitting requested but not measured")
-		}
-		sink := incremental.NewNoisyCountSink[queries.Unit](
-			streams.tbi, m.TbI, []queries.Unit{{}}, m.Eps)
-		scorer.Add(sink)
+	names := cfg.Workloads
+	if len(names) == 0 {
+		names = m.FitNames()
+	} else {
+		names = append([]string(nil), names...)
+		sort.Strings(names)
 	}
-	if cfg.MeasureTbD {
-		if m.TbD == nil {
-			return nil, errors.New("synth: TbD fitting requested but not measured")
-		}
-		domain := make([]queries.DegTriple, 0)
-		for k := range m.TbD.Materialized() {
-			domain = append(domain, k)
-		}
-		sink := incremental.NewNoisyCountSink[queries.DegTriple](
-			streams.tbd, m.TbD, domain, m.Eps)
-		scorer.Add(sink)
+	if len(names) == 0 {
+		return nil, errors.New("synth: measurements contain no fit workloads")
 	}
-	if cfg.MeasureJDD {
-		if m.JDD == nil {
-			return nil, errors.New("synth: JDD fitting requested but not measured")
+	plan := workload.NewPlan(cfg.Shards)
+	for _, name := range names {
+		fit, ok := m.Fits[name]
+		if !ok {
+			return nil, fmt.Errorf("synth: %s fitting requested but not measured", name)
 		}
-		domain := make([]queries.DegPair, 0)
-		for k := range m.JDD.Materialized() {
-			domain = append(domain, k)
+		if err := fit.Attach(plan, m.Eps); err != nil {
+			return nil, fmt.Errorf("synth: %w", err)
 		}
-		sink := incremental.NewNoisyCountSink[queries.DegPair](
-			streams.jdd, m.JDD, domain, m.Eps)
-		scorer.Add(sink)
 	}
-	state := mcmc.NewGraphState(seed, streams.input)
+	scorer := plan.Scorer()
+	state := mcmc.NewGraphState(seed, plan.Input())
 	onStep := cfg.OnStep
 	if cfg.SampleEvery > 0 && cfg.OnSample != nil {
 		every := cfg.SampleEvery

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
 	"testing"
@@ -21,16 +22,17 @@ func clusteredGraph(t *testing.T, n int) *graph.Graph {
 
 func TestConfigValidate(t *testing.T) {
 	bad := []Config{
-		{Eps: 0, MeasureTbI: true},
-		{Eps: 0.1},
-		{Eps: 0.1, MeasureTbI: true, Steps: -1},
+		{Eps: 0, Workloads: []string{"tbi"}},
+		{Eps: 0.1, Workloads: []string{"no-such-workload"}},
+		{Eps: 0.1, Workloads: []string{"tbi", "tbi"}},
+		{Eps: 0.1, Workloads: []string{"tbi"}, Steps: -1},
 	}
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {
 			t.Errorf("config %d should be invalid: %+v", i, c)
 		}
 	}
-	good := Config{Eps: 0.1, MeasureTbI: true}
+	good := Config{Eps: 0.1, Workloads: []string{"tbi"}}
 	if err := good.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +45,7 @@ func TestMeasureCostMatchesPaper(t *testing.T) {
 	g := clusteredGraph(t, 120)
 	// TbI workflow: seed (3 eps) + TbI (4 eps) = 7 eps = 0.7 at eps = 0.1
 	// (paper Section 5.3).
-	m, err := Measure(g, Config{Eps: 0.1, MeasureTbI: true}, testRng(1))
+	m, err := Measure(g, Config{Eps: 0.1, Workloads: []string{"tbi"}}, testRng(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +54,7 @@ func TestMeasureCostMatchesPaper(t *testing.T) {
 	}
 	// TbD workflow: seed (3 eps) + TbD (9 eps) = 1.2 at eps = 0.1
 	// (paper Section 5.2).
-	m2, err := Measure(g, Config{Eps: 0.1, MeasureTbD: true, TbDBucket: 20}, testRng(2))
+	m2, err := Measure(g, Config{Eps: 0.1, Workloads: []string{"tbd"}, Bucket: 20}, testRng(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +65,7 @@ func TestMeasureCostMatchesPaper(t *testing.T) {
 
 func TestEstimatedNodesNearTruth(t *testing.T) {
 	g := clusteredGraph(t, 200)
-	m, err := Measure(g, Config{Eps: 1.0, MeasureTbI: true}, testRng(3))
+	m, err := Measure(g, Config{Eps: 1.0, Workloads: []string{"tbi"}}, testRng(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +77,7 @@ func TestEstimatedNodesNearTruth(t *testing.T) {
 
 func TestSeedGraphMatchesDegreeShape(t *testing.T) {
 	g := clusteredGraph(t, 150)
-	m, err := Measure(g, Config{Eps: 1.0, MeasureTbI: true}, testRng(4))
+	m, err := Measure(g, Config{Eps: 1.0, Workloads: []string{"tbi"}}, testRng(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,10 +101,10 @@ func TestFullWorkflowIncreasesTriangles(t *testing.T) {
 	// degrees) and Phase 2 must push the triangle count toward the truth.
 	g := clusteredGraph(t, 100)
 	cfg := Config{
-		Eps:        1.0,
-		MeasureTbI: true,
-		Pow:        5000,
-		Steps:      8000,
+		Eps:       1.0,
+		Workloads: []string{"tbi"},
+		Pow:       5000,
+		Steps:     8000,
 	}
 	res, err := Run(g, cfg, testRng(6))
 	if err != nil {
@@ -132,7 +134,7 @@ func TestFullWorkflowIncreasesTriangles(t *testing.T) {
 
 func TestSynthesizeRequiresMeasurement(t *testing.T) {
 	g := clusteredGraph(t, 60)
-	m, err := Measure(g, Config{Eps: 0.5, MeasureTbI: true}, testRng(7))
+	m, err := Measure(g, Config{Eps: 0.5, Workloads: []string{"tbi"}}, testRng(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +143,7 @@ func TestSynthesizeRequiresMeasurement(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Asking to fit TbD without having measured it must fail.
-	_, err = Synthesize(m, seed, Config{Eps: 0.5, MeasureTbD: true, Steps: 10}, testRng(9))
+	_, err = Synthesize(m, seed, Config{Eps: 0.5, Workloads: []string{"tbd"}, Steps: 10}, testRng(9))
 	if err == nil {
 		t.Error("TbD fit without TbD measurement accepted")
 	}
@@ -150,11 +152,11 @@ func TestSynthesizeRequiresMeasurement(t *testing.T) {
 func TestTbDWorkflowRuns(t *testing.T) {
 	g := clusteredGraph(t, 80)
 	cfg := Config{
-		Eps:        0.5,
-		MeasureTbD: true,
-		TbDBucket:  10,
-		Pow:        1000,
-		Steps:      300,
+		Eps:       0.5,
+		Workloads: []string{"tbd"},
+		Bucket:    10,
+		Pow:       1000,
+		Steps:     300,
 	}
 	res, err := Run(g, cfg, testRng(10))
 	if err != nil {
@@ -175,10 +177,10 @@ func TestRandomGraphStaysTrianglePoor(t *testing.T) {
 	random := g.Clone()
 	graph.Rewire(random, 30*random.NumEdges(), testRng(11))
 	cfg := Config{
-		Eps:        1.0,
-		MeasureTbI: true,
-		Pow:        5000,
-		Steps:      6000,
+		Eps:       1.0,
+		Workloads: []string{"tbi"},
+		Pow:       5000,
+		Steps:     6000,
 	}
 	resReal, err := Run(g, cfg, testRng(12))
 	if err != nil {
@@ -198,11 +200,11 @@ func TestOnStepObservesRun(t *testing.T) {
 	g := clusteredGraph(t, 60)
 	calls := 0
 	cfg := Config{
-		Eps:        0.5,
-		MeasureTbI: true,
-		Pow:        100,
-		Steps:      200,
-		OnStep:     func(int, bool, float64) { calls++ },
+		Eps:       0.5,
+		Workloads: []string{"tbi"},
+		Pow:       100,
+		Steps:     200,
+		OnStep:    func(int, bool, float64) { calls++ },
 	}
 	if _, err := Run(g, cfg, testRng(13)); err != nil {
 		t.Fatal(err)
@@ -216,16 +218,14 @@ func TestExecutorsScoreIdentically(t *testing.T) {
 	// The sharded executor and the serial reference engine must assign
 	// the same fit score to the same seed graph under the same
 	// measurements: Synthesize with zero steps reports the initial
-	// scorer value, which exercises the full TbI+TbD+JDD pipeline stack
-	// end to end on both executors.
+	// scorer value, which exercises every registered workload's pipeline
+	// stack end to end on both executors.
 	g := clusteredGraph(t, 90)
 	base := Config{
-		Eps:        1.0,
-		MeasureTbI: true,
-		MeasureTbD: true,
-		MeasureJDD: true,
-		TbDBucket:  10,
-		Pow:        100,
+		Eps:       1.0,
+		Workloads: []string{"tbi", "tbd", "jdd", "wedges", "star4-by-degree"},
+		Bucket:    10,
+		Pow:       100,
 	}
 	m, err := Measure(g, base, testRng(20))
 	if err != nil {
@@ -258,11 +258,11 @@ func TestReferenceEngineWorkflowRuns(t *testing.T) {
 	// The serial reference executor stays selectable via Shards: -1.
 	g := clusteredGraph(t, 80)
 	cfg := Config{
-		Eps:        1.0,
-		MeasureTbI: true,
-		Pow:        1000,
-		Steps:      500,
-		Shards:     -1,
+		Eps:       1.0,
+		Workloads: []string{"tbi"},
+		Pow:       1000,
+		Steps:     500,
+		Shards:    -1,
 	}
 	res, err := Run(g, cfg, testRng(23))
 	if err != nil {
@@ -275,11 +275,12 @@ func TestReferenceEngineWorkflowRuns(t *testing.T) {
 
 func TestSynthesizeUsesMeasuredTbDBucket(t *testing.T) {
 	// The fit pipeline must bucket degrees exactly as the released TbD
-	// measurement did (m.TbDBucket), even when the caller's Config omits
-	// or mis-states the bucket — otherwise the pipeline's records would
-	// miss the measured domain entirely and MCMC would fit fresh noise.
+	// measurement did (its recorded Fit.Bucket), even when the caller's
+	// Config omits or mis-states the bucket — otherwise the pipeline's
+	// records would miss the measured domain entirely and MCMC would fit
+	// fresh noise.
 	g := clusteredGraph(t, 80)
-	measured := Config{Eps: 1.0, MeasureTbD: true, TbDBucket: 10}
+	measured := Config{Eps: 1.0, Workloads: []string{"tbd"}, Bucket: 10}
 	m, err := Measure(g, measured, testRng(30))
 	if err != nil {
 		t.Fatal(err)
@@ -289,7 +290,7 @@ func TestSynthesizeUsesMeasuredTbDBucket(t *testing.T) {
 		t.Fatal(err)
 	}
 	score := func(cfgBucket int) float64 {
-		cfg := Config{Eps: 1.0, MeasureTbD: true, TbDBucket: cfgBucket, Pow: 100, Steps: 0}
+		cfg := Config{Eps: 1.0, Workloads: []string{"tbd"}, Bucket: cfgBucket, Pow: 100, Steps: 0}
 		res, err := Synthesize(m, seed.Clone(), cfg, testRng(32))
 		if err != nil {
 			t.Fatal(err)
@@ -300,5 +301,63 @@ func TestSynthesizeUsesMeasuredTbDBucket(t *testing.T) {
 	if math.Abs(right-wrong) > 1e-6*(1+math.Abs(right)) {
 		t.Errorf("score with cfg bucket 0 = %v, with matching bucket = %v; "+
 			"Synthesize must bucket by the measurement's recorded width", wrong, right)
+	}
+}
+
+func TestNewWorkloadsSynthesizeEndToEnd(t *testing.T) {
+	// The registry's payoff scenario: fit workloads the pre-registry
+	// architecture could not express at all — the wedge count plus the
+	// star4-by-degree motif profile — run the whole measure → save →
+	// load → seed → fit workflow on both executors. The wedge signal is
+	// invariant under degree-preserving swaps (it is a function of the
+	// degree sequence), so the fit's moving part is the motif profile;
+	// what this test pins is that heterogeneous, motif-typed workloads
+	// compose in one scorer and the walk still runs.
+	// Small graph and short walk: per-swap motif-profile deltas touch
+	// O(d^3) embeddings around each changed endpoint, so this is the
+	// most expensive fit per step in the test suite.
+	g := clusteredGraph(t, 36)
+	cfg := Config{
+		Eps:       1.0,
+		Workloads: []string{"wedges", "star4-by-degree"},
+		Bucket:    8,
+		Pow:       5,
+		Steps:     60,
+	}
+	m, err := Measure(g, cfg, testRng(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.TotalCost, float64(SeedCost+2+7)*cfg.Eps; math.Abs(got-want) > 1e-9 {
+		t.Errorf("total cost = %v, want %v (3 seed + 2 wedges + 7 star4-by-degree)", got, want)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{-1, 2} {
+		loaded, err := LoadMeasurements(bytes.NewReader(buf.Bytes()), testRng(61))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if got := loaded.Fits["star4-by-degree"].Bucket; got != 8 {
+			t.Fatalf("star4-by-degree bucket = %d after round trip, want 8", got)
+		}
+		seed, err := SeedGraph(loaded, testRng(62))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fit := cfg
+		fit.Shards = shards
+		res, err := Synthesize(loaded, seed, fit, testRng(63))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if res.Stats.Accepted == 0 {
+			t.Errorf("shards=%d: motif-profile fit accepted nothing", shards)
+		}
+		if math.IsNaN(res.Stats.FinalScore) || res.Stats.FinalScore <= 0 {
+			t.Errorf("shards=%d: degenerate final score %v", shards, res.Stats.FinalScore)
+		}
 	}
 }

@@ -189,6 +189,43 @@ func (d *Dataset[T]) Pairs() []Pair[T] {
 	return out
 }
 
+// PairsSorted returns all (record, weight) pairs in a deterministic
+// order: sorted by the records' fmt.Sprint rendering, which is injective
+// for the record types wPINQ queries produce (ints and structs/arrays of
+// ints). The reference transformations iterate in this order so their
+// floating-point accumulations — and therefore released measurement
+// bytes — are a pure function of the dataset, not of map iteration
+// order. The sort costs O(n log n) string comparisons; it is paid on the
+// one-shot measurement path, never inside the incremental engines.
+func (d *Dataset[T]) PairsSorted() []Pair[T] {
+	pairs := d.Pairs()
+	keys := make([]string, len(pairs))
+	for i, p := range pairs {
+		keys[i] = fmt.Sprint(p.Record)
+	}
+	sort.Sort(&pairsByKey[T]{pairs: pairs, keys: keys})
+	return pairs
+}
+
+type pairsByKey[T comparable] struct {
+	pairs []Pair[T]
+	keys  []string
+}
+
+func (s *pairsByKey[T]) Len() int           { return len(s.pairs) }
+func (s *pairsByKey[T]) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *pairsByKey[T]) Swap(i, j int) {
+	s.pairs[i], s.pairs[j] = s.pairs[j], s.pairs[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
+// RangeSorted calls f for every record in PairsSorted order.
+func (d *Dataset[T]) RangeSorted(f func(x T, w float64)) {
+	for _, p := range d.PairsSorted() {
+		f(p.Record, p.Weight)
+	}
+}
+
 // Clone returns a deep copy of the dataset.
 func (d *Dataset[T]) Clone() *Dataset[T] {
 	c := NewSized[T](d.Len())

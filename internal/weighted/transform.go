@@ -15,8 +15,10 @@ import (
 //
 //	Select(A, f)(x) = sum_{y : f(y)=x} A(y)
 func Select[T, U comparable](a *Dataset[T], f func(T) U) *Dataset[U] {
+	// RangeSorted: colliding outputs accumulate in deterministic order,
+	// so the result is a pure function of the input (see PairsSorted).
 	out := NewSized[U](a.Len())
-	a.Range(func(x T, w float64) { out.Add(f(x), w) })
+	a.RangeSorted(func(x T, w float64) { out.Add(f(x), w) })
 	return out
 }
 
@@ -43,7 +45,7 @@ func Where[T comparable](a *Dataset[T], p func(T) bool) *Dataset[T] {
 // data-dependent rescaling.
 func SelectMany[T, U comparable](a *Dataset[T], f func(T) *Dataset[U]) *Dataset[U] {
 	out := New[U]()
-	a.Range(func(x T, w float64) {
+	a.RangeSorted(func(x T, w float64) {
 		fx := f(x)
 		scale := w / math.Max(1, fx.Norm())
 		fx.Range(func(y U, wy float64) { out.Add(y, wy*scale) })
@@ -81,14 +83,21 @@ type Grouped[K, R comparable] struct {
 // records — use order-insensitive functions (count, sum, ...) or sort
 // within the reducer.
 func GroupBy[T comparable, K comparable, R comparable](a *Dataset[T], key func(T) K, reduce func([]T) R) *Dataset[Grouped[K, R]] {
+	// Groups are built and emitted in deterministic (first-seen over
+	// RangeSorted) order: prefix weights and colliding reducer outputs
+	// accumulate identically on every run.
 	groups := make(map[K][]Pair[T])
-	a.Range(func(x T, w float64) {
+	var order []K
+	a.RangeSorted(func(x T, w float64) {
 		k := key(x)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
 		groups[k] = append(groups[k], Pair[T]{x, w})
 	})
 	out := New[Grouped[K, R]]()
-	for k, members := range groups {
-		PrefixReduce(k, members, reduce, func(g Grouped[K, R], w float64) { out.Add(g, w) })
+	for _, k := range order {
+		PrefixReduce(k, groups[k], reduce, func(g Grouped[K, R], w float64) { out.Add(g, w) })
 	}
 	return out
 }
@@ -137,18 +146,26 @@ func Join[A, B comparable, K comparable, R comparable](
 	keyA func(A) K, keyB func(B) K,
 	reduce func(A, B) R,
 ) *Dataset[R] {
+	// Key groups are built and matched in deterministic (first-seen over
+	// RangeSorted) order: per-key norms and colliding outputs accumulate
+	// identically on every run.
 	ga := make(map[K][]Pair[A])
-	a.Range(func(x A, w float64) {
+	var order []K
+	a.RangeSorted(func(x A, w float64) {
 		k := keyA(x)
+		if _, ok := ga[k]; !ok {
+			order = append(order, k)
+		}
 		ga[k] = append(ga[k], Pair[A]{x, w})
 	})
 	gb := make(map[K][]Pair[B])
-	b.Range(func(y B, w float64) {
+	b.RangeSorted(func(y B, w float64) {
 		k := keyB(y)
 		gb[k] = append(gb[k], Pair[B]{y, w})
 	})
 	out := New[R]()
-	for k, as := range ga {
+	for _, k := range order {
+		as := ga[k]
 		bs, ok := gb[k]
 		if !ok {
 			continue

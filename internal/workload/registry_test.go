@@ -1,0 +1,168 @@
+package workload_test
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wpinq/internal/budget"
+	"wpinq/internal/core"
+	"wpinq/internal/graph"
+	"wpinq/internal/queries"
+	"wpinq/internal/workload"
+)
+
+func TestBuiltinsRegistered(t *testing.T) {
+	names := workload.Names()
+	for _, want := range []string{"jdd", "star4-by-degree", "tbd", "tbi", "wedges"} {
+		if _, err := workload.Get(want); err != nil {
+			t.Errorf("built-in %q missing: %v (registered: %v)", want, err, names)
+		}
+	}
+	if !reflect.DeepEqual(names, []string{"jdd", "star4-by-degree", "tbd", "tbi", "wedges"}) {
+		t.Errorf("Names() = %v, want the sorted built-ins", names)
+	}
+	// Registered use counts match the paper's privacy multipliers.
+	uses := map[string]int{"tbi": 4, "tbd": 9, "jdd": 4, "wedges": 2, "star4-by-degree": 7}
+	for name, want := range uses {
+		w, err := workload.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Uses != want {
+			t.Errorf("%s.Uses = %d, want %d", name, w.Uses, want)
+		}
+	}
+}
+
+func TestRegisterRejectsBadWorkloads(t *testing.T) {
+	if err := workload.Register(workload.Workload{Name: "tbi"}); err == nil {
+		t.Error("re-registering tbi accepted")
+	}
+	if err := workload.Register(workload.Workload{Name: "Bad Name"}); err == nil {
+		t.Error("invalid name accepted")
+	}
+	if err := workload.Register(workload.Workload{Name: "no-impl", Uses: 1}); err == nil {
+		t.Error("workload without Define accepted")
+	}
+}
+
+func TestResolveAndParseList(t *testing.T) {
+	if _, err := workload.Resolve([]string{"tbi", "tbi"}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := workload.Resolve([]string{"nope"}); err == nil {
+		t.Error("unknown name accepted")
+	}
+	got, err := workload.ParseList(" tbi, wedges ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"tbi", "wedges"}) {
+		t.Errorf("ParseList = %v", got)
+	}
+	if _, err := workload.ParseList("tbi,nope"); err == nil {
+		t.Error("ParseList accepted an unknown name")
+	}
+	if empty, err := workload.ParseList(" "); err != nil || empty != nil {
+		t.Errorf("ParseList(blank) = %v, %v; want nil, nil", empty, err)
+	}
+}
+
+// TestMeasureChargesRegisteredUses pins the contract between a
+// workload's registered use count and the budget its measurement
+// actually charges: a source sized exactly to Uses*eps succeeds, and
+// one sized just below fails.
+func TestMeasureChargesRegisteredUses(t *testing.T) {
+	g := testGraph(t)
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			eps := 0.5
+			exact := budget.NewSource("edges", float64(w.Uses)*eps*(1+1e-9))
+			edges := core.FromDataset(graph.SymmetricEdges(g), exact)
+			if _, err := w.Measure(edges, 2, eps, rand.New(rand.NewSource(1))); err != nil {
+				t.Fatalf("measurement failed on an exactly-sized budget: %v", err)
+			}
+			short := budget.NewSource("edges", float64(w.Uses)*eps*(1-1e-6))
+			edges = core.FromDataset(graph.SymmetricEdges(g), short)
+			if _, err := w.Measure(edges, 2, eps, rand.New(rand.NewSource(1))); err == nil {
+				t.Fatal("measurement succeeded on an undersized budget: registered Uses understates the plan")
+			}
+		})
+	}
+}
+
+func TestHistogramRoundTripAndTypedGet(t *testing.T) {
+	g := testGraph(t)
+	w, err := workload.Get("tbd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := budget.NewSource("edges", 100)
+	edges := core.FromDataset(graph.SymmetricEdges(g), src)
+	fit, err := w.Measure(edges, 2, 1.0, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fit.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("tbd measurement released nothing")
+	}
+	for i := 1; i < len(entries); i++ {
+		if string(entries[i-1].Key) >= string(entries[i].Key) {
+			t.Fatalf("entries not in canonical key order: %s >= %s", entries[i-1].Key, entries[i].Key)
+		}
+	}
+	// Typed get through the erased interface returns the released value.
+	for _, e := range entries[:3] {
+		got, err := fit.Hist.Get(e.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != e.Count {
+			t.Errorf("Get(%s) = %v, want %v", e.Key, got, e.Count)
+		}
+	}
+	// Load(Entries()) reproduces the histogram: distance zero to itself,
+	// positive to a perturbed copy.
+	back, err := w.Load(entries, 2, 1.0, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := fit.Hist.Distance(back.Hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("distance to own round trip = %v, want 0", d)
+	}
+	perturbed := append([]workload.Entry(nil), entries...)
+	perturbed[0].Count += 2.5
+	moved, err := w.Load(perturbed, 2, 1.0, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, err = fit.Hist.Distance(moved.Hist); err != nil || math.Abs(d-2.5) > 1e-12 {
+		t.Errorf("distance to perturbed copy = %v (%v), want 2.5", d, err)
+	}
+	// Keys that never occurred decode fine and draw memoized noise.
+	key, _ := json.Marshal(queries.SortTriple(91, 92, 93))
+	v1, err := fit.Hist.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2, _ := fit.Hist.Get(key); v1 != v2 {
+		t.Errorf("lazy noise not memoized: %v then %v", v1, v2)
+	}
+	if _, err := fit.Hist.Get(json.RawMessage(`"not-a-triple"`)); err == nil ||
+		!strings.Contains(err.Error(), "decoding") {
+		t.Errorf("malformed key accepted: %v", err)
+	}
+}

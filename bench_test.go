@@ -21,6 +21,7 @@ import (
 	"wpinq/internal/incremental"
 	"wpinq/internal/mcmc"
 	"wpinq/internal/queries"
+	"wpinq/internal/synth"
 	"wpinq/internal/weighted"
 )
 
@@ -321,6 +322,50 @@ func BenchmarkRegressionPostprocessing(b *testing.B) {
 		if err := experiments.Regression(o); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Replica exchange ----------------------------------------------------
+
+// BenchmarkChains measures the whole-chain parallelism axis: the same
+// TbI fit run as 1, 2, and 4 replica-exchange chains (each chain on a
+// single-shard executor, so chains are the only concurrency). Wall-clock
+// per iteration should stay near-flat as chains grow when CPUs are
+// available — K chains explore K temperatures for the cost of one on an
+// idle machine — while total proposals scale with K.
+func BenchmarkChains(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	g, err := graph.HolmeKim(300, 4, 0.6, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := synth.Measure(g, synth.Config{Eps: 0.5, Workloads: []string{"tbi"}}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed, err := synth.SeedGraph(m, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, chains := range []int{1, 2, 4} {
+		chains := chains
+		b.Run(fmt.Sprintf("chains=%d", chains), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := synth.Config{
+					Eps:       m.Eps,
+					Workloads: []string{"tbi"},
+					Pow:       1000,
+					Steps:     2000,
+					SwapEvery: 500,
+					Chains:    chains,
+					Shards:    1,
+				}
+				if _, err := synth.Synthesize(m, seed, cfg, rand.New(rand.NewSource(int64(i)))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

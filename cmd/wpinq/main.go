@@ -80,6 +80,8 @@ func run(args []string) error {
 	fs.IntVar(&opts.Repeats, "repeats", opts.Repeats, "repetitions for error bars (fig5)")
 	fs.IntVar(&opts.Shards, "shards", opts.Shards,
 		"dataflow shards: 0 = one per CPU, -1 = serial reference engine")
+	fs.IntVar(&opts.Chains, "chains", opts.Chains,
+		"replica-exchange chains per fit at a geometric pow ladder (0 or 1 = single chain)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -129,6 +131,6 @@ remote verbs (clients of a wpinqd curator server; see `+"`wpinqd -h`"+`):
   remote synthesize  run an async synthesis job against a stored release
   remote status      inspect dataset ledgers, releases, and jobs
 
-flags (after the experiment name): -scale -epinions-scale -steps -eps -pow -seed -samples -repeats -shards
+flags (after the experiment name): -scale -epinions-scale -steps -eps -pow -seed -samples -repeats -shards -chains
 (measure/synthesize/motif and the remote verbs take their own flags; run them with -h)`)
 }

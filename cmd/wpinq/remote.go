@@ -97,6 +97,8 @@ func runRemoteSynthesize(args []string) error {
 	steps := fs.Int("steps", 100000, "MCMC steps")
 	pow := fs.Float64("pow", 10000, "posterior sharpening")
 	shards := fs.Int("shards", 0, "dataflow shards: 0 = one per CPU, -1 = serial reference engine (omit to use the server default)")
+	chains := fs.Int("chains", 0, "replica-exchange chains (0 = server default, 1 = single chain)")
+	swapEvery := fs.Int("swap-every", 0, "steps between replica swap attempts (0 = default 1024)")
 	seed := fs.Int64("seed", 0, "job seed (0 = server-derived)")
 	poll := fs.Duration("poll", 500*time.Millisecond, "progress polling interval")
 	if err := fs.Parse(args); err != nil {
@@ -114,6 +116,8 @@ func runRemoteSynthesize(args []string) error {
 		Workloads:   workloads,
 		Steps:       *steps,
 		Pow:         *pow,
+		Chains:      *chains,
+		SwapEvery:   *swapEvery,
 		Seed:        *seed,
 	}
 	// Only override the server's default shard configuration when the
@@ -143,6 +147,10 @@ func runRemoteSynthesize(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "remote: job %s done, final score %.6g (%d/%d accepted)\n",
 		final.ID, final.Score, final.Accepted, final.Steps)
+	for _, c := range final.Chains {
+		fmt.Fprintf(os.Stderr, "remote:   chain %d pow %-8.4g score %.6g accepted %d swaps %d\n",
+			c.Chain, c.Pow, c.Score, c.Accepted, c.Swaps)
+	}
 	g, err := c.JobResult(final.ID)
 	if err != nil {
 		return err
@@ -207,6 +215,9 @@ func runRemoteStatus(args []string) error {
 func printJob(st service.JobStatus) {
 	fmt.Printf("%s [%s] measurement %s step %d/%d score %.6g accept %.1f%%",
 		st.ID, st.State, st.Measurement, st.Step, st.Steps, st.Score, 100*st.AcceptRate)
+	if len(st.Chains) > 0 {
+		fmt.Printf(" chains %d", len(st.Chains))
+	}
 	if st.Error != "" {
 		fmt.Printf(" error: %s", st.Error)
 	}

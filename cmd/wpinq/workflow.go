@@ -83,6 +83,8 @@ func runSynthesize(args []string) error {
 	pow := fs.Float64("pow", 10000, "posterior sharpening")
 	seed := fs.Int64("seed", 1, "random seed")
 	shards := fs.Int("shards", 0, "dataflow shards: 0 = one per CPU, -1 = serial reference engine")
+	chains := fs.Int("chains", 1, "replica-exchange chains at a geometric pow ladder (1 = single chain)")
+	swapEvery := fs.Int("swap-every", 1024, "steps between replica swap attempts (with -chains > 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -116,13 +118,23 @@ func runSynthesize(args []string) error {
 		Pow:       *pow,
 		Steps:     *steps,
 		Shards:    *shards,
+		Chains:    *chains,
+		SwapEvery: *swapEvery,
 	}
 	res, err := synth.Synthesize(m, seedGraph, cfg, rng)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "synthesize: %d steps (%d accepted), synthetic graph has %d triangles\n",
-		res.Stats.Steps, res.Stats.Accepted, res.Synthetic.Triangles())
+	fmt.Fprintf(os.Stderr, "synthesize: %d steps (%d accepted, rate %.1f%%), synthetic graph has %d triangles\n",
+		res.Stats.Steps, res.Stats.Accepted, 100*res.Stats.AcceptRate(), res.Synthetic.Triangles())
+	for _, c := range res.Chains {
+		marker := " "
+		if c.Chain == res.BestChain {
+			marker = "*"
+		}
+		fmt.Fprintf(os.Stderr, "synthesize: %s chain %d pow %-8.4g score %.6g accepted %d swaps %d/%d\n",
+			marker, c.Chain, c.Pow, c.FinalScore, c.Accepted, c.SwapsAccepted, c.SwapsProposed)
+	}
 
 	w := os.Stdout
 	if *out != "" {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	wpinqd [-addr :8080] [-data DIR] [-shards N] [-workers N] [-seed N]
+//	wpinqd [-addr :8080] [-data DIR] [-shards N] [-chains K] [-workers N] [-seed N]
 //
 // The API is documented on service.Handler; `wpinq remote` is the
 // matching command-line client. See README.md, "Serving".
@@ -37,6 +37,7 @@ func run(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	data := fs.String("data", "", "directory persisting released measurements (empty = in-memory)")
 	shards := fs.Int("shards", 0, "default dataflow shards per synthesis job: 0 = one per CPU, -1 = serial reference engine")
+	chains := fs.Int("chains", 1, "default replica-exchange chains per synthesis job (1 = single chain)")
 	workers := fs.Int("workers", 0, "synthesis worker pool size (0 = GOMAXPROCS divided by per-job shards)")
 	seed := fs.Int64("seed", 1, "base seed for requests that do not supply one")
 	if err := fs.Parse(args); err != nil {
@@ -46,6 +47,7 @@ func run(args []string) error {
 	svc, err := service.New(service.Options{
 		Dir:     *data,
 		Shards:  *shards,
+		Chains:  *chains,
 		Workers: *workers,
 		Seed:    *seed,
 	})

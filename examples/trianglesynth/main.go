@@ -5,7 +5,9 @@
 //  2. Regress a degree sequence and build a random seed graph.
 //  3. Fit the seed to the TbI triangle signal with Metropolis-Hastings
 //     over degree-preserving edge swaps, scored incrementally on the
-//     sharded dataflow executor (one shard per CPU).
+//     sharded dataflow executor — as two replica-exchange chains: a cold
+//     chain at the target pow refines while a hot chain at pow/2
+//     explores, trading temperatures every SwapEvery steps.
 //
 // The seed starts triangle-poor; MCMC recovers a large share of the true
 // triangle count using only the released noisy measurements.
@@ -39,10 +41,11 @@ func main() {
 	cfg := synth.Config{
 		Eps:       0.5,             // per-measurement privacy parameter
 		Workloads: []string{"tbi"}, // triangles-by-intersect (4 eps)
-		Pow:       10000,           // near-greedy posterior
+		Pow:       10000,           // near-greedy posterior (cold chain)
 		Steps:     30000,
-		Shards:    0, // sharded executor, one shard per CPU
-		OnStep:    nil,
+		Shards:    0, // sharded executor; CPUs split across chains
+		Chains:    2, // replica exchange: cold (pow) + hot (pow/2)
+		SwapEvery: 2048,
 	}
 	cfg.SampleEvery = 5000
 	cfg.OnSample = func(step int, sg *graph.Graph) {
@@ -54,8 +57,16 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\ntotal privacy cost: %.2f (= 7 x eps: 3 seed + 4 TbI)\n", res.TotalCost)
-	fmt.Printf("accepted %d / rejected %d / invalid %d proposals\n",
+	fmt.Printf("accepted %d / rejected %d / invalid %d proposals (best chain)\n",
 		res.Stats.Accepted, res.Stats.Rejected, res.Stats.Invalid)
+	for _, c := range res.Chains {
+		marker := " "
+		if c.Chain == res.BestChain {
+			marker = "*"
+		}
+		fmt.Printf("%s chain %d: pow %-7.5g score %.4g, %d accepted, %d/%d swaps\n",
+			marker, c.Chain, c.Pow, c.FinalScore, c.Accepted, c.SwapsAccepted, c.SwapsProposed)
+	}
 	fmt.Println("\ntriangles:")
 	fmt.Printf("  seed graph (phase 1):      %6d\n", res.Seed.Triangles())
 	fmt.Printf("  synthetic graph (phase 2): %6d\n", res.Synthetic.Triangles())

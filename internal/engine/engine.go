@@ -92,6 +92,17 @@ type processor interface {
 	process()
 }
 
+// processSeed is the shard-routing hash seed shared by every Engine in
+// the process. A per-engine seed would route the same record to
+// different shards in different engine instances, reordering emitted
+// batches — and therefore sink floating-point accumulation — between
+// otherwise identically-seeded runs. One process-wide seed makes
+// repeated runs (and concurrent replica-exchange chains) reproducible
+// within a process; across processes the seed differs, so sharded-run
+// scores agree only to accumulation tolerance (the serial engine and
+// single-shard engines are bit-reproducible across processes too).
+var processSeed = maphash.MakeSeed()
+
 // New returns an engine that partitions operator state into the given
 // number of shards. shards <= 0 selects one shard per available CPU
 // (GOMAXPROCS); the count is clamped to [1, MaxShards]. New(1) is the
@@ -105,7 +116,7 @@ func New(shards int) *Engine {
 	}
 	return &Engine{
 		shards: shards,
-		seed:   maphash.MakeSeed(),
+		seed:   processSeed,
 		cutoff: DefaultSerialCutoff,
 	}
 }

@@ -44,11 +44,14 @@ func (in *Input[T]) Push(batch []incremental.Delta[T]) {
 }
 
 // PushDataset pushes an entire weighted dataset as one batch: the idiom
-// for loading initial data into a freshly built graph.
+// for loading initial data into a freshly built graph. As with
+// incremental.Input.PushDataset, the batch is built in PairsSorted
+// order so the bulk load — and every float accumulated downstream of it
+// — is a pure function of the dataset, not of map iteration order.
 func (in *Input[T]) PushDataset(d *weighted.Dataset[T]) {
 	batch := make([]incremental.Delta[T], 0, d.Len())
-	d.Range(func(x T, w float64) {
-		batch = append(batch, incremental.Delta[T]{Record: x, Weight: w})
-	})
+	for _, p := range d.PairsSorted() {
+		batch = append(batch, incremental.Delta[T]{Record: p.Record, Weight: p.Weight})
+	}
 	in.Push(batch)
 }

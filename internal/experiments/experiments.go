@@ -52,6 +52,11 @@ type Options struct {
 	// count, -1 selects the single-threaded reference engine (see
 	// synth.Config.Shards).
 	Shards int
+	// Chains runs every synthesis fit as this many replica-exchange
+	// chains at a geometric pow ladder (see synth.Config.Chains; 0 or 1
+	// = the single-chain walk the paper uses). Trajectory samples follow
+	// chain 0, the chain that starts on the coldest rung.
+	Chains int
 }
 
 // Defaults returns the scaled-down defaults used by the CLI and benches.
@@ -208,6 +213,7 @@ func Fig3(o Options) error {
 			Pow:       o.Pow,
 			Steps:     steps,
 			Shards:    o.Shards,
+			Chains:    o.Chains,
 		}
 		series, _, err := trajectory(run.g, cfg, o, 33+int64(i), run.name)
 		if err != nil {
@@ -248,6 +254,7 @@ func Fig4(o Options) error {
 		Pow:       o.Pow,
 		Steps:     o.Steps,
 		Shards:    o.Shards,
+		Chains:    o.Chains,
 	}
 	i := int64(0)
 	for _, name := range []datasets.Name{datasets.GrQc, datasets.HepTh, datasets.HepPh, datasets.Caltech} {
@@ -260,11 +267,12 @@ func Fig4(o Options) error {
 			{string(name) + "/real", g},
 			{string(name) + "/random", random},
 		} {
-			series, _, err := trajectory(run.g, cfg, o, 60+i, run.label)
+			series, res, err := trajectory(run.g, cfg, o, 60+i, run.label)
 			if err != nil {
 				return fmt.Errorf("fig4: %s: %w", run.label, err)
 			}
-			fmt.Fprintf(o.Out, "# true triangles: %d\n", run.g.Triangles())
+			fmt.Fprintf(o.Out, "# true triangles: %d (accept rate %.1f%%)\n",
+				run.g.Triangles(), 100*res.Stats.AcceptRate())
 			if err := series.Render(o.Out); err != nil {
 				return err
 			}
@@ -289,6 +297,7 @@ func Table2(o Options) error {
 		Pow:       o.Pow,
 		Steps:     o.Steps,
 		Shards:    o.Shards,
+		Chains:    o.Chains,
 	}
 	for i, name := range []datasets.Name{datasets.GrQc, datasets.HepPh, datasets.HepTh, datasets.Caltech} {
 		g := graphs[name]
@@ -325,6 +334,7 @@ func Fig5(o Options) error {
 					Pow:       o.Pow,
 					Steps:     o.Steps,
 					Shards:    o.Shards,
+					Chains:    o.Chains,
 				}
 				res, err := synth.Run(run.g, cfg, o.rng(90+int64(rep)+int64(eps*1000)))
 				if err != nil {
@@ -438,16 +448,18 @@ func Fig6(o Options) error {
 		Pow:       o.Pow,
 		Steps:     o.Steps,
 		Shards:    o.Shards,
+		Chains:    o.Chains,
 	}
 	for i, run := range []struct {
 		label string
 		g     *graph.Graph
 	}{{"Epinions/real", g}, {"Epinions/random", random}} {
-		series, _, err := trajectory(run.g, cfg, o, 140+int64(i), run.label)
+		series, res, err := trajectory(run.g, cfg, o, 140+int64(i), run.label)
 		if err != nil {
 			return fmt.Errorf("fig6: %s: %w", run.label, err)
 		}
-		fmt.Fprintf(o.Out, "# true triangles: %d\n", run.g.Triangles())
+		fmt.Fprintf(o.Out, "# true triangles: %d (accept rate %.1f%%)\n",
+			run.g.Triangles(), 100*res.Stats.AcceptRate())
 		if err := series.Render(o.Out); err != nil {
 			return err
 		}

@@ -36,11 +36,15 @@ type JoinNode[A, B comparable, K comparable, R comparable] struct {
 	// Batched-update scratch, reused across pushes so hot loops do not
 	// re-allocate a difference map and output batch per push. Safe
 	// because emitted batches are owned by this node and handlers must
-	// not retain them.
-	byKeyA map[K][]Delta[A]
-	byKeyB map[K][]Delta[B]
-	diff   *weighted.Dataset[R]
-	out    []Delta[R]
+	// not retain them. The key-order slices record each key's first
+	// appearance so keys are processed — and differences emitted — in a
+	// deterministic order (see stateMap).
+	byKeyA    map[K][]Delta[A]
+	byKeyB    map[K][]Delta[B]
+	keyOrderA []K
+	keyOrderB []K
+	diff      *orderedDiff[R]
+	out       []Delta[R]
 }
 
 // joinStats counts key-updates taken through each path, for ablations.
@@ -64,7 +68,7 @@ func Join[A, B comparable, K comparable, R comparable](
 		fastPath: true,
 		byKeyA:   make(map[K][]Delta[A]),
 		byKeyB:   make(map[K][]Delta[B]),
-		diff:     weighted.New[R](),
+		diff:     newOrderedDiff[R](),
 	}
 	a.Subscribe(n.onLeft)
 	b.Subscribe(n.onRight)
@@ -85,10 +89,10 @@ func (n *JoinNode[A, B, K, R]) SlowKeys() int64 { return n.stats.slowKeys }
 func (n *JoinNode[A, B, K, R]) StateSize() int {
 	total := 0
 	for _, g := range n.left {
-		total += len(g.w)
+		total += g.len()
 	}
 	for _, g := range n.right {
-		total += len(g.w)
+		total += g.len()
 	}
 	return total
 }
@@ -96,14 +100,19 @@ func (n *JoinNode[A, B, K, R]) StateSize() int {
 func (n *JoinNode[A, B, K, R]) onLeft(batch []Delta[A]) {
 	byKey := n.byKeyA
 	clear(byKey)
+	keys := n.keyOrderA[:0]
 	for _, d := range batch {
 		k := n.keyA(d.Record)
+		if _, seen := byKey[k]; !seen {
+			keys = append(keys, k)
+		}
 		byKey[k] = append(byKey[k], d)
 	}
+	n.keyOrderA = keys
 	diff := n.diff
-	diff.Reset()
-	for k, ds := range byKey {
-		joinUpdateSide(&n.stats, ds, n.leftGroup(k), n.rightGroup(k), n.fastPath, n.reduce, diff)
+	diff.reset()
+	for _, k := range keys {
+		joinUpdateSide(&n.stats, byKey[k], n.leftGroup(k), n.rightGroup(k), n.fastPath, n.reduce, diff)
 		n.dropEmpty(k)
 	}
 	n.emitDiff(diff)
@@ -112,15 +121,20 @@ func (n *JoinNode[A, B, K, R]) onLeft(batch []Delta[A]) {
 func (n *JoinNode[A, B, K, R]) onRight(batch []Delta[B]) {
 	byKey := n.byKeyB
 	clear(byKey)
+	keys := n.keyOrderB[:0]
 	for _, d := range batch {
 		k := n.keyB(d.Record)
+		if _, seen := byKey[k]; !seen {
+			keys = append(keys, k)
+		}
 		byKey[k] = append(byKey[k], d)
 	}
+	n.keyOrderB = keys
 	diff := n.diff
-	diff.Reset()
+	diff.reset()
 	swapped := func(y B, x A) R { return n.reduce(x, y) }
-	for k, ds := range byKey {
-		joinUpdateSide(&n.stats, ds, n.rightGroup(k), n.leftGroup(k), n.fastPath, swapped, diff)
+	for _, k := range keys {
+		joinUpdateSide(&n.stats, byKey[k], n.rightGroup(k), n.leftGroup(k), n.fastPath, swapped, diff)
 		n.dropEmpty(k)
 	}
 	n.emitDiff(diff)
@@ -147,10 +161,10 @@ func (n *JoinNode[A, B, K, R]) rightGroup(k K) *stateMap[B] {
 // dropEmpty releases index entries for keys whose groups became empty, so
 // long random walks do not leak memory through abandoned keys.
 func (n *JoinNode[A, B, K, R]) dropEmpty(k K) {
-	if g, ok := n.left[k]; ok && len(g.w) == 0 {
+	if g, ok := n.left[k]; ok && g.len() == 0 {
 		delete(n.left, k)
 	}
-	if g, ok := n.right[k]; ok && len(g.w) == 0 {
+	if g, ok := n.right[k]; ok && g.len() == 0 {
 		delete(n.right, k)
 	}
 }
@@ -165,7 +179,7 @@ func joinUpdateSide[X, Y comparable, R comparable](
 	own *stateMap[X], other *stateMap[Y],
 	fastPath bool,
 	reduce func(X, Y) R,
-	diff *weighted.Dataset[R],
+	diff *orderedDiff[R],
 ) {
 	otherNorm := other.norm
 	oldDenom := own.norm + otherNorm
@@ -178,69 +192,72 @@ func joinUpdateSide[X, Y comparable, R comparable](
 		d := ds[0]
 		oldW, newW := own.apply(d.Record, d.Weight)
 		newDenom := own.norm + otherNorm
-		if len(other.w) == 0 {
+		if other.len() == 0 {
 			return
 		}
 		if fastPath && math.Abs(newDenom-oldDenom) < weighted.Eps && oldDenom >= weighted.Eps {
 			stats.fastKeys++
 			if dw := newW - oldW; math.Abs(dw) >= weighted.Eps {
-				for y, wy := range other.w {
-					diff.Add(reduce(d.Record, y), dw*wy/oldDenom)
-				}
+				other.each(func(y Y, wy float64) {
+					diff.add(reduce(d.Record, y), dw*wy/oldDenom)
+				})
 			}
 			return
 		}
 		stats.slowKeys++
 		if oldDenom >= weighted.Eps {
 			if oldW != 0 {
-				for y, wy := range other.w {
-					diff.Add(reduce(d.Record, y), -oldW*wy/oldDenom)
-				}
+				other.each(func(y Y, wy float64) {
+					diff.add(reduce(d.Record, y), -oldW*wy/oldDenom)
+				})
 			}
-			for x, wx := range own.w {
+			own.each(func(x X, wx float64) {
 				if x == d.Record {
-					continue
+					return
 				}
-				for y, wy := range other.w {
-					diff.Add(reduce(x, y), -wx*wy/oldDenom)
-				}
-			}
+				other.each(func(y Y, wy float64) {
+					diff.add(reduce(x, y), -wx*wy/oldDenom)
+				})
+			})
 		}
 		if newDenom >= weighted.Eps {
-			for x, wx := range own.w {
-				for y, wy := range other.w {
-					diff.Add(reduce(x, y), wx*wy/newDenom)
-				}
-			}
+			own.each(func(x X, wx float64) {
+				other.each(func(y Y, wy float64) {
+					diff.add(reduce(x, y), wx*wy/newDenom)
+				})
+			})
 		}
 		return
 	}
 
-	// Apply differences, remembering each touched record's prior weight.
+	// Apply differences, remembering each touched record's prior weight
+	// in first-touch order.
 	oldWeights := make(map[X]float64, len(ds))
+	touched := make([]X, 0, len(ds))
 	for _, d := range ds {
 		if _, seen := oldWeights[d.Record]; !seen {
 			oldWeights[d.Record] = own.weight(d.Record)
+			touched = append(touched, d.Record)
 		}
 		own.apply(d.Record, d.Weight)
 	}
 	newDenom := own.norm + otherNorm
 
-	if len(other.w) == 0 {
+	if other.len() == 0 {
 		// No matches: the key contributes no outputs before or after.
 		return
 	}
 
 	if fastPath && math.Abs(newDenom-oldDenom) < weighted.Eps && oldDenom >= weighted.Eps {
 		stats.fastKeys++
-		for x, oldW := range oldWeights {
-			dw := own.weight(x) - oldW
+		for _, x := range touched {
+			dw := own.weight(x) - oldWeights[x]
 			if math.Abs(dw) < weighted.Eps {
 				continue
 			}
-			for y, wy := range other.w {
-				diff.Add(reduce(x, y), dw*wy/oldDenom)
-			}
+			other.each(func(y Y, wy float64) {
+				diff.add(reduce(x, y), dw*wy/oldDenom)
+			})
 		}
 		return
 	}
@@ -248,36 +265,35 @@ func joinUpdateSide[X, Y comparable, R comparable](
 	stats.slowKeys++
 	// Retract the old outer product under the old denominator.
 	if oldDenom >= weighted.Eps {
-		for x, oldW := range oldWeights {
+		for _, x := range touched {
+			oldW := oldWeights[x]
 			if oldW == 0 {
 				continue
 			}
-			for y, wy := range other.w {
-				diff.Add(reduce(x, y), -oldW*wy/oldDenom)
-			}
+			other.each(func(y Y, wy float64) {
+				diff.add(reduce(x, y), -oldW*wy/oldDenom)
+			})
 		}
-		for x, wx := range own.w {
+		own.each(func(x X, wx float64) {
 			if _, changed := oldWeights[x]; changed {
-				continue
+				return
 			}
-			for y, wy := range other.w {
-				diff.Add(reduce(x, y), -wx*wy/oldDenom)
-			}
-		}
+			other.each(func(y Y, wy float64) {
+				diff.add(reduce(x, y), -wx*wy/oldDenom)
+			})
+		})
 	}
 	// Assert the new outer product under the new denominator.
 	if newDenom >= weighted.Eps {
-		for x, wx := range own.w {
-			for y, wy := range other.w {
-				diff.Add(reduce(x, y), wx*wy/newDenom)
-			}
-		}
+		own.each(func(x X, wx float64) {
+			other.each(func(y Y, wy float64) {
+				diff.add(reduce(x, y), wx*wy/newDenom)
+			})
+		})
 	}
 }
 
-func (n *JoinNode[A, B, K, R]) emitDiff(diff *weighted.Dataset[R]) {
-	out := n.out[:0]
-	diff.Range(func(r R, w float64) { out = append(out, Delta[R]{r, w}) })
-	n.out = out
-	n.emit(out)
+func (n *JoinNode[A, B, K, R]) emitDiff(diff *orderedDiff[R]) {
+	n.out = diff.appendTo(n.out[:0])
+	n.emit(n.out)
 }

@@ -34,11 +34,17 @@ func (m MapObservations[T]) Get(x T) float64 { return m[x] }
 // The L1 distance is the quantity MCMC scores candidate datasets by
 // (paper Section 4.2).
 type NoisyCountSink[T comparable] struct {
-	q   map[T]float64
-	m   map[T]float64 // cached observations
-	src Observations[T]
-	l1  float64
-	eps float64
+	q map[T]float64
+	m map[T]float64 // cached observations
+	// order lists the observed records in first-observation order, so
+	// RecomputeL1's floating-point accumulation is a deterministic
+	// function of the sink's history rather than of map iteration order —
+	// a periodic recompute must not perturb an otherwise reproducible
+	// MCMC trace.
+	order []T
+	src   Observations[T]
+	l1    float64
+	eps   float64
 }
 
 // NewNoisyCountSink attaches a sink to src. domain lists the records whose
@@ -58,6 +64,7 @@ func NewNoisyCountSink[T comparable](source Source[T], obs Observations[T], doma
 		}
 		mv := obs.Get(x)
 		s.m[x] = mv
+		s.order = append(s.order, x)
 		s.l1 += math.Abs(mv)
 	}
 	source.Subscribe(s.onInput)
@@ -70,6 +77,7 @@ func (s *NoisyCountSink[T]) onInput(batch []Delta[T]) {
 		if !ok {
 			mv = s.src.Get(d.Record)
 			s.m[d.Record] = mv
+			s.order = append(s.order, d.Record)
 			s.l1 += math.Abs(mv) // q was 0 until now
 		}
 		oldQ := s.q[d.Record]
@@ -97,24 +105,24 @@ func (s *NoisyCountSink[T]) Weight(x T) float64 { return s.q[x] }
 // replaces the maintained value, squashing any accumulated floating-point
 // drift. Long MCMC runs call this periodically.
 func (s *NoisyCountSink[T]) RecomputeL1() float64 {
-	var l1 float64
-	for x, mv := range s.m {
-		l1 += math.Abs(s.q[x] - mv)
-	}
 	// Records with weight but no cached observation cannot exist: onInput
-	// always caches the observation first.
-	s.l1 = l1
-	return l1
+	// always caches the observation first, so s.order covers the sum.
+	s.l1 = s.recompute()
+	return s.l1
 }
 
 // Drift returns |maintained - recomputed| without modifying state, for
 // numerical-stability tests.
 func (s *NoisyCountSink[T]) Drift() float64 {
+	return math.Abs(s.recompute() - s.l1)
+}
+
+func (s *NoisyCountSink[T]) recompute() float64 {
 	var l1 float64
-	for x, mv := range s.m {
-		l1 += math.Abs(s.q[x] - mv)
+	for _, x := range s.order {
+		l1 += math.Abs(s.q[x] - s.m[x])
 	}
-	return math.Abs(l1 - s.l1)
+	return l1
 }
 
 // Scorer aggregates several sinks into the single fit score used by

@@ -36,7 +36,7 @@ func Intersect[T comparable](a, b Source[T]) *MinMaxNode[T] {
 // StateSize returns the number of records indexed across both inputs: the
 // node's memory footprint in records (paper Section 4.3 observes this
 // grows with the number of length-two paths for the triangle queries).
-func (n *MinMaxNode[T]) StateSize() int { return len(n.left.w) + len(n.right.w) }
+func (n *MinMaxNode[T]) StateSize() int { return n.left.len() + n.right.len() }
 
 func minMaxNode[T comparable](a, b Source[T], pick func(x, y float64) float64) *MinMaxNode[T] {
 	n := &MinMaxNode[T]{left: newStateMap[T](), right: newStateMap[T]()}
@@ -63,17 +63,21 @@ func minMaxNode[T comparable](a, b Source[T], pick func(x, y float64) float64) *
 // GroupByNode is the output of GroupBy.
 type GroupByNode[T comparable, K comparable, R comparable] struct {
 	Stream[weighted.Grouped[K, R]]
-	groups map[K]map[T]float64
+	groups map[K]*stateMap[T]
 	key    func(T) K
 	reduce func([]T) R
 
 	// Batched-update scratch, reused across pushes so hot loops do not
 	// re-allocate a fresh index and difference map per batch. Safe
 	// because emitted batches are owned by this node and handlers must
-	// not retain them.
-	byKey map[K][]Delta[T]
-	diff  *weighted.Dataset[weighted.Grouped[K, R]]
-	out   []Delta[weighted.Grouped[K, R]]
+	// not retain them. keyOrder records each key's first appearance in
+	// the batch, so keys are processed — and differences emitted — in a
+	// deterministic order.
+	byKey    map[K][]Delta[T]
+	keyOrder []K
+	members  []weighted.Pair[T]
+	diff     *orderedDiff[weighted.Grouped[K, R]]
+	out      []Delta[weighted.Grouped[K, R]]
 }
 
 // GroupBy incrementally groups records by key and re-reduces weight-ordered
@@ -84,75 +88,73 @@ func GroupBy[T comparable, K comparable, R comparable](
 	src Source[T], key func(T) K, reduce func([]T) R,
 ) *GroupByNode[T, K, R] {
 	n := &GroupByNode[T, K, R]{
-		groups: make(map[K]map[T]float64),
+		groups: make(map[K]*stateMap[T]),
 		key:    key,
 		reduce: reduce,
 		byKey:  make(map[K][]Delta[T]),
-		diff:   weighted.New[weighted.Grouped[K, R]](),
+		diff:   newOrderedDiff[weighted.Grouped[K, R]](),
 	}
 	src.Subscribe(n.onInput)
 	return n
 }
 
 func (n *GroupByNode[T, K, R]) onInput(batch []Delta[T]) {
-	// Group arriving differences by key.
+	// Group arriving differences by key, remembering first-appearance
+	// order.
 	byKey := n.byKey
 	clear(byKey)
+	keys := n.keyOrder[:0]
 	for _, d := range batch {
 		k := n.key(d.Record)
+		if _, seen := byKey[k]; !seen {
+			keys = append(keys, k)
+		}
 		byKey[k] = append(byKey[k], d)
 	}
+	n.keyOrder = keys
 	diff := n.diff
-	diff.Reset()
-	for k, ds := range byKey {
+	diff.reset()
+	for _, k := range keys {
 		group := n.groups[k]
 		// Retract old outputs.
-		n.expand(k, group, func(g weighted.Grouped[K, R], w float64) { diff.Add(g, -w) })
+		n.expand(k, group, func(g weighted.Grouped[K, R], w float64) { diff.add(g, -w) })
 		// Apply the differences.
 		if group == nil {
-			group = make(map[T]float64)
+			group = newStateMap[T]()
 			n.groups[k] = group
 		}
-		for _, d := range ds {
-			nw := group[d.Record] + d.Weight
-			if math.Abs(nw) < weighted.Eps {
-				delete(group, d.Record)
-			} else {
-				group[d.Record] = nw
-			}
+		for _, d := range byKey[k] {
+			group.apply(d.Record, d.Weight)
 		}
-		if len(group) == 0 {
+		if group.len() == 0 {
 			delete(n.groups, k)
 			group = nil
 		}
 		// Assert new outputs.
-		n.expand(k, group, func(g weighted.Grouped[K, R], w float64) { diff.Add(g, w) })
+		n.expand(k, group, func(g weighted.Grouped[K, R], w float64) { diff.add(g, w) })
 	}
-	out := n.out[:0]
-	diff.Range(func(g weighted.Grouped[K, R], w float64) {
-		out = append(out, Delta[weighted.Grouped[K, R]]{g, w})
-	})
-	n.out = out
-	n.emit(out)
+	n.out = diff.appendTo(n.out[:0])
+	n.emit(n.out)
 }
 
 // StateSize returns the number of records indexed across all groups.
 func (n *GroupByNode[T, K, R]) StateSize() int {
 	total := 0
 	for _, g := range n.groups {
-		total += len(g)
+		total += g.len()
 	}
 	return total
 }
 
-func (n *GroupByNode[T, K, R]) expand(k K, group map[T]float64, emit func(weighted.Grouped[K, R], float64)) {
-	if len(group) == 0 {
+func (n *GroupByNode[T, K, R]) expand(k K, group *stateMap[T], emit func(weighted.Grouped[K, R], float64)) {
+	if group == nil || group.len() == 0 {
 		return
 	}
-	members := make([]weighted.Pair[T], 0, len(group))
-	for x, w := range group {
+	members := n.members[:0]
+	group.each(func(x T, w float64) {
 		members = append(members, weighted.Pair[T]{Record: x, Weight: w})
-	}
+	})
+	n.members = members
 	weighted.PrefixReduce(k, members, n.reduce, emit)
 }
 
@@ -163,7 +165,7 @@ type ShaveNode[T comparable] struct {
 	f     func(x T, i int) float64
 
 	// Batched-update scratch, reused across pushes (see GroupByNode).
-	diff *weighted.Dataset[weighted.Indexed[T]]
+	diff *orderedDiff[weighted.Indexed[T]]
 	out  []Delta[weighted.Indexed[T]]
 }
 
@@ -175,7 +177,7 @@ func Shave[T comparable](src Source[T], f func(x T, i int) float64) *ShaveNode[T
 	n := &ShaveNode[T]{
 		state: newStateMap[T](),
 		f:     f,
-		diff:  weighted.New[weighted.Indexed[T]](),
+		diff:  newOrderedDiff[weighted.Indexed[T]](),
 	}
 	src.Subscribe(n.onInput)
 	return n
@@ -187,11 +189,11 @@ func ShaveConst[T comparable](src Source[T], w float64) *ShaveNode[T] {
 }
 
 // StateSize returns the number of records indexed by the node.
-func (n *ShaveNode[T]) StateSize() int { return len(n.state.w) }
+func (n *ShaveNode[T]) StateSize() int { return n.state.len() }
 
 func (n *ShaveNode[T]) onInput(batch []Delta[T]) {
 	diff := n.diff
-	diff.Reset()
+	diff.reset()
 	for _, d := range batch {
 		oldW, newW := n.state.apply(d.Record, d.Weight)
 		if oldW == newW {
@@ -199,16 +201,12 @@ func (n *ShaveNode[T]) onInput(batch []Delta[T]) {
 		}
 		x := d.Record
 		weighted.ShaveExpand(x, oldW, n.f, func(i int, wi float64) {
-			diff.Add(weighted.Indexed[T]{Value: x, Index: i}, -wi)
+			diff.add(weighted.Indexed[T]{Value: x, Index: i}, -wi)
 		})
 		weighted.ShaveExpand(x, newW, n.f, func(i int, wi float64) {
-			diff.Add(weighted.Indexed[T]{Value: x, Index: i}, wi)
+			diff.add(weighted.Indexed[T]{Value: x, Index: i}, wi)
 		})
 	}
-	out := n.out[:0]
-	diff.Range(func(ix weighted.Indexed[T], w float64) {
-		out = append(out, Delta[weighted.Indexed[T]]{ix, w})
-	})
-	n.out = out
-	n.emit(out)
+	n.out = diff.appendTo(n.out[:0])
+	n.emit(n.out)
 }

@@ -84,12 +84,16 @@ func (in *Input[T]) Push(batch []Delta[T]) {
 }
 
 // PushDataset pushes an entire weighted dataset as one batch: the idiom for
-// loading initial data into a freshly built graph.
+// loading initial data into a freshly built graph. The batch is built in
+// PairsSorted order, never map order — a map-ordered bulk load would seed
+// every downstream node's floating-point state differently per run,
+// silently reintroducing the emission-order nondeterminism the stateful
+// operators were built to exclude. The sort is a one-time load cost.
 func (in *Input[T]) PushDataset(d *weighted.Dataset[T]) {
 	batch := make([]Delta[T], 0, d.Len())
-	d.Range(func(x T, w float64) {
-		batch = append(batch, Delta[T]{x, w})
-	})
+	for _, p := range d.PairsSorted() {
+		batch = append(batch, Delta[T]{p.Record, p.Weight})
+	}
 	in.Push(batch)
 }
 
@@ -124,29 +128,124 @@ func (c *Collector[T]) Norm() float64 { return c.data.Norm() }
 // stateMap is the shared mutable-state helper used by stateful operators:
 // a record-weight index with Eps cleanup matching weighted.Dataset, plus an
 // incrementally maintained norm.
+//
+// Records are held in a slice with a position index, not a bare map, so
+// that each (deletions backfill from the tail) visits records in an order
+// that is a pure function of the update history — never of Go's map
+// iteration order. Operators that expand or rescale whole groups
+// therefore emit deterministically, which is what makes a seeded MCMC
+// trace bit-reproducible: the sinks' floating-point score accumulation
+// sees the same operand order on every identically-seeded run.
 type stateMap[T comparable] struct {
-	w    map[T]float64
+	pos  map[T]int
+	recs []T
+	ws   []float64
 	norm float64
 }
 
 func newStateMap[T comparable]() *stateMap[T] {
-	return &stateMap[T]{w: make(map[T]float64)}
+	return &stateMap[T]{pos: make(map[T]int)}
 }
 
 // apply adds delta to record x and returns (old, new) weights. Weights with
 // magnitude below weighted.Eps collapse to exactly zero, keeping the state
 // identical to the reference engine's.
 func (m *stateMap[T]) apply(x T, delta float64) (oldW, newW float64) {
-	oldW = m.w[x]
+	i, ok := m.pos[x]
+	if ok {
+		oldW = m.ws[i]
+	}
 	newW = oldW + delta
-	if math.Abs(newW) < weighted.Eps {
+	switch {
+	case math.Abs(newW) < weighted.Eps:
 		newW = 0
-		delete(m.w, x)
-	} else {
-		m.w[x] = newW
+		if ok {
+			last := len(m.recs) - 1
+			moved := m.recs[last]
+			m.recs[i], m.ws[i] = moved, m.ws[last]
+			m.pos[moved] = i
+			m.recs = m.recs[:last]
+			m.ws = m.ws[:last]
+			delete(m.pos, x) // after pos[moved]: moved may be x itself
+		}
+	case ok:
+		m.ws[i] = newW
+	default:
+		m.pos[x] = len(m.recs)
+		m.recs = append(m.recs, x)
+		m.ws = append(m.ws, newW)
 	}
 	m.norm += math.Abs(newW) - math.Abs(oldW)
 	return oldW, newW
 }
 
-func (m *stateMap[T]) weight(x T) float64 { return m.w[x] }
+func (m *stateMap[T]) weight(x T) float64 {
+	if i, ok := m.pos[x]; ok {
+		return m.ws[i]
+	}
+	return 0
+}
+
+// len returns the number of records with non-zero weight.
+func (m *stateMap[T]) len() int { return len(m.recs) }
+
+// each visits every record in the deterministic slice order. f must not
+// mutate the state map.
+func (m *stateMap[T]) each(f func(x T, w float64)) {
+	for i, x := range m.recs {
+		f(x, m.ws[i])
+	}
+}
+
+// orderedDiff is the reusable difference accumulator of the stateful
+// operators' batched-update scratch. It mirrors weighted.Dataset's Eps
+// cleanup — a record whose running sum collapses below Eps is zeroed
+// exactly, and zero records are skipped at flush — but unlike a
+// map-backed dataset it flushes in insertion order, so a node's emitted
+// batch order is a deterministic function of its input, never of map
+// iteration order (see stateMap).
+type orderedDiff[T comparable] struct {
+	pos  map[T]int
+	recs []T
+	ws   []float64
+}
+
+func newOrderedDiff[T comparable]() *orderedDiff[T] {
+	return &orderedDiff[T]{pos: make(map[T]int)}
+}
+
+// add accumulates w onto record x.
+func (d *orderedDiff[T]) add(x T, w float64) {
+	if i, ok := d.pos[x]; ok {
+		nw := d.ws[i] + w
+		if math.Abs(nw) < weighted.Eps {
+			nw = 0
+		}
+		d.ws[i] = nw
+		return
+	}
+	if math.Abs(w) < weighted.Eps {
+		w = 0
+	}
+	d.pos[x] = len(d.recs)
+	d.recs = append(d.recs, x)
+	d.ws = append(d.ws, w)
+}
+
+// reset clears the accumulator, keeping capacity for reuse across pushes.
+func (d *orderedDiff[T]) reset() {
+	clear(d.pos)
+	d.recs = d.recs[:0]
+	d.ws = d.ws[:0]
+}
+
+// appendTo flushes the non-zero accumulated differences, in insertion
+// order, onto out.
+func (d *orderedDiff[T]) appendTo(out []Delta[T]) []Delta[T] {
+	for i, x := range d.recs {
+		if d.ws[i] != 0 {
+			out = append(out, Delta[T]{x, d.ws[i]})
+		}
+	}
+	return out
+}

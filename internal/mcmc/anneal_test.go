@@ -42,10 +42,9 @@ func TestAnnealingAcceptsMoreEarly(t *testing.T) {
 	}
 	early := r.Run(half)
 	late := r.Run(half)
-	earlyRate := float64(early.Accepted) / float64(early.Accepted+early.Rejected+1)
-	lateRate := float64(late.Accepted) / float64(late.Accepted+late.Rejected+1)
-	if earlyRate <= lateRate {
-		t.Errorf("acceptance early %.3f <= late %.3f; annealing should cool", earlyRate, lateRate)
+	if early.AcceptRate() <= late.AcceptRate() {
+		t.Errorf("acceptance early %.3f <= late %.3f; annealing should cool",
+			early.AcceptRate(), late.AcceptRate())
 	}
 	// Late phase is near-greedy: the score must not have worsened.
 	if late.FinalScore > early.FinalScore+1e-6 {

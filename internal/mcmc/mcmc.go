@@ -51,13 +51,24 @@ type GraphState struct {
 // NewGraphState couples g (cloned) to input and pushes the initial edge
 // dataset through the dataflow graph. All pipeline subscriptions on input
 // must be in place before this call.
+//
+// The bulk load is pushed in edge-list order (not weighted-dataset map
+// order) so the dataflow's floating-point state — and therefore a seeded
+// walk's accept/reject trace — is bit-reproducible across runs.
 func NewGraphState(g *graph.Graph, input Input) *GraphState {
 	s := &GraphState{
 		g:     g.Clone(),
 		edges: g.EdgeList(),
 		input: input,
 	}
-	s.input.PushDataset(graph.SymmetricEdges(s.g))
+	batch := make([]incremental.Delta[graph.Edge], 0, 2*len(s.edges))
+	for _, e := range s.edges {
+		batch = append(batch,
+			incremental.Delta[graph.Edge]{Record: graph.Edge{Src: e.Src, Dst: e.Dst}, Weight: 1},
+			incremental.Delta[graph.Edge]{Record: graph.Edge{Src: e.Dst, Dst: e.Src}, Weight: 1},
+		)
+	}
+	s.input.Push(batch)
 	return s
 }
 
@@ -163,6 +174,18 @@ type Stats struct {
 	Rejected   int
 	Invalid    int
 	FinalScore float64
+}
+
+// AcceptRate returns the fraction of attempted steps whose proposal was
+// accepted, Accepted/Steps. Invalid draws count as attempts — they spend
+// walk budget exactly like rejections — and a run of zero steps has rate
+// 0 by definition, so callers need no ad-hoc +1 denominators to dodge
+// the division.
+func (s Stats) AcceptRate() float64 {
+	if s.Steps == 0 {
+		return 0
+	}
+	return float64(s.Accepted) / float64(s.Steps)
 }
 
 // Runner drives Metropolis-Hastings over a GraphState against a Scorer.

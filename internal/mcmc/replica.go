@@ -1,0 +1,192 @@
+// Replica-exchange (parallel tempering) orchestration over Runners.
+//
+// The paper (Section 4.2) observes that a large pow "slows down the
+// convergence of MCMC but eventually results in outputs that more
+// closely fit the measurements". Replica exchange takes both sides of
+// that trade-off at once: K chains walk the same posterior sharpened by
+// a ladder of pow values, hot (small-pow) chains explore while cold
+// (large-pow) chains refine, and periodic Metropolis swap proposals
+// between adjacent rungs let a good configuration discovered by a hot
+// chain migrate down the ladder to the cold ones.
+//
+// Swaps exchange temperatures, not graph states: moving a pow value
+// between two runners is equivalent to moving their configurations (the
+// joint density only sees (pow, state) pairs) and costs nothing, while
+// swapping graphs would mean re-pushing whole edge datasets through
+// both chains' dataflow pipelines.
+package mcmc
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// ReplicaConfig parameterizes RunReplicas.
+type ReplicaConfig struct {
+	// Steps is the walk length of every chain (not a shared budget: K
+	// chains each run Steps proposals).
+	Steps int
+	// SwapEvery is the number of steps between swap rounds (default
+	// 1024). All chains barrier at each swap round, so it also bounds
+	// how far chains drift apart in wall-clock.
+	SwapEvery int
+	// OnRound, when set, observes the per-chain statistics after every
+	// swap round (and after the final partial round). Returning false
+	// cancels the run: every chain stops at the barrier it has already
+	// reached, never mid-proposal.
+	OnRound func(done int, chains []ChainStats) bool
+}
+
+// ChainStats is one chain's view of a replica-exchange run: its walk
+// statistics plus its position in the temperature ladder.
+type ChainStats struct {
+	// Chain is the index of the runner in the RunReplicas argument.
+	Chain int
+	// Pow is the chain's current posterior sharpening — its initial
+	// ladder rung, moved by accepted swaps.
+	Pow float64
+	// SwapsProposed and SwapsAccepted count the exchange proposals this
+	// chain participated in.
+	SwapsProposed int
+	SwapsAccepted int
+	Stats
+}
+
+// ReplicaResult is the outcome of a replica-exchange run.
+type ReplicaResult struct {
+	// Chains holds per-chain statistics, indexed like the runners.
+	Chains []ChainStats
+	// Best is the index of the chain with the lowest final score.
+	Best int
+	// Cancelled reports that OnRound stopped the run early.
+	Cancelled bool
+}
+
+// RunReplicas drives len(runners) chains concurrently for cfg.Steps
+// steps each, proposing Metropolis swaps of pow assignments between
+// temperature-adjacent chains every cfg.SwapEvery steps. Each runner
+// must have its own GraphState, scoring pipeline, and rng; the chains
+// share nothing, so the per-chunk goroutines race on nothing and a run
+// is deterministic for fixed runner seeds and a fixed swapRng.
+//
+// A single runner degenerates to exactly that runner's Run(cfg.Steps)
+// proposal trace (no swap rounds, swapRng unused and may be nil).
+func RunReplicas(runners []*Runner, cfg ReplicaConfig, swapRng *rand.Rand) (ReplicaResult, error) {
+	if len(runners) == 0 {
+		return ReplicaResult{}, errors.New("mcmc: replica exchange requires at least one chain")
+	}
+	for _, r := range runners {
+		if r == nil {
+			return ReplicaResult{}, errors.New("mcmc: nil chain runner")
+		}
+		if r.cfg.PowSchedule != nil {
+			return ReplicaResult{}, errors.New("mcmc: replica exchange requires fixed-pow chains (no PowSchedule)")
+		}
+	}
+	if cfg.Steps < 0 {
+		return ReplicaResult{}, errors.New("mcmc: Steps must be non-negative")
+	}
+	if len(runners) > 1 && swapRng == nil {
+		return ReplicaResult{}, errors.New("mcmc: swapRng is required for more than one chain")
+	}
+	swapEvery := cfg.SwapEvery
+	if swapEvery <= 0 {
+		swapEvery = 1024
+	}
+
+	stats := make([]ChainStats, len(runners))
+	for i, r := range runners {
+		// Seed FinalScore with the current score so zero-step runs
+		// report the actual state of the walk, not 0.
+		stats[i] = ChainStats{Chain: i, Pow: r.cfg.Pow, Stats: Stats{FinalScore: r.Score()}}
+	}
+	// ladder[k] is the chain currently holding the k-th coldest rung
+	// (largest pow first). Swaps permute this assignment.
+	ladder := make([]int, len(runners))
+	for i := range ladder {
+		ladder[i] = i
+	}
+	sort.SliceStable(ladder, func(a, b int) bool {
+		return runners[ladder[a]].cfg.Pow > runners[ladder[b]].cfg.Pow
+	})
+
+	res := ReplicaResult{Chains: stats}
+	chunk := make([]Stats, len(runners))
+	parity := 0
+	for done := 0; done < cfg.Steps; {
+		n := swapEvery
+		if rest := cfg.Steps - done; n > rest {
+			n = rest
+		}
+		var wg sync.WaitGroup
+		for i := range runners {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				chunk[i] = runners[i].Run(n)
+			}(i)
+		}
+		wg.Wait()
+		for i := range runners {
+			s := &stats[i]
+			s.Steps += chunk[i].Steps
+			s.Accepted += chunk[i].Accepted
+			s.Rejected += chunk[i].Rejected
+			s.Invalid += chunk[i].Invalid
+			s.FinalScore = chunk[i].FinalScore
+		}
+		done += n
+		if done < cfg.Steps && len(runners) > 1 {
+			exchange(runners, stats, ladder, parity, swapRng)
+			parity ^= 1
+		}
+		if cfg.OnRound != nil {
+			snap := make([]ChainStats, len(stats))
+			copy(snap, stats)
+			if !cfg.OnRound(done, snap) {
+				res.Cancelled = true
+				break
+			}
+		}
+	}
+	for i := range stats {
+		if stats[i].FinalScore < stats[res.Best].FinalScore {
+			res.Best = i
+		}
+	}
+	return res, nil
+}
+
+// exchange proposes one Metropolis swap per ladder-adjacent pair,
+// alternating even pairs (0,1)(2,3)… and odd pairs (1,2)(3,4)… between
+// rounds so every adjacency is exercised. A swap between chains a
+// (colder, pow_a > pow_b) and b is accepted with probability
+//
+//	min(1, exp((pow_a − pow_b)(score_a − score_b)))
+//
+// — certain whenever the colder chain is fitting worse, so better
+// configurations always migrate toward the cold end of the ladder. An
+// accepted swap exchanges the two chains' pow assignments (state stays
+// put, which is equivalent and free; see the package comment). One
+// uniform variate is drawn per proposed pair whether or not the swap is
+// forced, keeping rng consumption independent of the scores.
+func exchange(runners []*Runner, stats []ChainStats, ladder []int, parity int, rng *rand.Rand) {
+	for k := parity; k+1 < len(ladder); k += 2 {
+		a, b := ladder[k], ladder[k+1]
+		stats[a].SwapsProposed++
+		stats[b].SwapsProposed++
+		powA, powB := runners[a].cfg.Pow, runners[b].cfg.Pow
+		exponent := (powA - powB) * (runners[a].Score() - runners[b].Score())
+		if rng.Float64() >= math.Exp(math.Min(0, exponent)) {
+			continue
+		}
+		runners[a].cfg.Pow, runners[b].cfg.Pow = powB, powA
+		stats[a].Pow, stats[b].Pow = powB, powA
+		stats[a].SwapsAccepted++
+		stats[b].SwapsAccepted++
+		ladder[k], ladder[k+1] = b, a
+	}
+}

@@ -15,6 +15,12 @@ import (
 // manager will hold before refusing submissions with ErrQueueFull.
 const jobQueueDepth = 256
 
+// maxJobChains bounds the replica-exchange chain count a single job may
+// request. Every chain owns full fit pipelines plus a private copy of
+// each measurement, so Chains multiplies resident memory; an unbounded
+// network-facing knob would let one request OOM the daemon.
+const maxJobChains = 64
+
 // Job states reported by JobStatus.State.
 const (
 	JobQueued    = "queued"
@@ -47,6 +53,14 @@ type JobRequest struct {
 	// ProgressEvery is the progress-update cadence in MCMC steps
 	// (default 1024). It also bounds cancellation latency.
 	ProgressEvery int `json:"progressEvery,omitempty"`
+	// Chains is the replica-exchange chain count (synth.Config.Chains
+	// semantics; 0 uses the service default, which itself defaults to a
+	// single chain).
+	Chains int `json:"chains,omitempty"`
+	// SwapEvery is the replica swap interval in steps (default 1024;
+	// only meaningful when the job runs more than one chain). For
+	// multi-chain jobs it also sets the progress/cancellation cadence.
+	SwapEvery int `json:"swapEvery,omitempty"`
 }
 
 // JobStatus is the pollable view of one job.
@@ -65,7 +79,12 @@ type JobStatus struct {
 	SeedEdges   int     `json:"seedEdges,omitempty"`
 	ResultNodes int     `json:"resultNodes,omitempty"`
 	ResultEdges int     `json:"resultEdges,omitempty"`
-	Error       string  `json:"error,omitempty"`
+	// Chains is the per-chain progress of a replica-exchange job (pow
+	// assignment, accepted proposals and swaps, current score), in chain
+	// order; absent for single-chain jobs. The top-level Step, Score,
+	// Accepted, and AcceptRate track the best chain.
+	Chains []synth.ChainProgress `json:"chains,omitempty"`
+	Error  string                `json:"error,omitempty"`
 }
 
 // Terminal reports whether the job has stopped (done, cancelled, or
@@ -91,6 +110,7 @@ type Job struct {
 type JobManager struct {
 	store         *Store
 	defaultShards int
+	defaultChains int
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -103,13 +123,19 @@ type JobManager struct {
 }
 
 // NewJobManager starts workers goroutines consuming the job queue.
-func NewJobManager(store *Store, defaultShards, workers int) *JobManager {
+// defaultChains is the replica-exchange chain count applied to jobs that
+// do not set one (values below 1 mean a single chain).
+func NewJobManager(store *Store, defaultShards, defaultChains, workers int) *JobManager {
 	if workers < 1 {
 		workers = 1
+	}
+	if defaultChains < 1 {
+		defaultChains = 1
 	}
 	jm := &JobManager{
 		store:         store,
 		defaultShards: defaultShards,
+		defaultChains: defaultChains,
 		jobs:          make(map[string]*Job),
 		queue:         make(chan *Job, jobQueueDepth),
 		quit:          make(chan struct{}),
@@ -181,6 +207,18 @@ func (jm *JobManager) Submit(req JobRequest) (JobStatus, error) {
 	}
 	if req.ProgressEvery <= 0 {
 		req.ProgressEvery = 1024
+	}
+	if req.Chains < 0 {
+		return JobStatus{}, fmt.Errorf("job Chains must be non-negative, got %d", req.Chains)
+	}
+	if req.Chains > maxJobChains {
+		return JobStatus{}, fmt.Errorf("job Chains must be at most %d, got %d", maxJobChains, req.Chains)
+	}
+	if req.Chains == 0 {
+		req.Chains = jm.defaultChains
+	}
+	if req.SwapEvery < 0 {
+		return JobStatus{}, fmt.Errorf("job SwapEvery must be non-negative, got %d", req.SwapEvery)
 	}
 
 	run := req
@@ -358,12 +396,15 @@ func (jm *JobManager) run(j *Job) {
 		Steps:         req.Steps,
 		Shards:        shards,
 		ProgressEvery: req.ProgressEvery,
+		Chains:        req.Chains,
+		SwapEvery:     req.SwapEvery,
 		OnProgress: func(p synth.Progress) bool {
 			j.mu.Lock()
 			j.status.Step = p.Step
 			j.status.Accepted = p.Accepted
 			j.status.AcceptRate = p.AcceptRate()
 			j.status.Score = p.Score
+			j.status.Chains = p.Chains
 			j.mu.Unlock()
 			select {
 			case <-jm.quit:
@@ -389,11 +430,10 @@ func (jm *JobManager) run(j *Job) {
 		}
 		st.Score = res.Stats.FinalScore
 		st.Accepted = res.Stats.Accepted
-		if res.Stats.Steps > 0 {
-			st.AcceptRate = float64(res.Stats.Accepted) / float64(res.Stats.Steps)
-		}
+		st.AcceptRate = res.Stats.AcceptRate()
 		st.Step = res.Stats.Steps
 		st.ResultNodes = res.Synthetic.NumNodes()
 		st.ResultEdges = res.Synthetic.NumEdges()
+		st.Chains = synth.ChainSnapshots(res.Chains)
 	})
 }

@@ -42,6 +42,10 @@ type Options struct {
 	// (synth.Config.Shards semantics: 0 = one per CPU, -1 = serial
 	// reference engine). Individual jobs may override it.
 	Shards int
+	// Chains is the default replica-exchange chain count for synthesis
+	// jobs (synth.Config.Chains semantics; 0 or 1 = single chain).
+	// Individual jobs may override it.
+	Chains int
 	// Workers bounds the synthesis worker pool. 0 sizes it off the
 	// hardware: GOMAXPROCS divided by the CPUs each job's executor
 	// uses, and at least 1.
@@ -71,6 +75,9 @@ func New(opts Options) (*Service, error) {
 	if opts.Shards < -1 {
 		return nil, fmt.Errorf("service: invalid shard count %d", opts.Shards)
 	}
+	if opts.Chains < 0 || opts.Chains > maxJobChains {
+		return nil, fmt.Errorf("service: invalid chain count %d (max %d)", opts.Chains, maxJobChains)
+	}
 	st, err := NewStore(opts.Dir)
 	if err != nil {
 		return nil, err
@@ -80,7 +87,7 @@ func New(opts Options) (*Service, error) {
 		store:    st,
 		registry: NewRegistry(),
 	}
-	s.jobs = NewJobManager(st, opts.Shards, workerCount(opts))
+	s.jobs = NewJobManager(st, opts.Shards, opts.Chains, workerCount(opts))
 	return s, nil
 }
 

@@ -1,0 +1,138 @@
+package synth
+
+// Replica-exchange Phase 2: K concurrent chains at a pow ladder (see
+// internal/mcmc/replica.go for the sampler-level mechanics and DESIGN.md
+// "Replica exchange" for the design discussion). This file owns the
+// per-chain resource construction — pipelines, graph states, rngs — and
+// the translation between mcmc.ChainStats and the synth Progress/Result
+// surface.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+
+	"wpinq/internal/graph"
+	"wpinq/internal/mcmc"
+	"wpinq/internal/workload"
+)
+
+// synthesizeReplicas runs Phase 2 as cfg.Chains replica-exchange chains
+// and returns the best-scoring chain's graph. Each chain is built from
+// resources derived deterministically from the master rng — a per-chain
+// rng (driving both its proposal stream and its lazy measurement noise)
+// and a reseeded copy of every fit measurement — so a run is
+// reproducible for a fixed seed and chain count, and the concurrent
+// chains share no mutable state.
+func synthesizeReplicas(m *Measurements, seed *graph.Graph, cfg Config, names []string, rng *rand.Rand) (*Result, error) {
+	shards := cfg.Shards
+	if shards == 0 {
+		// Auto sharding splits the CPUs across chains instead of giving
+		// every chain a full-width executor.
+		shards = runtime.GOMAXPROCS(0) / cfg.Chains
+		if shards < 1 {
+			shards = 1
+		}
+	}
+	ladder := cfg.PowLadder
+	if len(ladder) == 0 {
+		ladder = make([]float64, cfg.Chains)
+		for i := range ladder {
+			ladder[i] = cfg.Pow / math.Pow(2, float64(i))
+		}
+	}
+	runners := make([]*mcmc.Runner, cfg.Chains)
+	states := make([]*mcmc.GraphState, cfg.Chains)
+	for i := range runners {
+		chainRng := rand.New(rand.NewSource(rng.Int63()))
+		plan := workload.NewPlan(shards)
+		for _, name := range names {
+			fit, ok := m.Fits[name]
+			if !ok {
+				return nil, fmt.Errorf("synth: %s fitting requested but not measured", name)
+			}
+			fit, err := fit.Reseed(m.Eps, chainRng)
+			if err != nil {
+				return nil, fmt.Errorf("synth: chain %d: %w", i, err)
+			}
+			if err := fit.Attach(plan, m.Eps); err != nil {
+				return nil, fmt.Errorf("synth: chain %d: %w", i, err)
+			}
+		}
+		states[i] = mcmc.NewGraphState(seed, plan.Input())
+		mcfg := mcmc.Config{
+			Pow:            ladder[i],
+			RecomputeEvery: cfg.RecomputeEvery,
+		}
+		if i == 0 {
+			// OnStep/OnSample observe chain 0, the chain that starts on
+			// the coldest (target-pow) rung.
+			mcfg.OnStep = sampledOnStep(cfg, states[i])
+		}
+		r, err := mcmc.NewRunner(states[i], plan.Scorer(), mcfg, chainRng)
+		if err != nil {
+			return nil, err
+		}
+		runners[i] = r
+	}
+	swapRng := rand.New(rand.NewSource(rng.Int63()))
+	rep := mcmc.ReplicaConfig{Steps: cfg.Steps, SwapEvery: cfg.SwapEvery}
+	if cfg.OnProgress != nil {
+		rep.OnRound = func(done int, chains []mcmc.ChainStats) bool {
+			return cfg.OnProgress(replicaProgress(done, cfg.Steps, chains))
+		}
+	}
+	res, err := mcmc.RunReplicas(runners, rep, swapRng)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Seed:      seed,
+		Synthetic: states[res.Best].Graph(),
+		Stats:     res.Chains[res.Best].Stats,
+		Chains:    res.Chains,
+		BestChain: res.Best,
+		TotalCost: m.TotalCost,
+		Cancelled: res.Cancelled,
+	}, nil
+}
+
+// replicaProgress converts a swap-round snapshot into the Progress view:
+// top-level fields track the best chain, Chains carries the detail.
+func replicaProgress(done, steps int, chains []mcmc.ChainStats) Progress {
+	best := 0
+	for i := range chains {
+		if chains[i].FinalScore < chains[best].FinalScore {
+			best = i
+		}
+	}
+	p := Progress{
+		Step:     done,
+		Steps:    steps,
+		Accepted: chains[best].Accepted,
+		Score:    chains[best].FinalScore,
+		Chains:   ChainSnapshots(chains),
+	}
+	return p
+}
+
+// ChainSnapshots converts per-chain statistics to the ChainProgress wire
+// view, in chain order. The curator service uses it to report finished
+// jobs with the same shape the live progress callbacks carry.
+func ChainSnapshots(chains []ChainStats) []ChainProgress {
+	if len(chains) == 0 {
+		return nil
+	}
+	out := make([]ChainProgress, len(chains))
+	for i, c := range chains {
+		out[i] = ChainProgress{
+			Chain:    c.Chain,
+			Pow:      c.Pow,
+			Accepted: c.Accepted,
+			Swaps:    c.SwapsAccepted,
+			Score:    c.FinalScore,
+		}
+	}
+	return out
+}

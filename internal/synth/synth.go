@@ -77,11 +77,33 @@ type Config struct {
 	// partial synthetic graph with Result.Cancelled set. Long-running
 	// fits become observable and stoppable (e.g. by an async job
 	// manager) without touching the MCMC trace: chunking the run does
-	// not change the sequence of proposals.
+	// not change the sequence of proposals. Multi-chain runs (Chains >
+	// 1) report after every swap round instead — SwapEvery sets the
+	// cadence — with per-chain detail in Progress.Chains, and
+	// cancellation stops every chain at its current round barrier.
 	OnProgress func(Progress) bool
 	// ProgressEvery is the OnProgress callback cadence in steps
-	// (default 1024; only consulted when OnProgress is set).
+	// (default 1024; only consulted when OnProgress is set and
+	// Chains <= 1).
 	ProgressEvery int
+	// Chains is the number of replica-exchange (parallel tempering)
+	// MCMC chains run concurrently in Phase 2. The default (0 or 1) is
+	// today's single chain, whose proposal trace is untouched. With K >
+	// 1 chains, each chain gets its own fit pipelines, graph state, and
+	// a deterministic rng derived from the master rng, and walks at its
+	// own pow from PowLadder; Metropolis swap proposals between
+	// temperature-adjacent chains every SwapEvery steps let hot chains
+	// explore while cold chains refine (see internal/mcmc.RunReplicas
+	// and DESIGN.md "Replica exchange").
+	Chains int
+	// SwapEvery is the step interval between replica swap rounds
+	// (default 1024; only consulted when Chains > 1).
+	SwapEvery int
+	// PowLadder assigns each chain's pow explicitly (length must equal
+	// Chains; all entries positive). Empty defaults to the geometric
+	// ladder Pow/2^i for chain i: chain 0 walks at the configured
+	// target sharpening and each further chain at half the previous.
+	PowLadder []float64
 	// Shards selects the dataflow executor for Phase 2:
 	//
 	//	 0  sharded parallel executor, one shard per CPU (the default);
@@ -114,19 +136,70 @@ func (c *Config) Validate() error {
 	if c.Shards < -1 {
 		return errors.New("synth: Shards must be -1 (reference engine), 0 (auto), or positive")
 	}
+	// A non-positive cadence would make runChunked's chunk size 0 and
+	// the progress loop spin forever; default it here and guard again in
+	// runChunked for callers that bypass Validate.
 	if c.ProgressEvery <= 0 {
 		c.ProgressEvery = 1024
+	}
+	if c.Chains < 0 {
+		return errors.New("synth: Chains must be non-negative")
+	}
+	if c.Chains == 0 {
+		c.Chains = 1
+	}
+	if c.Chains > 1 && c.PowSchedule != nil {
+		return errors.New("synth: PowSchedule cannot be combined with replica exchange (Chains > 1)")
+	}
+	if c.SwapEvery < 0 {
+		return errors.New("synth: SwapEvery must be non-negative")
+	}
+	if c.SwapEvery == 0 {
+		c.SwapEvery = 1024
+	}
+	if len(c.PowLadder) > 0 {
+		if len(c.PowLadder) != c.Chains {
+			return fmt.Errorf("synth: PowLadder has %d entries for %d chains", len(c.PowLadder), c.Chains)
+		}
+		for _, p := range c.PowLadder {
+			if p <= 0 {
+				return errors.New("synth: PowLadder entries must be positive")
+			}
+		}
+		// A one-rung ladder is a pow override: the single-chain path never
+		// consults PowLadder, so fold it into Pow rather than silently
+		// ignoring an explicitly requested temperature.
+		if c.Chains == 1 {
+			c.Pow = c.PowLadder[0]
+		}
 	}
 	return nil
 }
 
 // Progress is a snapshot of a running Phase 2 fit, delivered to
-// Config.OnProgress.
+// Config.OnProgress. For multi-chain runs, Step counts each chain's
+// completed steps (the chains advance in lockstep between swap
+// barriers), the top-level Accepted and Score track the best
+// (lowest-score) chain, and Chains holds the per-chain detail.
 type Progress struct {
-	Step     int     // MCMC steps completed so far
-	Steps    int     // total steps configured
-	Accepted int     // proposals accepted so far
-	Score    float64 // current fit score (lower is better)
+	Step     int     // MCMC steps completed so far (per chain)
+	Steps    int     // total steps configured (per chain)
+	Accepted int     // proposals accepted so far (best chain)
+	Score    float64 // current fit score (lower is better; best chain)
+	// Chains is the per-chain view of a replica-exchange run, in chain
+	// order; nil for single-chain runs.
+	Chains []ChainProgress
+}
+
+// ChainProgress is one replica-exchange chain's live view: its current
+// ladder position and fit state. It doubles as the wire representation
+// the curator service reports per chain.
+type ChainProgress struct {
+	Chain    int     `json:"chain"`    // index into the chain list
+	Pow      float64 `json:"pow"`      // current pow assignment (moves with swaps)
+	Accepted int     `json:"accepted"` // proposals accepted so far
+	Swaps    int     `json:"swaps"`    // accepted temperature swaps participated in
+	Score    float64 `json:"score"`    // current fit score (lower is better)
 }
 
 // AcceptRate returns the fraction of completed steps that were accepted.
@@ -319,12 +392,23 @@ func scanExtent(get func(int) float64, eps float64, limit int) int {
 	return limit
 }
 
+// ChainStats is one replica-exchange chain's final statistics (see
+// mcmc.ChainStats: walk stats plus ladder position and swap counts).
+type ChainStats = mcmc.ChainStats
+
 // Result is the output of the full workflow.
 type Result struct {
 	Seed      *graph.Graph // Phase 1 seed (before MCMC)
-	Synthetic *graph.Graph // Phase 2 output
-	Stats     mcmc.Stats
-	TotalCost float64 // privacy cost in epsilon
+	Synthetic *graph.Graph // Phase 2 output (best chain for multi-chain runs)
+	Stats     mcmc.Stats   // best chain's walk statistics
+	TotalCost float64      // privacy cost in epsilon
+	// Chains holds per-chain statistics of a replica-exchange run in
+	// chain order (nil for single-chain runs); Stats duplicates the
+	// entry at BestChain.
+	Chains []ChainStats
+	// BestChain indexes Chains at the chain whose graph Synthetic is;
+	// 0 for single-chain runs.
+	BestChain int
 	// Cancelled reports that OnProgress stopped the fit early; Synthetic
 	// holds the partial result at the point of cancellation.
 	Cancelled bool
@@ -337,6 +421,12 @@ type Result struct {
 // width its measurement was released with — a pipeline bucketed
 // differently would miss the measured domain and fit fresh noise. The
 // seed graph is not modified; the synthetic result is independent.
+//
+// With cfg.Chains > 1, Phase 2 becomes a replica-exchange run: every
+// chain gets its own pipelines and graph state, and the best-scoring
+// chain's graph is returned (per-chain detail in Result.Chains). The
+// default single chain reproduces the exact proposal trace of previous
+// releases for a fixed seed.
 func Synthesize(m *Measurements, seed *graph.Graph, cfg Config, rng *rand.Rand) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -351,6 +441,9 @@ func Synthesize(m *Measurements, seed *graph.Graph, cfg Config, rng *rand.Rand) 
 	if len(names) == 0 {
 		return nil, errors.New("synth: measurements contain no fit workloads")
 	}
+	if cfg.Chains > 1 {
+		return synthesizeReplicas(m, seed, cfg, names, rng)
+	}
 	plan := workload.NewPlan(cfg.Shards)
 	for _, name := range names {
 		fit, ok := m.Fits[name]
@@ -363,6 +456,30 @@ func Synthesize(m *Measurements, seed *graph.Graph, cfg Config, rng *rand.Rand) 
 	}
 	scorer := plan.Scorer()
 	state := mcmc.NewGraphState(seed, plan.Input())
+	runner, err := mcmc.NewRunner(state, scorer, mcmc.Config{
+		Pow:            cfg.Pow,
+		PowSchedule:    cfg.PowSchedule,
+		RecomputeEvery: cfg.RecomputeEvery,
+		OnStep:         sampledOnStep(cfg, state),
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	stats, cancelled := runChunked(runner, cfg)
+	return &Result{
+		Seed:      seed,
+		Synthetic: state.Graph(),
+		Stats:     stats,
+		TotalCost: m.TotalCost,
+		Cancelled: cancelled,
+	}, nil
+}
+
+// sampledOnStep wraps cfg.OnStep with the SampleEvery/OnSample trigger
+// against state's live graph (emitting the step-0 sample immediately),
+// preserving the exact wrapper behavior of the single-chain path. With
+// no sampling configured it returns cfg.OnStep unchanged.
+func sampledOnStep(cfg Config, state *mcmc.GraphState) func(step int, accepted bool, score float64) {
 	onStep := cfg.OnStep
 	if cfg.SampleEvery > 0 && cfg.OnSample != nil {
 		every := cfg.SampleEvery
@@ -378,23 +495,7 @@ func Synthesize(m *Measurements, seed *graph.Graph, cfg Config, rng *rand.Rand) 
 			}
 		}
 	}
-	runner, err := mcmc.NewRunner(state, scorer, mcmc.Config{
-		Pow:            cfg.Pow,
-		PowSchedule:    cfg.PowSchedule,
-		RecomputeEvery: cfg.RecomputeEvery,
-		OnStep:         onStep,
-	}, rng)
-	if err != nil {
-		return nil, err
-	}
-	stats, cancelled := runChunked(runner, cfg)
-	return &Result{
-		Seed:      seed,
-		Synthetic: state.Graph(),
-		Stats:     stats,
-		TotalCost: m.TotalCost,
-		Cancelled: cancelled,
-	}, nil
+	return onStep
 }
 
 // runChunked drives the runner in ProgressEvery-step chunks so OnProgress
@@ -405,9 +506,17 @@ func runChunked(runner *mcmc.Runner, cfg Config) (mcmc.Stats, bool) {
 	if cfg.OnProgress == nil {
 		return runner.Run(cfg.Steps), false
 	}
-	var stats mcmc.Stats
+	// Seed FinalScore with the runner's current score so a zero-step run
+	// reports the actual fit score, exactly like the no-callback path
+	// through Runner.Run(0).
+	stats := mcmc.Stats{FinalScore: runner.Score()}
 	for done := 0; done < cfg.Steps; {
 		n := cfg.ProgressEvery
+		if n <= 0 {
+			// Validate defaults ProgressEvery, but guard the direct-call
+			// path too: a zero chunk would never advance done.
+			n = cfg.Steps - done
+		}
 		if rest := cfg.Steps - done; n > rest {
 			n = rest
 		}

@@ -94,6 +94,20 @@ func (m Measured) Attach(p *Plan, eps float64) error {
 	return m.Workload.impl.attach(p, m.Hist, m.Bucket, eps)
 }
 
+// Reseed returns a copy of the measurement whose histogram draws lazy
+// noise for never-materialized records from rng instead of sharing (and
+// consuming) the original's noise stream. Materialized released records
+// are copied exactly. Replica-exchange synthesis gives each concurrent
+// chain its own reseeded copy, so chains neither race on the shared
+// noise memoization nor perturb one another's draws.
+func (m Measured) Reseed(eps float64, rng *rand.Rand) (Measured, error) {
+	entries, err := m.Hist.Entries()
+	if err != nil {
+		return Measured{}, fmt.Errorf("workload %s: %w", m.Workload.Name, err)
+	}
+	return m.Workload.Load(entries, m.Bucket, eps, rng)
+}
+
 // Collected is a type-erased collector over one workload's pipeline,
 // used by equivalence tests and diagnostics.
 type Collected interface {
@@ -288,13 +302,37 @@ func (bs builders[T]) attach(p *Plan, h Histogram, bucket int, eps float64) erro
 	if !ok {
 		return fmt.Errorf("workload: histogram has record type %T, want %T", h, &typedHist[T]{})
 	}
+	// Canonical (sorted-key) domain order: the sink accumulates its
+	// initial L1 in domain order, so a map-ordered domain would make the
+	// starting score — and with it the whole seeded MCMC trace — vary
+	// between runs.
 	domain := make([]T, 0, len(th.h.Materialized()))
+	keys := make([]string, 0, cap(domain))
 	for k := range th.h.Materialized() {
+		key, err := json.Marshal(k)
+		if err != nil {
+			return fmt.Errorf("workload: encoding record %v: %w", k, err)
+		}
 		domain = append(domain, k)
+		keys = append(keys, string(key))
 	}
+	sort.Sort(&domainByKey[T]{recs: domain, keys: keys})
 	sink := incremental.NewNoisyCountSink[T](bs.source(p, bucket), th.h, domain, eps)
 	p.scorer.Add(sink)
 	return nil
+}
+
+// domainByKey sorts a sink domain by its records' canonical JSON keys.
+type domainByKey[T comparable] struct {
+	recs []T
+	keys []string
+}
+
+func (s *domainByKey[T]) Len() int           { return len(s.recs) }
+func (s *domainByKey[T]) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *domainByKey[T]) Swap(i, j int) {
+	s.recs[i], s.recs[j] = s.recs[j], s.recs[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 
 func (bs builders[T]) collect(p *Plan, bucket int) Collected {

@@ -458,3 +458,85 @@ func BenchmarkEngineShards(b *testing.B) {
 		}
 	}
 }
+
+// rejectHeavySink defeats dead-code elimination in BenchmarkRejectHeavy.
+var rejectHeavySink float64
+
+// BenchmarkRejectHeavy measures the transactional propose/score/abort
+// protocol where it pays: a fit whose pow is harsh enough that the
+// overwhelming majority of proposals is rejected (the regime
+// replica-exchange cold chains deliberately run in). Each iteration runs
+// the same seeded 1500-step walk; the "txn" variant aborts rejected
+// proposals from the operators' undo logs (one propagation per
+// proposal), the "inverse-push" variant re-propagates the inverse swap
+// (two propagations per reject, the pre-transactional protocol). The
+// win is algorithmic — one propagation saved per reject — so it shows
+// on a single CPU; it does not depend on shard parallelism.
+func BenchmarkRejectHeavy(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	g, err := graph.HolmeKim(300, 4, 0.6, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Observed triangle count and joint degree distribution equal to the
+	// seed's: every swap that changes either strictly worsens the fit,
+	// and at pow 1e7 essentially none is accepted.
+	observed := float64(g.Triangles())
+	jddObserved := incremental.MapObservations[queries.DegPair]{}
+	pathsObserved := incremental.MapObservations[queries.Path]{}
+	{
+		in := queries.NewEdgeInput()
+		jddColl := incremental.Collect(queries.JDDPipeline(in))
+		pathColl := incremental.Collect(queries.PathsPipeline(in))
+		in.PushDataset(graph.SymmetricEdges(g))
+		jddColl.Snapshot().Range(func(x queries.DegPair, w float64) { jddObserved[x] = w })
+		pathColl.Snapshot().Range(func(x queries.Path, w float64) { pathsObserved[x] = w })
+	}
+
+	// plainEdgeInput hides the transactional protocol, forcing the
+	// inverse-push rejection path.
+	type plainEdgeInput struct{ mcmc.Input }
+
+	for _, mode := range []struct {
+		name string
+		wrap bool
+	}{{"txn", false}, {"inverse-push", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var accepted int
+			var steps int
+			for i := 0; i < b.N; i++ {
+				in := queries.NewEdgeInput()
+				sink := incremental.NewNoisyCountSink[queries.Unit](
+					queries.TbIPipeline(in),
+					incremental.MapObservations[queries.Unit]{{}: observed},
+					[]queries.Unit{{}}, 0.5)
+				jddSink := incremental.NewNoisyCountSink[queries.DegPair](
+					queries.JDDPipeline(in), jddObserved, nil, 0.5)
+				pathSink := incremental.NewNoisyCountSink[queries.Path](
+					queries.PathsPipeline(in), pathsObserved, nil, 0.5)
+				var input mcmc.Input = in
+				if mode.wrap {
+					input = plainEdgeInput{in}
+				}
+				state := mcmc.NewGraphState(g, input)
+				r, err := mcmc.NewRunner(state, incremental.NewScorer(sink, jddSink, pathSink), mcmc.Config{Pow: 1e7}, rand.New(rand.NewSource(10)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				st := r.Run(1500)
+				accepted += st.Accepted
+				steps += st.Steps
+				rejectHeavySink = st.FinalScore
+			}
+			if steps > 0 {
+				rate := float64(accepted) / float64(steps)
+				b.ReportMetric(rate, "accept-rate")
+				if rate > 0.10 {
+					b.Fatalf("accept rate %.2f; benchmark must be reject-heavy (<0.10)", rate)
+				}
+			}
+		})
+	}
+}

@@ -39,6 +39,12 @@
 // the calling goroutine (still sharded, no parallel dispatch), so the
 // tiny rounds of an MCMC edge swap do not pay goroutine fan-out.
 //
+// Pushes may be bracketed by Input.Begin and Input.Commit/Input.Abort:
+// speculative rounds run identically, but every shard's sub-node logs
+// the pre-images of the state it overwrites, and Abort restores them in
+// O(touched keys) without another round (see txn.go and the incremental
+// package's TxnOp).
+//
 // # Interoperating with the incremental engine
 //
 // Every engine stream implements incremental.Source, so the incremental
@@ -218,14 +224,17 @@ type Stream[T comparable] struct {
 	e        *Engine
 	ports    []*port[T]
 	handlers []incremental.Handler[T]
+	txnSubs  []func(incremental.TxnOp)
 }
 
 // Source is a stream of weight differences of type T produced by a
-// sharded dataflow node. Every Source is also an incremental.Source, so
-// the incremental package's sinks (Collect, NewNoisyCountSink) attach to
-// engine pipelines directly. Only this package constructs Sources.
+// sharded dataflow node. Every Source is also an incremental.Source and
+// an incremental.TxnSource, so the incremental package's sinks (Collect,
+// NewNoisyCountSink) attach to engine pipelines directly and observe
+// transactions. Only this package constructs Sources.
 type Source[T comparable] interface {
 	incremental.Source[T]
+	SubscribeTxn(f func(incremental.TxnOp))
 	engine() *Engine
 	newPort() *port[T]
 }
@@ -245,6 +254,21 @@ func (s *Stream[T]) newPort() *port[T] {
 // subscriptions must complete before the first push.
 func (s *Stream[T]) Subscribe(h incremental.Handler[T]) {
 	s.handlers = append(s.handlers, h)
+}
+
+// SubscribeTxn registers a transaction control-event handler, satisfying
+// incremental.TxnSource. Handlers run serially on the scheduling
+// goroutine, outside any round; registration must complete before the
+// first push.
+func (s *Stream[T]) SubscribeTxn(f func(incremental.TxnOp)) {
+	s.txnSubs = append(s.txnSubs, f)
+}
+
+// emitTxn delivers a transaction event to every control subscriber.
+func (s *Stream[T]) emitTxn(op incremental.TxnOp) {
+	for _, f := range s.txnSubs {
+		f(op)
+	}
 }
 
 // emit broadcasts each non-empty batch downstream. The batches remain

@@ -17,6 +17,17 @@ type GroupByNode[T comparable, K comparable, R comparable] struct {
 	subs  []*incremental.GroupByNode[T, K, R]
 	out   *outBuffers[weighted.Grouped[K, R]]
 	key   func(T) K
+	gate  txnGate
+}
+
+// onTxn fans a transaction event into every shard's sub-node and
+// forwards it downstream.
+func (n *GroupByNode[T, K, R]) onTxn(op incremental.TxnOp) {
+	if !n.gate.Enter(op) {
+		return
+	}
+	fanTxn(n.feeds, op)
+	n.emitTxn(op)
 }
 
 // GroupBy groups records by key and re-reduces weight-ordered prefixes
@@ -40,6 +51,7 @@ func GroupBy[T comparable, K comparable, R comparable](
 		n.subs[s] = incremental.GroupBy(in, key, reduce)
 		n.subs[s].Subscribe(n.out.handler(s))
 	}
+	src.SubscribeTxn(n.onTxn)
 	e.register(n)
 	return n
 }

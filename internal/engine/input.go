@@ -13,6 +13,7 @@ import (
 type Input[T comparable] struct {
 	Stream[T]
 	pending [][]incremental.Delta[T]
+	pushes  uint64
 }
 
 // NewInput returns a new dataflow input registered with e. Every input
@@ -37,11 +38,31 @@ func (in *Input[T]) process() {
 // When Push returns, every sink reflects the change. The batch is read by
 // the engine only during the call; the caller keeps ownership afterward.
 func (in *Input[T]) Push(batch []incremental.Delta[T]) {
+	in.pushes++
 	if len(batch) > 0 {
 		in.pending = append(in.pending, batch)
 	}
 	in.e.run()
 }
+
+// Pushes returns the number of Push calls so far: the propagation
+// counter (each Push schedules one engine round). Transaction control
+// events are not propagations and are not counted.
+func (in *Input[T]) Pushes() uint64 { return in.pushes }
+
+// Begin opens a transaction: pushes until Commit or Abort are
+// speculative, with every stateful shard sub-node logging the pre-image
+// of the state it overwrites. Control events are broadcast synchronously
+// through the node graph outside any round; the engine must be quiescent
+// (between pushes), which the single-goroutine API contract guarantees.
+func (in *Input[T]) Begin() { in.emitTxn(incremental.TxnBegin) }
+
+// Commit keeps the speculative pushes and discards the undo logs.
+func (in *Input[T]) Commit() { in.emitTxn(incremental.TxnCommit) }
+
+// Abort restores every stateful node and sink to its pre-transaction
+// state in O(touched keys), without a second propagation.
+func (in *Input[T]) Abort() { in.emitTxn(incremental.TxnAbort) }
 
 // PushDataset pushes an entire weighted dataset as one batch: the idiom
 // for loading initial data into a freshly built graph. As with

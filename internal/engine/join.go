@@ -24,6 +24,18 @@ type JoinNode[A, B comparable, K comparable, R comparable] struct {
 
 	keyA func(A) K
 	keyB func(B) K
+	gate txnGate
+}
+
+// onTxn fans a transaction event into every shard's sub-node — through
+// the left side's input only; the sub-node's own gate treats its two
+// private inputs as one node — and forwards it downstream.
+func (n *JoinNode[A, B, K, R]) onTxn(op incremental.TxnOp) {
+	if !n.gate.Enter(op) {
+		return
+	}
+	fanTxn(n.fa, op)
+	n.emitTxn(op)
 }
 
 // Join builds a sharded incremental join of two difference streams. keyA,
@@ -51,6 +63,8 @@ func Join[A, B comparable, K comparable, R comparable](
 		n.subs[s] = incremental.Join(ia, ib, keyA, keyB, reduce)
 		n.subs[s].Subscribe(n.out.handler(s))
 	}
+	a.SubscribeTxn(n.onTxn)
+	b.SubscribeTxn(n.onTxn)
 	e.register(n)
 	return n
 }

@@ -16,6 +16,11 @@ type Collector[T comparable] struct {
 	in     *port[T]
 	r      routed[T]
 	shards []*weighted.Dataset[T]
+
+	// Transaction state, sharded like the data so speculative rounds log
+	// pre-images without cross-shard races.
+	gate txnGate
+	txns []incremental.CollectorUndo[T]
 }
 
 // Collect attaches a new Collector to src.
@@ -29,6 +34,7 @@ func Collect[T comparable](src Source[T]) *Collector[T] {
 	for s := range c.shards {
 		c.shards[s] = weighted.New[T]()
 	}
+	src.SubscribeTxn(c.onTxn)
 	e.register(c)
 	return c
 }
@@ -39,12 +45,38 @@ func (c *Collector[T]) process() {
 		return
 	}
 	c.r.route(c.e, batches, total, func(x T) int { return shardOf(c.e, x) })
+	logging := c.gate.Active()
 	c.e.forShards(total, func(s int) {
 		data := c.shards[s]
 		c.r.each(s, func(d incremental.Delta[T]) {
+			if logging {
+				c.txns[s].Observe(d.Record, data)
+			}
 			data.Add(d.Record, d.Weight)
 		})
 	})
+}
+
+// onTxn applies a transaction event to every shard's dataset. Collectors
+// are leaves: there is nothing to forward.
+func (c *Collector[T]) onTxn(op incremental.TxnOp) {
+	if !c.gate.Enter(op) {
+		return
+	}
+	switch op {
+	case incremental.TxnBegin:
+		if c.txns == nil {
+			c.txns = make([]incremental.CollectorUndo[T], c.e.shards)
+		}
+	case incremental.TxnAbort:
+		for s := range c.txns {
+			c.txns[s].Abort(c.shards[s])
+		}
+	case incremental.TxnCommit:
+		for s := range c.txns {
+			c.txns[s].Reset()
+		}
+	}
 }
 
 // Snapshot returns a copy of the collector's current dataset, merged

@@ -59,6 +59,17 @@ type ShaveNode[T comparable] struct {
 	feeds []shardFeed[T]
 	subs  []*incremental.ShaveNode[T]
 	out   *outBuffers[weighted.Indexed[T]]
+	gate  txnGate
+}
+
+// onTxn fans a transaction event into every shard's sub-node and
+// forwards it downstream.
+func (n *ShaveNode[T]) onTxn(op incremental.TxnOp) {
+	if !n.gate.Enter(op) {
+		return
+	}
+	fanTxn(n.feeds, op)
+	n.emitTxn(op)
 }
 
 // Shave decomposes records into indexed slices following the weight
@@ -79,6 +90,7 @@ func Shave[T comparable](src Source[T], f func(x T, i int) float64) *ShaveNode[T
 		n.subs[s] = incremental.Shave[T](in, f)
 		n.subs[s].Subscribe(n.out.handler(s))
 	}
+	src.SubscribeTxn(n.onTxn)
 	e.register(n)
 	return n
 }
@@ -119,6 +131,18 @@ type MinMaxNode[T comparable] struct {
 	fa, fb []shardFeed[T]
 	subs   []*incremental.MinMaxNode[T]
 	out    *outBuffers[T]
+	gate   txnGate
+}
+
+// onTxn fans a transaction event into every shard's sub-node — through
+// one side's input only; the sub-node's own gate treats the two private
+// inputs as one node — and forwards it downstream.
+func (n *MinMaxNode[T]) onTxn(op incremental.TxnOp) {
+	if !n.gate.Enter(op) {
+		return
+	}
+	fanTxn(n.fa, op)
+	n.emitTxn(op)
 }
 
 // Union computes the element-wise maximum of two streams.
@@ -149,6 +173,8 @@ func minMaxNode[T comparable](a, b Source[T],
 		n.subs[s] = build(ia, ib)
 		n.subs[s].Subscribe(n.out.handler(s))
 	}
+	a.SubscribeTxn(n.onTxn)
+	b.SubscribeTxn(n.onTxn)
 	e.register(n)
 	return n
 }

@@ -13,13 +13,22 @@ import (
 // and the chunks are transformed concurrently.
 
 // Node is a stateless operator's output: a stream of differences of type
-// T with no state of its own.
+// T with no state of its own. Transaction events pass through unchanged
+// (deduplicated, so diamond topologies do not multiply them).
 type Node[T comparable] struct {
 	Stream[T]
-	run func()
+	run  func()
+	gate txnGate
 }
 
 func (n *Node[T]) process() { n.run() }
+
+// onTxn forwards transaction events downstream, once each.
+func (n *Node[T]) onTxn(op incremental.TxnOp) {
+	if n.gate.Enter(op) {
+		n.emitTxn(op)
+	}
+}
 
 // mapped builds the shared chunk-parallel skeleton of Select, Where and
 // SelectMany: transform applies one input chunk, appending to a reused
@@ -44,6 +53,7 @@ func mapped[T, U comparable](src Source[T], transform func(in []incremental.Delt
 		})
 		n.emit(outs[:len(chunks)])
 	}
+	src.SubscribeTxn(n.onTxn)
 	e.register(n)
 	return n
 }
@@ -104,6 +114,8 @@ func Concat[T comparable](a, b Source[T]) *Node[T] {
 		n.emit(ba)
 		n.emit(bb)
 	}
+	a.SubscribeTxn(n.onTxn)
+	b.SubscribeTxn(n.onTxn)
 	e.register(n)
 	return n
 }
@@ -136,6 +148,8 @@ func Except[T comparable](a, b Source[T]) *Node[T] {
 		})
 		n.emit(outs[:len(chunks)])
 	}
+	a.SubscribeTxn(n.onTxn)
+	b.SubscribeTxn(n.onTxn)
 	e.register(n)
 	return n
 }

@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"wpinq/internal/incremental"
+	"wpinq/internal/weighted"
+)
+
+// Transactional propagation on the sharded executor: an aborted
+// transaction must leave every shard's state — and therefore the
+// engine's collected outputs and future emissions — bit-identical to an
+// engine that never saw the speculative rounds. Runs across all shard
+// layouts, including cutoff-0 configurations that force parallel
+// dispatch for every speculative round, so `go test -race` exercises the
+// per-shard undo logging concurrently.
+
+// exactEqual compares two datasets bit-for-bit.
+func exactEqual[T comparable](t *testing.T, name string, got, want *weighted.Dataset[T]) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d records, want %d", name, got.Len(), want.Len())
+	}
+	want.Range(func(x T, w float64) {
+		if gw := got.Weight(x); gw != w {
+			t.Fatalf("%s: record %v weight %v, want %v (bit-exact)", name, x, gw, w)
+		}
+	})
+}
+
+// buildTxnGraph assembles a pipeline covering every operator kind: a
+// stateless prefix, a self-join, a group-by, a shave, and a min/max
+// diamond, terminating in both an engine Collector and an incremental
+// sink attached across the package boundary.
+func buildTxnGraph(e *Engine) (*Input[int], *Collector[[2]int], *incremental.NoisyCountSink[weighted.Grouped[int, int]]) {
+	in := NewInput[int](e)
+	sel := Select[int](in, func(x int) int { return x % 16 })
+	evens := Where[int](sel, func(x int) bool { return x%2 == 0 })
+	merged := Union[int](sel, evens)
+	j := Join[int, int, int, [2]int](merged, merged,
+		func(x int) int { return x % 3 }, func(y int) int { return y % 3 },
+		func(x, y int) [2]int { return [2]int{x, y} })
+	col := Collect[[2]int](j)
+	grouped := GroupBy[int, int, int](sel, func(x int) int { return x % 5 }, func(m []int) int { return len(m) })
+	sink := incremental.NewNoisyCountSink[weighted.Grouped[int, int]](
+		grouped,
+		incremental.MapObservations[weighted.Grouped[int, int]]{},
+		nil, 0.5)
+	ShaveConst[int](sel, 0.5) // exercise record-partitioned state too
+	return in, col, sink
+}
+
+func TestTxnEngineAbortLeavesNoTrace(t *testing.T) {
+	forEachConfig(t, func(t *testing.T, e *Engine) {
+		rng := rand.New(rand.NewSource(62))
+		subjectIn, subjectCol, subjectSink := buildTxnGraph(e)
+		twinIn, twinCol, twinSink := buildTxnGraph(newTestEngine(e.Shards(), e.cutoff))
+
+		base := randBatch(rng, 40, 64)
+		subjectIn.Push(base)
+		twinIn.Push(base)
+
+		for cycle := 0; cycle < 150; cycle++ {
+			subjectIn.Begin()
+			batches := make([][]incremental.Delta[int], 1+rng.Intn(2))
+			for bi := range batches {
+				batches[bi] = randBatch(rng, 40, 1+rng.Intn(6))
+				subjectIn.Push(batches[bi])
+			}
+			if rng.Intn(2) == 0 {
+				subjectIn.Commit()
+				for _, b := range batches {
+					twinIn.Push(b)
+				}
+			} else {
+				subjectIn.Abort()
+			}
+		}
+
+		exactEqual(t, "join collector", subjectCol.Snapshot(), twinCol.Snapshot())
+		if subjectSink.L1() != twinSink.L1() {
+			t.Errorf("sink L1 %v, want %v (bit-exact)", subjectSink.L1(), twinSink.L1())
+		}
+
+		// Probe: future emissions must also be bit-identical.
+		probe := randBatch(rng, 40, 8)
+		subjectIn.Push(probe)
+		twinIn.Push(probe)
+		exactEqual(t, "post-probe collector", subjectCol.Snapshot(), twinCol.Snapshot())
+		if subjectSink.L1() != twinSink.L1() {
+			t.Errorf("post-probe sink L1 %v, want %v", subjectSink.L1(), twinSink.L1())
+		}
+	})
+}
+
+// TestTxnEnginePushCounter pins the propagation counter: control events
+// are free, pushes count.
+func TestTxnEnginePushCounter(t *testing.T) {
+	e := New(2)
+	in, _, _ := buildTxnGraph(e)
+	in.Push(randBatch(rand.New(rand.NewSource(1)), 10, 4))
+	in.Begin()
+	in.Push(randBatch(rand.New(rand.NewSource(2)), 10, 4))
+	in.Abort()
+	in.Begin()
+	in.Push(randBatch(rand.New(rand.NewSource(3)), 10, 4))
+	in.Commit()
+	if got := in.Pushes(); got != 3 {
+		t.Errorf("Pushes() = %d, want 3 (Begin/Commit/Abort are not propagations)", got)
+	}
+}

@@ -45,6 +45,14 @@ type JoinNode[A, B comparable, K comparable, R comparable] struct {
 	keyOrderB []K
 	diff      *orderedDiff[R]
 	out       []Delta[R]
+
+	// Transaction state: per-side groups first touched this transaction
+	// (their undo logs are active), in touch order. As in GroupByNode,
+	// dropping empty groups is deferred to commit so Abort can restore
+	// them in place.
+	gate     TxnGate
+	touchedA []touchedGroup[K, A]
+	touchedB []touchedGroup[K, B]
 }
 
 // joinStats counts key-updates taken through each path, for ablations.
@@ -72,7 +80,55 @@ func Join[A, B comparable, K comparable, R comparable](
 	}
 	a.Subscribe(n.onLeft)
 	b.Subscribe(n.onRight)
+	forwardTxn(a, n.onTxn)
+	forwardTxn(b, n.onTxn)
 	return n
+}
+
+// onTxn applies a transaction event to every group touched since Begin —
+// O(touched keys), activated lazily by leftGroup/rightGroup — and
+// forwards it downstream.
+func (n *JoinNode[A, B, K, R]) onTxn(op TxnOp) {
+	if !n.gate.Enter(op) {
+		return
+	}
+	switch op {
+	case TxnCommit:
+		for _, t := range n.touchedA {
+			t.g.commitLog()
+			if t.g.len() == 0 {
+				delete(n.left, t.k)
+			}
+		}
+		for _, t := range n.touchedB {
+			t.g.commitLog()
+			if t.g.len() == 0 {
+				delete(n.right, t.k)
+			}
+		}
+		n.touchedA = n.touchedA[:0]
+		n.touchedB = n.touchedB[:0]
+	case TxnAbort:
+		// The two sides' groups are disjoint state; each side unwinds
+		// last-in-first-out independently.
+		for k := len(n.touchedA) - 1; k >= 0; k-- {
+			t := n.touchedA[k]
+			t.g.abortLog()
+			if t.created {
+				delete(n.left, t.k)
+			}
+		}
+		for k := len(n.touchedB) - 1; k >= 0; k-- {
+			t := n.touchedB[k]
+			t.g.abortLog()
+			if t.created {
+				delete(n.right, t.k)
+			}
+		}
+		n.touchedA = n.touchedA[:0]
+		n.touchedB = n.touchedB[:0]
+	}
+	n.emitTxn(op)
 }
 
 // SetFastPath toggles the norm-unchanged optimization (default on).
@@ -142,25 +198,43 @@ func (n *JoinNode[A, B, K, R]) onRight(batch []Delta[B]) {
 
 func (n *JoinNode[A, B, K, R]) leftGroup(k K) *stateMap[A] {
 	g := n.left[k]
+	created := false
 	if g == nil {
 		g = newStateMap[A]()
 		n.left[k] = g
+		created = true
+	}
+	if n.gate.Active() && !g.logging {
+		g.beginLog()
+		n.touchedA = append(n.touchedA, touchedGroup[K, A]{k: k, g: g, created: created})
 	}
 	return g
 }
 
 func (n *JoinNode[A, B, K, R]) rightGroup(k K) *stateMap[B] {
 	g := n.right[k]
+	created := false
 	if g == nil {
 		g = newStateMap[B]()
 		n.right[k] = g
+		created = true
+	}
+	if n.gate.Active() && !g.logging {
+		g.beginLog()
+		n.touchedB = append(n.touchedB, touchedGroup[K, B]{k: k, g: g, created: created})
 	}
 	return g
 }
 
 // dropEmpty releases index entries for keys whose groups became empty, so
-// long random walks do not leak memory through abandoned keys.
+// long random walks do not leak memory through abandoned keys. Inside a
+// transaction the drop is deferred to commit (an empty group joins to
+// nothing, so keeping it changes no arithmetic) so Abort can restore the
+// group in place.
 func (n *JoinNode[A, B, K, R]) dropEmpty(k K) {
+	if n.gate.Active() {
+		return
+	}
 	if g, ok := n.left[k]; ok && g.len() == 0 {
 		delete(n.left, k)
 	}

@@ -45,6 +45,66 @@ type NoisyCountSink[T comparable] struct {
 	src   Observations[T]
 	l1    float64
 	eps   float64
+
+	// Transaction state: savedL1 and savedOrder snapshot the scalar
+	// accumulator and the observation count at Begin; undo holds the
+	// pre-image q weight of every record first touched since. Abort
+	// restores q and l1 but deliberately keeps observations drawn for
+	// records first materialized during the transaction (m, order, and
+	// their |m(x)| terms in l1): wPINQ's memoized noise is monotone — a
+	// measurement consulted once is released — and the inverse-push
+	// rejection path this protocol replaces kept them too, so rejected
+	// proposals that explored new records shift the score baseline
+	// identically under both protocols.
+	gate       TxnGate
+	savedL1    float64
+	savedOrder int
+	txnSeen    map[T]struct{}
+	undo       []sinkUndo[T]
+}
+
+// sinkUndo is one record's pre-transaction query weight.
+type sinkUndo[T comparable] struct {
+	x    T
+	oldQ float64
+	had  bool
+}
+
+// onTxn applies a transaction event to the sink's maintained state.
+// Sinks are leaves: there is nothing to forward.
+func (s *NoisyCountSink[T]) onTxn(op TxnOp) {
+	if !s.gate.Enter(op) {
+		return
+	}
+	switch op {
+	case TxnBegin:
+		if s.txnSeen == nil {
+			s.txnSeen = make(map[T]struct{})
+		}
+		s.savedL1 = s.l1
+		s.savedOrder = len(s.order)
+	case TxnAbort:
+		for _, u := range s.undo {
+			if u.had {
+				s.q[u.x] = u.oldQ
+			} else {
+				delete(s.q, u.x)
+			}
+		}
+		// Newly drawn observations stay; their records' q is back to 0,
+		// so each contributes |0 - m(x)| = |m(x)|, accumulated in
+		// observation order.
+		l1 := s.savedL1
+		for _, x := range s.order[s.savedOrder:] {
+			l1 += math.Abs(s.m[x])
+		}
+		s.l1 = l1
+		clear(s.txnSeen)
+		s.undo = s.undo[:0]
+	case TxnCommit:
+		clear(s.txnSeen)
+		s.undo = s.undo[:0]
+	}
 }
 
 // NewNoisyCountSink attaches a sink to src. domain lists the records whose
@@ -68,6 +128,7 @@ func NewNoisyCountSink[T comparable](source Source[T], obs Observations[T], doma
 		s.l1 += math.Abs(mv)
 	}
 	source.Subscribe(s.onInput)
+	forwardTxn(source, s.onTxn)
 	return s
 }
 
@@ -81,6 +142,13 @@ func (s *NoisyCountSink[T]) onInput(batch []Delta[T]) {
 			s.l1 += math.Abs(mv) // q was 0 until now
 		}
 		oldQ := s.q[d.Record]
+		if s.gate.Active() {
+			if _, seen := s.txnSeen[d.Record]; !seen {
+				s.txnSeen[d.Record] = struct{}{}
+				_, had := s.q[d.Record]
+				s.undo = append(s.undo, sinkUndo[T]{x: d.Record, oldQ: oldQ, had: had})
+			}
+		}
 		newQ := oldQ + d.Weight
 		if math.Abs(newQ) < 1e-12 {
 			newQ = 0

@@ -16,9 +16,31 @@ type MinMaxNode[T comparable] struct {
 	Stream[T]
 	left  *stateMap[T]
 	right *stateMap[T]
+	gate  TxnGate
 
 	// Batched-update scratch, reused across pushes (see GroupByNode).
 	out []Delta[T]
+}
+
+// onTxn applies a transaction event to both input indexes and forwards
+// it downstream. The indexes are fixed (not keyed), so Begin activates
+// their undo logs eagerly — an O(1) flag, not a state walk.
+func (n *MinMaxNode[T]) onTxn(op TxnOp) {
+	if !n.gate.Enter(op) {
+		return
+	}
+	switch op {
+	case TxnBegin:
+		n.left.beginLog()
+		n.right.beginLog()
+	case TxnCommit:
+		n.left.commitLog()
+		n.right.commitLog()
+	case TxnAbort:
+		n.left.abortLog()
+		n.right.abortLog()
+	}
+	n.emitTxn(op)
 }
 
 // Union incrementally computes the element-wise maximum of two streams.
@@ -57,6 +79,8 @@ func minMaxNode[T comparable](a, b Source[T], pick func(x, y float64) float64) *
 	}
 	a.Subscribe(handle(n.left, n.right))
 	b.Subscribe(handle(n.right, n.left))
+	forwardTxn(a, n.onTxn)
+	forwardTxn(b, n.onTxn)
 	return n
 }
 
@@ -78,6 +102,43 @@ type GroupByNode[T comparable, K comparable, R comparable] struct {
 	members  []weighted.Pair[T]
 	diff     *orderedDiff[weighted.Grouped[K, R]]
 	out      []Delta[weighted.Grouped[K, R]]
+
+	// Transaction state: groups first touched this transaction (their
+	// undo logs are active), in touch order. Group deletion is deferred
+	// to commit — an empty group expands to nothing, so keeping it in the
+	// map until the transaction resolves changes no arithmetic, and Abort
+	// can restore its members in place.
+	gate    TxnGate
+	touched []touchedGroup[K, T]
+}
+
+// onTxn applies a transaction event to every group touched since Begin
+// and forwards it downstream. Work is O(touched groups), not O(all
+// groups): logging activates lazily as onInput touches keys.
+func (n *GroupByNode[T, K, R]) onTxn(op TxnOp) {
+	if !n.gate.Enter(op) {
+		return
+	}
+	switch op {
+	case TxnCommit:
+		for _, t := range n.touched {
+			t.g.commitLog()
+			if t.g.len() == 0 {
+				delete(n.groups, t.k)
+			}
+		}
+		n.touched = n.touched[:0]
+	case TxnAbort:
+		for k := len(n.touched) - 1; k >= 0; k-- {
+			t := n.touched[k]
+			t.g.abortLog()
+			if t.created {
+				delete(n.groups, t.k)
+			}
+		}
+		n.touched = n.touched[:0]
+	}
+	n.emitTxn(op)
 }
 
 // GroupBy incrementally groups records by key and re-reduces weight-ordered
@@ -95,6 +156,7 @@ func GroupBy[T comparable, K comparable, R comparable](
 		diff:   newOrderedDiff[weighted.Grouped[K, R]](),
 	}
 	src.Subscribe(n.onInput)
+	forwardTxn(src, n.onTxn)
 	return n
 }
 
@@ -119,14 +181,22 @@ func (n *GroupByNode[T, K, R]) onInput(batch []Delta[T]) {
 		// Retract old outputs.
 		n.expand(k, group, func(g weighted.Grouped[K, R], w float64) { diff.add(g, -w) })
 		// Apply the differences.
+		created := false
 		if group == nil {
 			group = newStateMap[T]()
 			n.groups[k] = group
+			created = true
+		}
+		if n.gate.Active() && !group.logging {
+			group.beginLog()
+			n.touched = append(n.touched, touchedGroup[K, T]{k: k, g: group, created: created})
 		}
 		for _, d := range byKey[k] {
 			group.apply(d.Record, d.Weight)
 		}
-		if group.len() == 0 {
+		if group.len() == 0 && !n.gate.Active() {
+			// Deletion is deferred to commit inside a transaction so
+			// Abort can restore the group in place.
 			delete(n.groups, k)
 			group = nil
 		}
@@ -163,10 +233,28 @@ type ShaveNode[T comparable] struct {
 	Stream[weighted.Indexed[T]]
 	state *stateMap[T]
 	f     func(x T, i int) float64
+	gate  TxnGate
 
 	// Batched-update scratch, reused across pushes (see GroupByNode).
 	diff *orderedDiff[weighted.Indexed[T]]
 	out  []Delta[weighted.Indexed[T]]
+}
+
+// onTxn applies a transaction event to the record index and forwards it
+// downstream (see MinMaxNode.onTxn).
+func (n *ShaveNode[T]) onTxn(op TxnOp) {
+	if !n.gate.Enter(op) {
+		return
+	}
+	switch op {
+	case TxnBegin:
+		n.state.beginLog()
+	case TxnCommit:
+		n.state.commitLog()
+	case TxnAbort:
+		n.state.abortLog()
+	}
+	n.emitTxn(op)
 }
 
 // Shave incrementally decomposes records into indexed slices following the
@@ -180,6 +268,7 @@ func Shave[T comparable](src Source[T], f func(x T, i int) float64) *ShaveNode[T
 		diff:  newOrderedDiff[weighted.Indexed[T]](),
 	}
 	src.Subscribe(n.onInput)
+	forwardTxn(src, n.onTxn)
 	return n
 }
 

@@ -11,8 +11,19 @@ import (
 // an output difference with no maintained state.
 
 // Node is a plain operator output: a stream of differences of type T.
+// Stateless nodes hold no state to log or restore; they forward
+// transaction events downstream unchanged (deduplicated, so diamond
+// topologies do not multiply events).
 type Node[T comparable] struct {
 	Stream[T]
+	gate TxnGate
+}
+
+// onTxn forwards transaction events downstream, once each.
+func (n *Node[T]) onTxn(op TxnOp) {
+	if n.gate.Enter(op) {
+		n.emitTxn(op)
+	}
 }
 
 // Select incrementally applies f to each record, preserving weights.
@@ -25,6 +36,7 @@ func Select[T, U comparable](src Source[T], f func(T) U) *Node[U] {
 		}
 		n.emit(out)
 	})
+	forwardTxn(src, n.onTxn)
 	return n
 }
 
@@ -40,6 +52,7 @@ func Where[T comparable](src Source[T], p func(T) bool) *Node[T] {
 		}
 		n.emit(out)
 	})
+	forwardTxn(src, n.onTxn)
 	return n
 }
 
@@ -59,6 +72,7 @@ func SelectMany[T, U comparable](src Source[T], f func(T) *weighted.Dataset[U]) 
 		}
 		n.emit(out)
 	})
+	forwardTxn(src, n.onTxn)
 	return n
 }
 
@@ -74,6 +88,8 @@ func Concat[T comparable](a, b Source[T]) *Node[T] {
 	pass := func(batch []Delta[T]) { n.emit(batch) }
 	a.Subscribe(pass)
 	b.Subscribe(pass)
+	forwardTxn(a, n.onTxn)
+	forwardTxn(b, n.onTxn)
 	return n
 }
 
@@ -89,5 +105,7 @@ func Except[T comparable](a, b Source[T]) *Node[T] {
 		}
 		n.emit(out)
 	})
+	forwardTxn(a, n.onTxn)
+	forwardTxn(b, n.onTxn)
 	return n
 }

@@ -20,6 +20,11 @@
 // record (or key) hash and exchanges differences between shards; its
 // streams remain Sources in this package's sense, so the sinks below
 // terminate pipelines on either engine.
+//
+// Pushes may be transactional: Input.Begin marks subsequent pushes
+// speculative (stateful nodes log pre-images of overwritten state), and
+// Input.Commit/Input.Abort resolve them — Abort restoring bit-identical
+// state in O(touched keys) without a second propagation. See txn.go.
 package incremental
 
 import (
@@ -45,15 +50,30 @@ type Source[T comparable] interface {
 }
 
 // Stream is an embeddable broadcaster of difference batches. Operator nodes
-// embed Stream to implement Source.
+// embed Stream to implement Source (and TxnSource).
 type Stream[T comparable] struct {
 	handlers []Handler[T]
+	txnSubs  []func(TxnOp)
 }
 
 // Subscribe registers a downstream handler. Subscription order is the
 // delivery order. Subscriptions must complete before the first push.
 func (s *Stream[T]) Subscribe(h Handler[T]) {
 	s.handlers = append(s.handlers, h)
+}
+
+// SubscribeTxn registers a downstream transaction-event handler,
+// satisfying TxnSource. Like Subscribe, registration must complete before
+// the first push.
+func (s *Stream[T]) SubscribeTxn(f func(TxnOp)) {
+	s.txnSubs = append(s.txnSubs, f)
+}
+
+// emitTxn delivers a transaction event to every control subscriber.
+func (s *Stream[T]) emitTxn(op TxnOp) {
+	for _, f := range s.txnSubs {
+		f(op)
+	}
 }
 
 // emit delivers a batch to every subscriber. Empty batches are dropped.
@@ -70,6 +90,7 @@ func (s *Stream[T]) emit(batch []Delta[T]) {
 // enter the computation.
 type Input[T comparable] struct {
 	Stream[T]
+	pushes uint64
 }
 
 // NewInput returns a new dataflow input.
@@ -80,8 +101,34 @@ func NewInput[T comparable]() *Input[T] {
 // Push propagates a batch of differences through the graph synchronously.
 // When Push returns, every sink reflects the change.
 func (in *Input[T]) Push(batch []Delta[T]) {
+	in.pushes++
 	in.emit(batch)
 }
+
+// Pushes returns the number of Push calls so far: the propagation
+// counter. One MCMC proposal costs exactly one propagation under the
+// transactional protocol (Begin/Commit/Abort are control events, not
+// propagations), where the inverse-push rejection path cost two.
+func (in *Input[T]) Pushes() uint64 { return in.pushes }
+
+// Txn broadcasts a transaction control event through the graph. Every
+// stateful node applies it to its own state and forwards it downstream;
+// the call is synchronous and pushes no data.
+func (in *Input[T]) Txn(op TxnOp) { in.emitTxn(op) }
+
+// Begin opens a transaction: pushes until Commit or Abort are
+// speculative, with every stateful node logging the pre-image of the
+// state it overwrites. Transactions do not nest.
+func (in *Input[T]) Begin() { in.Txn(TxnBegin) }
+
+// Commit keeps the speculative pushes and discards the undo logs.
+func (in *Input[T]) Commit() { in.Txn(TxnCommit) }
+
+// Abort restores every stateful node and sink to its pre-transaction
+// state in O(touched keys), without a second propagation. See the TxnOp
+// documentation for the one deliberate exception (memoized noisy-count
+// observations are kept).
+func (in *Input[T]) Abort() { in.Txn(TxnAbort) }
 
 // PushDataset pushes an entire weighted dataset as one batch: the idiom for
 // loading initial data into a freshly built graph. The batch is built in
@@ -101,6 +148,9 @@ func (in *Input[T]) PushDataset(d *weighted.Dataset[T]) {
 // weighted dataset. Used by tests and by callers that need full outputs.
 type Collector[T comparable] struct {
 	data *weighted.Dataset[T]
+
+	gate TxnGate
+	undo CollectorUndo[T]
 }
 
 // Collect attaches a new Collector to src.
@@ -108,10 +158,26 @@ func Collect[T comparable](src Source[T]) *Collector[T] {
 	c := &Collector[T]{data: weighted.New[T]()}
 	src.Subscribe(func(batch []Delta[T]) {
 		for _, d := range batch {
+			if c.gate.Active() {
+				c.undo.Observe(d.Record, c.data)
+			}
 			c.data.Add(d.Record, d.Weight)
 		}
 	})
+	forwardTxn(src, c.onTxn)
 	return c
+}
+
+func (c *Collector[T]) onTxn(op TxnOp) {
+	if !c.gate.Enter(op) {
+		return
+	}
+	switch op {
+	case TxnAbort:
+		c.undo.Abort(c.data)
+	case TxnCommit:
+		c.undo.Reset()
+	}
 }
 
 // Snapshot returns a copy of the collector's current dataset.
@@ -141,6 +207,12 @@ type stateMap[T comparable] struct {
 	recs []T
 	ws   []float64
 	norm float64
+
+	// Transactional undo log (see txn.go): while logging, apply records
+	// the pre-image of every mutation so abortLog can restore the exact
+	// prior state — including slice order — last-in-first-out.
+	logging bool
+	undo    []stateUndo[T]
 }
 
 func newStateMap[T comparable]() *stateMap[T] {
@@ -160,6 +232,9 @@ func (m *stateMap[T]) apply(x T, delta float64) (oldW, newW float64) {
 	case math.Abs(newW) < weighted.Eps:
 		newW = 0
 		if ok {
+			if m.logging {
+				m.undo = append(m.undo, stateUndo[T]{kind: undoDelete, i: i, x: x, oldW: oldW, oldNorm: m.norm})
+			}
 			last := len(m.recs) - 1
 			moved := m.recs[last]
 			m.recs[i], m.ws[i] = moved, m.ws[last]
@@ -169,8 +244,14 @@ func (m *stateMap[T]) apply(x T, delta float64) (oldW, newW float64) {
 			delete(m.pos, x) // after pos[moved]: moved may be x itself
 		}
 	case ok:
+		if m.logging {
+			m.undo = append(m.undo, stateUndo[T]{kind: undoUpdate, i: i, oldW: oldW, oldNorm: m.norm})
+		}
 		m.ws[i] = newW
 	default:
+		if m.logging {
+			m.undo = append(m.undo, stateUndo[T]{kind: undoInsert, oldNorm: m.norm})
+		}
 		m.pos[x] = len(m.recs)
 		m.recs = append(m.recs, x)
 		m.ws = append(m.ws, newW)

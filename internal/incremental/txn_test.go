@@ -1,0 +1,216 @@
+package incremental
+
+import (
+	"math/rand"
+	"testing"
+
+	"wpinq/internal/weighted"
+)
+
+// Transactional-propagation properties, per operator shape: an aborted
+// transaction must leave the node — its collected output AND its future
+// emission behavior — bit-identical to a node that never saw the
+// speculative batches, and a committed transaction must be bit-identical
+// to an untracked push. These are exact comparisons, not the 1e-7
+// tolerance of the inverse-push rollback tests: abort restores pre-image
+// bytes, it does not re-derive them arithmetically.
+
+// exactEqual compares two datasets bit-for-bit.
+func exactEqual[T comparable](t *testing.T, name string, got, want *weighted.Dataset[T]) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d records, want %d\ngot:  %v\nwant: %v", name, got.Len(), want.Len(), got, want)
+	}
+	want.Range(func(x T, w float64) {
+		if gw := got.Weight(x); gw != w {
+			t.Fatalf("%s: record %v weight %v, want %v (bit-exact)", name, x, gw, w)
+		}
+	})
+}
+
+// checkTxn drives two identical graphs: the subject sees speculative
+// batches inside transactions (randomly committed or aborted), the twin
+// sees only the committed ones, pushed plainly. After every transaction
+// and at the end, collected outputs must match bit-for-bit; a final
+// probe batch pushed to both must produce identical collected state,
+// proving aborts also restored the operators' internal emission order.
+func checkTxn[U comparable](t *testing.T, name string, build func(Source[int]) Source[U]) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(61))
+
+	subjectIn := NewInput[int]()
+	subjectOut := Collect(build(subjectIn))
+	twinIn := NewInput[int]()
+	twinOut := Collect(build(twinIn))
+
+	push := func(batch []Delta[int]) {
+		subjectIn.Push(batch)
+		twinIn.Push(batch)
+	}
+
+	var base []Delta[int]
+	for i := 0; i < 10; i++ {
+		base = append(base, Delta[int]{i, 2 + rng.Float64()*3})
+	}
+	push(base)
+
+	for cycle := 0; cycle < 300; cycle++ {
+		// One transaction: one to three speculative batches.
+		subjectIn.Begin()
+		batches := make([][]Delta[int], 1+rng.Intn(3))
+		for bi := range batches {
+			batch := make([]Delta[int], 1+rng.Intn(3))
+			for i := range batch {
+				batch[i] = Delta[int]{rng.Intn(10), rng.Float64()*2 - 1}
+			}
+			batches[bi] = batch
+			subjectIn.Push(batch)
+		}
+		if rng.Intn(2) == 0 {
+			subjectIn.Commit()
+			for _, batch := range batches {
+				twinIn.Push(batch)
+			}
+		} else {
+			subjectIn.Abort()
+		}
+		exactEqual(t, name, subjectOut.Snapshot(), twinOut.Snapshot())
+	}
+
+	// Probe: identical future inputs must produce identical outputs.
+	probe := []Delta[int]{{3, 0.25}, {7, -0.5}, {11, 1.5}}
+	push(probe)
+	exactEqual(t, name+" probe", subjectOut.Snapshot(), twinOut.Snapshot())
+}
+
+func TestTxnSelect(t *testing.T) {
+	checkTxn(t, "Select", func(s Source[int]) Source[int] {
+		return Select(s, func(x int) int { return x % 4 })
+	})
+}
+
+func TestTxnSelectMany(t *testing.T) {
+	checkTxn(t, "SelectMany", func(s Source[int]) Source[int] {
+		return SelectManySlice(s, func(x int) []int { return []int{x, x + 1, x + 2} })
+	})
+}
+
+func TestTxnGroupBy(t *testing.T) {
+	checkTxn(t, "GroupBy", func(s Source[int]) Source[weighted.Grouped[int, int]] {
+		return GroupBy(s, func(x int) int { return x % 3 }, func(m []int) int { return len(m) })
+	})
+}
+
+func TestTxnShave(t *testing.T) {
+	checkTxn(t, "Shave", func(s Source[int]) Source[weighted.Indexed[int]] {
+		return ShaveConst(s, 0.75)
+	})
+}
+
+func TestTxnSelfJoin(t *testing.T) {
+	checkTxn(t, "Join", func(s Source[int]) Source[[2]int] {
+		return Join(s, s,
+			func(x int) int { return x % 3 }, func(y int) int { return y % 3 },
+			func(x, y int) [2]int { return [2]int{x, y} })
+	})
+}
+
+func TestTxnUnionIntersectDiamond(t *testing.T) {
+	// Diamond topology: the gate must deduplicate control events arriving
+	// along both paths, or aborts would double-restore.
+	checkTxn(t, "Union+Intersect", func(s Source[int]) Source[int] {
+		evens := Where(s, func(x int) bool { return x%2 == 0 })
+		return Intersect[int](Union[int](s, evens), s)
+	})
+}
+
+func TestTxnDeepTbIShape(t *testing.T) {
+	// The exact operator shape MCMC aborts through.
+	type path struct{ a, b, c int }
+	checkTxn(t, "TbI-shape", func(s Source[int]) Source[path] {
+		j := Join(s, s,
+			func(x int) int { return x % 5 }, func(y int) int { return (y + 1) % 5 },
+			func(x, y int) path { return path{x, x % 5, y} })
+		filtered := Where[path](j, func(p path) bool { return p.a != p.c })
+		rotated := Select[path](filtered, func(p path) path { return path{p.b, p.c, p.a} })
+		return Intersect[path](rotated, filtered)
+	})
+}
+
+func TestTxnConcatExcept(t *testing.T) {
+	checkTxn(t, "Concat+Except", func(s Source[int]) Source[int] {
+		odds := Where(s, func(x int) bool { return x%2 == 1 })
+		return Except[int](Concat[int](s, odds), odds)
+	})
+}
+
+// TestTxnSinkKeepsNewObservations pins the one deliberate abort
+// exception: observations drawn for records first materialized during an
+// aborted transaction stay cached (m, order, and their |m(x)| L1 terms),
+// exactly as the inverse-push rejection path kept them.
+func TestTxnSinkKeepsNewObservations(t *testing.T) {
+	in := NewInput[int]()
+	obs := MapObservations[int]{1: 5, 2: -3}
+	sink := NewNoisyCountSink[int](in, obs, []int{1}, 0.5)
+	in.Push([]Delta[int]{{1, 2}}) // |2-5| replaces |0-5|
+	before := sink.L1()
+
+	in.Begin()
+	in.Push([]Delta[int]{{1, 1}, {2, 4}}) // record 2 observed for the first time
+	in.Abort()
+
+	// q is restored (1 -> weight 2, 2 -> gone) but record 2's observation
+	// remains: L1 gains |0 - (-3)| = 3.
+	if got := sink.Weight(1); got != 2 {
+		t.Errorf("q(1) = %v after abort, want 2", got)
+	}
+	if got := sink.Weight(2); got != 0 {
+		t.Errorf("q(2) = %v after abort, want 0", got)
+	}
+	if want := before + 3; sink.L1() != want {
+		t.Errorf("L1 = %v after abort, want %v (kept new observation)", sink.L1(), want)
+	}
+	if drift := sink.Drift(); drift != 0 {
+		t.Errorf("maintained L1 drifts from recomputed by %v after abort", drift)
+	}
+}
+
+// TestTxnStateMapAbortRestoresOrder pins the slice-order restoration the
+// deterministic-emission invariants depend on: a swap-delete undone by
+// abort must put every record back in its original slot.
+func TestTxnStateMapAbortRestoresOrder(t *testing.T) {
+	m := newStateMap[int]()
+	for i := 0; i < 6; i++ {
+		m.apply(i, float64(i+1))
+	}
+	var wantRecs []int
+	var wantWs []float64
+	wantRecs = append(wantRecs, m.recs...)
+	wantWs = append(wantWs, m.ws...)
+	wantNorm := m.norm
+
+	m.beginLog()
+	m.apply(1, -2)  // delete record 1 (swap-moves 5 into slot 1)
+	m.apply(3, 2.5) // update
+	m.apply(9, 4)   // insert
+	m.apply(9, -4)  // delete the tail insert
+	m.apply(0, -1)  // delete record 0
+	m.abortLog()
+
+	if len(m.recs) != len(wantRecs) {
+		t.Fatalf("recs length %d, want %d", len(m.recs), len(wantRecs))
+	}
+	for i := range wantRecs {
+		if m.recs[i] != wantRecs[i] || m.ws[i] != wantWs[i] {
+			t.Errorf("slot %d: (%v, %v), want (%v, %v)", i, m.recs[i], m.ws[i], wantRecs[i], wantWs[i])
+		}
+	}
+	if m.norm != wantNorm {
+		t.Errorf("norm %v, want %v", m.norm, wantNorm)
+	}
+	for i, x := range m.recs {
+		if m.pos[x] != i {
+			t.Errorf("pos[%v] = %d, want %d", x, m.pos[x], i)
+		}
+	}
+}

@@ -16,6 +16,13 @@
 // (The paper's Section 4.2 prints the score without the negation; the sign
 // must be negative for the posterior to concentrate on good fits, matching
 // the Laplace likelihood. See DESIGN.md "Known deviations".)
+//
+// Scoring is transactional on both executors: each proposal's edge
+// differences propagate exactly once, speculatively, and a rejection
+// restores the dataflow's pre-proposal state from per-operator undo
+// logs instead of propagating the inverse swap a second time (DESIGN.md
+// "Transactional scoring"). Inputs that do not implement TxnInput fall
+// back to inverse-push rejection.
 package mcmc
 
 import (
@@ -39,6 +46,25 @@ type Input interface {
 	PushDataset(d *weighted.Dataset[graph.Edge])
 }
 
+// TxnInput is an Input whose dataflow graph supports transactional
+// pushes (see incremental.TxnOp): a proposal's edge differences are
+// propagated once, speculatively, and a rejection restores every
+// stateful operator's pre-image from undo logs in O(touched keys)
+// instead of propagating the inverse differences a second time. Both
+// executors' inputs (*incremental.Input[graph.Edge] and
+// *engine.Input[graph.Edge]) satisfy it, so the sampler uses the
+// protocol automatically; a plain Input falls back to inverse-push
+// rejection.
+type TxnInput interface {
+	Input
+	// Begin opens a transaction; subsequent pushes are speculative.
+	Begin()
+	// Commit keeps the speculative pushes and discards the undo logs.
+	Commit()
+	// Abort restores the pre-transaction dataflow state from the logs.
+	Abort()
+}
+
 // GraphState is a synthetic graph coupled to the edge-difference input of
 // one or more incremental query pipelines. Mutations go through proposals
 // so the graph, the edge list, and the dataflow state never diverge.
@@ -46,6 +72,7 @@ type GraphState struct {
 	g     *graph.Graph
 	edges []graph.Edge // normalized (Src < Dst) undirected edge list
 	input Input
+	txn   TxnInput // input's transactional view, nil when unsupported
 }
 
 // NewGraphState couples g (cloned) to input and pushes the initial edge
@@ -60,6 +87,9 @@ func NewGraphState(g *graph.Graph, input Input) *GraphState {
 		g:     g.Clone(),
 		edges: g.EdgeList(),
 		input: input,
+	}
+	if t, ok := input.(TxnInput); ok {
+		s.txn = t
 	}
 	batch := make([]incremental.Delta[graph.Edge], 0, 2*len(s.edges))
 	for _, e := range s.edges {
@@ -135,9 +165,60 @@ func (s *GraphState) Apply(p Proposal) {
 	})
 }
 
-// Revert undoes a just-applied proposal (the Metropolis rejection path).
+// Revert undoes a just-applied proposal by applying the inverse swap:
+// the pre-transactional Metropolis rejection path, costing a second full
+// propagation. Speculate/Abort is the cheap path; Revert remains the
+// fallback for non-transactional inputs and the reference the
+// transactional path is trace-tested against.
 func (s *GraphState) Revert(p Proposal) {
 	s.Apply(Proposal{I: p.I, J: p.J, A: p.A, B: p.D, C: p.C, D: p.B})
+}
+
+// Transactional reports whether the coupled input supports the
+// propose/score/commit-or-abort protocol.
+func (s *GraphState) Transactional() bool { return s.txn != nil }
+
+// Speculate performs the swap inside a transaction when the input
+// supports one (reported by the return value): the eight edge
+// differences propagate exactly once, with every stateful operator
+// logging pre-images, and the proposal stays pending until Commit or
+// Abort. On a plain input it degenerates to Apply, whose rejection path
+// is Revert.
+func (s *GraphState) Speculate(p Proposal) bool {
+	if s.txn == nil {
+		s.Apply(p)
+		return false
+	}
+	s.txn.Begin()
+	s.Apply(p)
+	return true
+}
+
+// Commit accepts the pending speculative proposal (no-op on a plain
+// input: Apply already committed it).
+func (s *GraphState) Commit() {
+	if s.txn != nil {
+		s.txn.Commit()
+	}
+}
+
+// Abort rejects a just-speculated proposal: the graph and edge-list
+// mutations are unwound directly (set operations, exactly invertible)
+// and the dataflow state is restored from the operators' undo logs in
+// O(touched keys) — no second propagation. On a plain input it falls
+// back to Revert.
+func (s *GraphState) Abort(p Proposal) {
+	if s.txn == nil {
+		s.Revert(p)
+		return
+	}
+	s.g.RemoveEdge(p.A, p.D)
+	s.g.RemoveEdge(p.C, p.B)
+	s.g.AddEdge(p.A, p.B)
+	s.g.AddEdge(p.C, p.D)
+	s.edges[p.I] = normEdge(p.A, p.B)
+	s.edges[p.J] = normEdge(p.C, p.D)
+	s.txn.Abort()
 }
 
 func normEdge(u, v graph.Node) graph.Edge {
@@ -240,21 +321,26 @@ func (r *Runner) Step() bool {
 	return accepted && valid
 }
 
-// transition performs one proposal/accept/revert cycle. valid is false
-// when the proposal draw was degenerate (nothing changed).
+// transition performs one propose/score/commit-or-abort cycle. valid is
+// false when the proposal draw was degenerate (nothing changed). The
+// proposal's differences propagate exactly once: on transactional inputs
+// a rejection unwinds state from the operators' undo logs instead of
+// propagating the inverse swap (the pre-transactional path, still taken
+// for plain inputs via Speculate's Apply/Revert fallback).
 func (r *Runner) transition() (accepted, valid bool) {
 	p, ok := r.state.Propose(r.rng)
 	if !ok {
 		return false, false
 	}
 	old := r.score
-	r.state.Apply(p)
+	r.state.Speculate(p)
 	next := r.scorer.Score()
 	accept := next <= old
 	if !accept {
 		accept = r.rng.Float64() < math.Exp(-r.pow()*(next-old))
 	}
 	if accept {
+		r.state.Commit()
 		r.score = next
 		r.sinceRecompute++
 		if r.cfg.RecomputeEvery > 0 && r.sinceRecompute >= r.cfg.RecomputeEvery {
@@ -263,7 +349,7 @@ func (r *Runner) transition() (accepted, valid bool) {
 		}
 		return true, true
 	}
-	r.state.Revert(p)
+	r.state.Abort(p)
 	return false, true
 }
 

@@ -112,7 +112,12 @@ type Config struct {
 	//
 	// Both executors implement identical operator semantics (pinned by
 	// equivalence tests against internal/weighted); sharding pays off on
-	// the bulk initial load and on large per-swap difference fronts.
+	// the bulk initial load and on large per-swap difference fronts. On
+	// either executor, Phase 2 scores proposals transactionally: one
+	// propagation per step, with rejected swaps unwound from operator
+	// undo logs rather than re-propagated (DESIGN.md "Transactional
+	// scoring") — the dominant cost saving in high-Pow and
+	// replica-exchange (cold chain) regimes where most steps reject.
 	Shards int
 }
 

@@ -39,7 +39,10 @@ import (
 // Input is the dataflow entry point a fit plan exposes: it accepts the
 // edge differences of a proposed swap. Both executors' inputs satisfy
 // it, and it is structurally identical to mcmc.Input, so a Plan's input
-// plugs straight into mcmc.NewGraphState.
+// plugs straight into mcmc.NewGraphState. Both concrete inputs also
+// implement mcmc.TxnInput (Begin/Commit/Abort), so the sampler scores
+// proposals transactionally — one propagation per proposal, rejected or
+// not — on every plan this package builds, in either plan form.
 type Input interface {
 	Push(batch []incremental.Delta[graph.Edge])
 	PushDataset(d *weighted.Dataset[graph.Edge])

@@ -1,0 +1,206 @@
+// Command benchsmoke is the benchmark regression gate: it runs the
+// MCMC-relevant benchmarks through `go test -bench -json`, writes the
+// parsed ns/op results to a JSON report (BENCH_mcmc.json in CI), and
+// exits non-zero when any benchmark is more than -threshold times slower
+// than the committed baseline.
+//
+// Usage:
+//
+//	go run ./tools/benchsmoke                  # compare against BENCH_baseline.json
+//	go run ./tools/benchsmoke -update         # rewrite the baseline from this machine
+//	go run ./tools/benchsmoke -bench 'BenchmarkRejectHeavy' -benchtime 3x
+//
+// The committed baseline is a smoke threshold, not a precision
+// measurement: single-iteration benchmark runs on shared CI machines are
+// noisy, so the gate only catches gross regressions (the 2x default
+// corresponds to, for example, reintroducing the second propagation per
+// rejected MCMC proposal that the transactional protocol removed).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// report is the schema of both the baseline and the output file.
+type report struct {
+	// Benchmarks maps benchmark name (sub-benchmarks included,
+	// GOMAXPROCS suffix stripped) to nanoseconds per operation.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// event is the subset of the `go test -json` stream the parser needs.
+// Output chunks of one package are concatenated before line scanning:
+// test2json flushes a benchmark's name and its result line as separate
+// partial-line events (the name prints before the iterations run), so
+// matching per event would drop results.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// resultRe matches a benchmark result line, e.g.
+// "BenchmarkRejectHeavy/txn-2   5   1512424698 ns/op   ...".
+var resultRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	bench := flag.String("bench", "BenchmarkRejectHeavy|BenchmarkChains|BenchmarkEngineShards",
+		"benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "benchtime passed to go test")
+	pkgs := flag.String("pkgs", ".", "package pattern to benchmark")
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline to compare against")
+	outPath := flag.String("out", "BENCH_mcmc.json", "where to write this run's results")
+	threshold := flag.Float64("threshold", 2.0, "fail when ns/op exceeds baseline by this factor")
+	update := flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+	flag.Parse()
+
+	results, err := run(*bench, *benchtime, *pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsmoke: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "benchsmoke: no benchmark results matched %q\n", *bench)
+		os.Exit(1)
+	}
+	if err := write(*outPath, results); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsmoke: %v\n", err)
+		os.Exit(1)
+	}
+	if *update {
+		if err := write(*baselinePath, results); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsmoke: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchsmoke: baseline %s updated with %d benchmarks\n", *baselinePath, len(results.Benchmarks))
+		return
+	}
+
+	baseline, err := read(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsmoke: %v (run with -update to create it)\n", err)
+		os.Exit(1)
+	}
+	failed := compare(baseline, results, *threshold)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// run executes the benchmarks and parses ns/op per benchmark name.
+func run(bench, benchtime, pkgs string) (report, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench,
+		"-benchtime", benchtime, "-json", pkgs)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return report{}, err
+	}
+	if err := cmd.Start(); err != nil {
+		return report{}, err
+	}
+	streams := make(map[string]*bytes.Buffer)
+	sc := bufio.NewScanner(out)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate non-JSON lines (toolchain chatter)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		buf := streams[ev.Package]
+		if buf == nil {
+			buf = &bytes.Buffer{}
+			streams[ev.Package] = buf
+		}
+		buf.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return report{}, err
+	}
+	if err := cmd.Wait(); err != nil {
+		return report{}, fmt.Errorf("go test -bench: %w", err)
+	}
+	res := report{Benchmarks: make(map[string]float64)}
+	for _, buf := range streams {
+		lines := bufio.NewScanner(buf)
+		lines.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		for lines.Scan() {
+			if m := resultRe.FindStringSubmatch(lines.Text()); m != nil {
+				ns, err := strconv.ParseFloat(m[2], 64)
+				if err != nil {
+					continue
+				}
+				res.Benchmarks[m[1]] = ns
+			}
+		}
+	}
+	return res, nil
+}
+
+// compare reports each benchmark against the baseline and returns
+// whether any exceeded the threshold.
+func compare(baseline, results report, threshold float64) bool {
+	names := make([]string, 0, len(baseline.Benchmarks))
+	for name := range baseline.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		base := baseline.Benchmarks[name]
+		got, ok := results.Benchmarks[name]
+		if !ok {
+			fmt.Printf("FAIL %s: present in baseline but produced no result\n", name)
+			failed = true
+			continue
+		}
+		ratio := got / base
+		status := "ok  "
+		if ratio > threshold {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %s: %.0f ns/op vs baseline %.0f (%.2fx, limit %.2fx)\n",
+			status, name, got, base, ratio, threshold)
+	}
+	for name := range results.Benchmarks {
+		if _, ok := baseline.Benchmarks[name]; !ok {
+			fmt.Printf("note %s: not in baseline (add with -update)\n", name)
+		}
+	}
+	return failed
+}
+
+func read(path string) (report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return report{}, err
+	}
+	var r report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+func write(path string, r report) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}

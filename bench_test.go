@@ -23,6 +23,7 @@ import (
 	"wpinq/internal/queries"
 	"wpinq/internal/synth"
 	"wpinq/internal/weighted"
+	"wpinq/internal/workload"
 )
 
 // benchOptions shrinks the experiments to benchmark-friendly sizes.
@@ -537,6 +538,103 @@ func BenchmarkRejectHeavy(b *testing.B) {
 					b.Fatalf("accept rate %.2f; benchmark must be reject-heavy (<0.10)", rate)
 				}
 			}
+		})
+	}
+}
+
+// fusedChainsSink defeats dead-code elimination in BenchmarkFusedChains.
+var fusedChainsSink float64
+
+// BenchmarkFusedChains measures per-proposal propagation cost over the
+// full five-workload fit with plan fusion on and off: the same
+// preloaded plan absorbs a steady stream of edge-swap differences (each
+// swap immediately undone by its inverse, so state cannot drift across
+// b.N). Fusion's claim is that per-proposal work scales with the merged
+// DAG, not the workload count; fragpushes/op reports the fragment batch
+// deliveries behind each swap, the quantity fusing shrinks.
+func BenchmarkFusedChains(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	g, err := graph.HolmeKim(100, 3, 0.5, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const (
+		eps    = 0.5
+		bucket = 5
+	)
+	names := workload.Names()
+	ws, err := workload.Resolve(names)
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := 0
+	for _, w := range ws {
+		total += w.Uses
+	}
+	src := budget.NewSource("edges", float64(total)*eps*(1+1e-9))
+	edges := core.FromDataset(graph.SymmetricEdges(g), src)
+	fits := make([]workload.Measured, 0, len(ws))
+	for _, w := range ws {
+		m, err := w.Measure(edges, bucket, eps, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fits = append(fits, m)
+	}
+
+	// One valid swap and its inverse, pushed alternately.
+	el := g.EdgeList()
+	var fwd, rev []incremental.Delta[graph.Edge]
+	for i := 0; i+1 < len(el) && fwd == nil; i++ {
+		a, bb := el[i].Src, el[i].Dst
+		c, d := el[i+1].Src, el[i+1].Dst
+		if a == d || c == bb || a == c || bb == d || g.HasEdge(a, d) || g.HasEdge(c, bb) {
+			continue
+		}
+		for _, e := range [][2]graph.Node{{a, bb}, {bb, a}, {c, d}, {d, c}} {
+			fwd = append(fwd, incremental.Delta[graph.Edge]{Record: graph.Edge{Src: e[0], Dst: e[1]}, Weight: -1})
+			rev = append(rev, incremental.Delta[graph.Edge]{Record: graph.Edge{Src: e[0], Dst: e[1]}, Weight: 1})
+		}
+		for _, e := range [][2]graph.Node{{a, d}, {d, a}, {c, bb}, {bb, c}} {
+			fwd = append(fwd, incremental.Delta[graph.Edge]{Record: graph.Edge{Src: e[0], Dst: e[1]}, Weight: 1})
+			rev = append(rev, incremental.Delta[graph.Edge]{Record: graph.Edge{Src: e[0], Dst: e[1]}, Weight: -1})
+		}
+	}
+	if fwd == nil {
+		b.Fatal("no valid swap found")
+	}
+
+	for _, cfg := range []struct {
+		name string
+		fuse bool
+	}{{"fused", true}, {"unfused", false}} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			p := workload.NewPlanFused(2, cfg.fuse)
+			seedRng := rand.New(rand.NewSource(23))
+			for _, fit := range fits {
+				fit, err := fit.Reseed(eps, seedRng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := fit.Attach(p, eps); err != nil {
+					b.Fatal(err)
+				}
+			}
+			p.Input().PushDataset(graph.SymmetricEdges(g))
+			base := p.Fusion().Pushes()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%2 == 0 {
+					p.Input().Push(fwd)
+				} else {
+					p.Input().Push(rev)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(p.Fusion().Pushes()-base)/float64(b.N), "fragpushes/op")
+			fusedChainsSink = p.Scorer().Score()
 		})
 	}
 }

@@ -82,9 +82,12 @@ func run(args []string) error {
 		"dataflow shards: 0 = one per CPU, -1 = serial reference engine")
 	fs.IntVar(&opts.Chains, "chains", opts.Chains,
 		"replica-exchange chains per fit at a geometric pow ladder (0 or 1 = single chain)")
+	fuse := fs.Bool("fuse", true,
+		"fuse shared pipeline prefixes across fit workloads (-fuse=false keeps per-workload pipelines)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+	opts.NoFuse = !*fuse
 
 	names := []string{name}
 	if name == "all" {
@@ -131,6 +134,6 @@ remote verbs (clients of a wpinqd curator server; see `+"`wpinqd -h`"+`):
   remote synthesize  run an async synthesis job against a stored release
   remote status      inspect dataset ledgers, releases, and jobs
 
-flags (after the experiment name): -scale -epinions-scale -steps -eps -pow -seed -samples -repeats -shards -chains
+flags (after the experiment name): -scale -epinions-scale -steps -eps -pow -seed -samples -repeats -shards -chains -fuse
 (measure/synthesize/motif and the remote verbs take their own flags; run them with -h)`)
 }

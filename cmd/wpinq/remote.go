@@ -99,6 +99,8 @@ func runRemoteSynthesize(args []string) error {
 	shards := fs.Int("shards", 0, "dataflow shards: 0 = one per CPU, -1 = serial reference engine (omit to use the server default)")
 	chains := fs.Int("chains", 0, "replica-exchange chains (0 = server default, 1 = single chain)")
 	swapEvery := fs.Int("swap-every", 0, "steps between replica swap attempts (0 = default 1024)")
+	fuse := fs.Bool("fuse", true,
+		"fuse shared pipeline prefixes across fit workloads (omit to use the server default)")
 	seed := fs.Int64("seed", 0, "job seed (0 = server-derived)")
 	poll := fs.Duration("poll", 500*time.Millisecond, "progress polling interval")
 	if err := fs.Parse(args); err != nil {
@@ -120,11 +122,15 @@ func runRemoteSynthesize(args []string) error {
 		SwapEvery:   *swapEvery,
 		Seed:        *seed,
 	}
-	// Only override the server's default shard configuration when the
-	// flag was explicitly given (0 is a meaningful value: auto).
+	// Only override the server's default shard and fusion configuration
+	// when the flags were explicitly given (shards 0 is a meaningful
+	// value: auto; fuse defaults are the server's call).
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "shards" {
+		switch f.Name {
+		case "shards":
 			req.Shards = shards
+		case "fuse":
+			req.Fuse = fuse
 		}
 	})
 	c := service.NewClient(*server)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	wpinqd [-addr :8080] [-data DIR] [-shards N] [-chains K] [-workers N] [-seed N]
+//	wpinqd [-addr :8080] [-data DIR] [-shards N] [-chains K] [-workers N] [-fuse] [-seed N]
 //
 // The API is documented on service.Handler; `wpinq remote` is the
 // matching command-line client. See README.md, "Serving".
@@ -39,6 +39,8 @@ func run(args []string) error {
 	shards := fs.Int("shards", 0, "default dataflow shards per synthesis job: 0 = one per CPU, -1 = serial reference engine")
 	chains := fs.Int("chains", 1, "default replica-exchange chains per synthesis job (1 = single chain)")
 	workers := fs.Int("workers", 0, "synthesis worker pool size (0 = GOMAXPROCS divided by per-job shards)")
+	fuse := fs.Bool("fuse", true,
+		"default plan fusion for synthesis jobs: fuse shared pipeline prefixes across fit workloads")
 	seed := fs.Int64("seed", 1, "base seed for requests that do not supply one")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,6 +51,7 @@ func run(args []string) error {
 		Shards:  *shards,
 		Chains:  *chains,
 		Workers: *workers,
+		NoFuse:  !*fuse,
 		Seed:    *seed,
 	})
 	if err != nil {

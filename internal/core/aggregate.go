@@ -1,6 +1,10 @@
 package core
 
 import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand"
 	"sync"
@@ -12,29 +16,63 @@ import (
 // Histogram is the result of a NoisyCount aggregation (paper Section 2.2):
 // a dictionary mapping records to noisy weights. To preserve differential
 // privacy, a Histogram must answer for *every* record in the (possibly
-// unbounded) domain, including records absent from the data. It does so by
-// drawing fresh Laplace noise on first access to an unseen record and
-// memoizing it, so repeated queries for the same record are consistent.
+// unbounded) domain, including records absent from the data. Unseen
+// records receive fresh memoized Laplace noise on first access.
+//
+// That lazy noise is record-keyed, not stream-drawn: each unseen record's
+// value is the Laplace quantile of a hash of (salt, record), so the noise
+// a record observes is a pure function of the histogram's seed and the
+// record itself, independent of the order fit pipelines happen to touch
+// records in. Plan transformations that reorder propagation (fusing
+// shared prefixes, re-sharding an executor) therefore score candidate
+// graphs identically instead of silently reassigning noise.
 //
 // Histogram is safe for concurrent use.
 type Histogram[T comparable] struct {
 	mu     sync.Mutex
 	counts map[T]float64
 	dist   laplace.Dist
-	rng    *rand.Rand
+	salt   uint64
 }
 
-// Get returns the released noisy count for record x, drawing and recording
-// fresh noise if x has never been requested and had zero true weight.
+// Get returns the released noisy count for record x, deriving and
+// recording fresh record-keyed noise if x has never been requested and
+// had zero true weight.
 func (h *Histogram[T]) Get(x T) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if v, ok := h.counts[x]; ok {
 		return v
 	}
-	v := h.dist.Sample(h.rng)
+	v := h.dist.Quantile(recordUniform(h.salt, x))
 	h.counts[x] = v
 	return v
+}
+
+// recordUniform hashes (salt, record) to a uniform in (0,1): FNV-1a over
+// the record's canonical JSON, finalized with a splitmix64 avalanche so
+// structurally similar records land far apart. The +0.5 offset keeps the
+// result strictly inside the open interval Quantile requires.
+func recordUniform(salt uint64, x any) float64 {
+	b, err := json.Marshal(x)
+	if err != nil {
+		// Every released record type round-trips through JSON (Entries,
+		// the measurement store); a non-serializable record is a bug in
+		// the workload definition, not a runtime condition.
+		panic(fmt.Sprintf("core: histogram record %T is not JSON-serializable: %v", x, err))
+	}
+	f := fnv.New64a()
+	var sb [8]byte
+	binary.LittleEndian.PutUint64(sb[:], salt)
+	f.Write(sb[:])
+	f.Write(b)
+	u := f.Sum64()
+	u ^= u >> 30
+	u *= 0xbf58476d1ce4e5b9
+	u ^= u >> 27
+	u *= 0x94d049bb133111eb
+	u ^= u >> 31
+	return (float64(u>>11) + 0.5) / (1 << 53)
 }
 
 // Materialized returns a copy of every (record, noisy count) pair released
@@ -56,9 +94,10 @@ func (h *Histogram[T]) Epsilon() float64 { return 1 / h.dist.Scale() }
 // HistogramFromMaterialized reconstructs a Histogram from previously
 // released (record, noisy count) pairs — e.g. measurements loaded from
 // disk after the protected dataset was discarded. Unseen records continue
-// to draw fresh memoized noise at the same eps, preserving NoisyCount's
-// semantics across serialization. No privacy budget is charged: the values
-// were already released.
+// to receive fresh memoized noise at the same eps (record-keyed by a salt
+// drawn from rng), preserving NoisyCount's semantics across
+// serialization. No privacy budget is charged: the values were already
+// released.
 func HistogramFromMaterialized[T comparable](counts map[T]float64, eps float64, rng *rand.Rand) (*Histogram[T], error) {
 	dist, err := laplace.FromEpsilon(eps)
 	if err != nil {
@@ -67,7 +106,7 @@ func HistogramFromMaterialized[T comparable](counts map[T]float64, eps float64, 
 	h := &Histogram[T]{
 		counts: make(map[T]float64, len(counts)),
 		dist:   dist,
-		rng:    rng,
+		salt:   rng.Uint64(),
 	}
 	for k, v := range counts {
 		h.counts[k] = v
@@ -99,7 +138,7 @@ func NoisyCount[T comparable](c *Collection[T], eps float64, rng *rand.Rand) (*H
 	h := &Histogram[T]{
 		counts: make(map[T]float64, c.data.Len()),
 		dist:   dist,
-		rng:    rng,
+		salt:   rng.Uint64(),
 	}
 	for _, p := range c.data.PairsSorted() {
 		h.counts[p.Record] = p.Weight + dist.Sample(rng)

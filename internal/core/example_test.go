@@ -27,7 +27,7 @@ func ExampleNoisyCount() {
 	fmt.Printf("bob ~ %.2f\n", hist.Get("bob"))
 	fmt.Printf("spent %.1f of 1.0\n", src.Spent())
 	// Output:
-	// bob ~ 5.64
+	// bob ~ 0.46
 	// spent 0.5 of 1.0
 }
 

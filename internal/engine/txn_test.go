@@ -110,3 +110,66 @@ func TestTxnEnginePushCounter(t *testing.T) {
 		t.Errorf("Pushes() = %d, want 3 (Begin/Commit/Abort are not propagations)", got)
 	}
 }
+
+// buildFusionDiamond assembles the DAG shape plan fusion produces: one
+// shared prefix stream with three consumers — two of which reconverge
+// through a binary join (a fan-out diamond), the third a group-by
+// branch — so transaction control events reach every downstream node
+// along multiple paths and the per-node gates must dedup them.
+func buildFusionDiamond(e *Engine) (*Input[int], *Collector[[2]int], *Collector[weighted.Grouped[int, int]]) {
+	in := NewInput[int](e)
+	shared := Select[int](in, func(x int) int { return x % 32 }) // the fused prefix
+	left := Where[int](shared, func(x int) bool { return x%2 == 0 })
+	right := Select[int](shared, func(x int) int { return (x * 3) % 32 })
+	ShaveConst[int](shared, 0.25) // a third consumer with record-partitioned state
+	diamond := Join[int, int, int, [2]int](left, right,
+		func(x int) int { return x % 4 }, func(y int) int { return y % 4 },
+		func(x, y int) [2]int { return [2]int{x, y} })
+	grouped := GroupBy[int, int, int](shared, func(x int) int { return x % 7 }, func(m []int) int { return len(m) })
+	return in, Collect[[2]int](diamond), Collect[weighted.Grouped[int, int]](grouped)
+}
+
+// TestTxnFanOutDiamond fuzzes randomized commit/abort cycles through the
+// fusion-shaped DAG against a twin that only ever sees the committed
+// batches: gate dedup at the diamond's reconvergence must leave aborted
+// speculation invisible, bit-for-bit, on every shard layout (cutoff-0
+// configs force parallel dispatch each round, so -race covers the
+// concurrent gate paths).
+func TestTxnFanOutDiamond(t *testing.T) {
+	forEachConfig(t, func(t *testing.T, e *Engine) {
+		rng := rand.New(rand.NewSource(77))
+		subjectIn, subjectDiamond, subjectGroups := buildFusionDiamond(e)
+		twinIn, twinDiamond, twinGroups := buildFusionDiamond(newTestEngine(e.Shards(), e.cutoff))
+
+		base := randBatch(rng, 48, 80)
+		subjectIn.Push(base)
+		twinIn.Push(base)
+
+		for cycle := 0; cycle < 200; cycle++ {
+			subjectIn.Begin()
+			batches := make([][]incremental.Delta[int], 1+rng.Intn(3))
+			for bi := range batches {
+				batches[bi] = randBatch(rng, 48, 1+rng.Intn(8))
+				subjectIn.Push(batches[bi])
+			}
+			if rng.Intn(2) == 0 {
+				subjectIn.Commit()
+				for _, b := range batches {
+					twinIn.Push(b)
+				}
+			} else {
+				subjectIn.Abort()
+			}
+			if cycle%50 == 49 {
+				exactEqual(t, "diamond collector", subjectDiamond.Snapshot(), twinDiamond.Snapshot())
+				exactEqual(t, "group collector", subjectGroups.Snapshot(), twinGroups.Snapshot())
+			}
+		}
+
+		probe := randBatch(rng, 48, 12)
+		subjectIn.Push(probe)
+		twinIn.Push(probe)
+		exactEqual(t, "post-probe diamond", subjectDiamond.Snapshot(), twinDiamond.Snapshot())
+		exactEqual(t, "post-probe groups", subjectGroups.Snapshot(), twinGroups.Snapshot())
+	})
+}

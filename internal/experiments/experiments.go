@@ -57,6 +57,10 @@ type Options struct {
 	// = the single-chain walk the paper uses). Trajectory samples follow
 	// chain 0, the chain that starts on the coldest rung.
 	Chains int
+	// NoFuse disables multi-workload plan fusion in every fit
+	// (synth.Config.NoFuse semantics); the default fuses shared
+	// pipeline prefixes.
+	NoFuse bool
 }
 
 // Defaults returns the scaled-down defaults used by the CLI and benches.
@@ -214,6 +218,7 @@ func Fig3(o Options) error {
 			Steps:     steps,
 			Shards:    o.Shards,
 			Chains:    o.Chains,
+			NoFuse:    o.NoFuse,
 		}
 		series, _, err := trajectory(run.g, cfg, o, 33+int64(i), run.name)
 		if err != nil {
@@ -255,6 +260,7 @@ func Fig4(o Options) error {
 		Steps:     o.Steps,
 		Shards:    o.Shards,
 		Chains:    o.Chains,
+		NoFuse:    o.NoFuse,
 	}
 	i := int64(0)
 	for _, name := range []datasets.Name{datasets.GrQc, datasets.HepTh, datasets.HepPh, datasets.Caltech} {
@@ -298,6 +304,7 @@ func Table2(o Options) error {
 		Steps:     o.Steps,
 		Shards:    o.Shards,
 		Chains:    o.Chains,
+		NoFuse:    o.NoFuse,
 	}
 	for i, name := range []datasets.Name{datasets.GrQc, datasets.HepPh, datasets.HepTh, datasets.Caltech} {
 		g := graphs[name]
@@ -335,6 +342,7 @@ func Fig5(o Options) error {
 					Steps:     o.Steps,
 					Shards:    o.Shards,
 					Chains:    o.Chains,
+					NoFuse:    o.NoFuse,
 				}
 				res, err := synth.Run(run.g, cfg, o.rng(90+int64(rep)+int64(eps*1000)))
 				if err != nil {
@@ -449,6 +457,7 @@ func Fig6(o Options) error {
 		Steps:     o.Steps,
 		Shards:    o.Shards,
 		Chains:    o.Chains,
+		NoFuse:    o.NoFuse,
 	}
 	for i, run := range []struct {
 		label string

@@ -1,0 +1,168 @@
+package queries
+
+import (
+	"wpinq/internal/engine"
+	"wpinq/internal/graph"
+	"wpinq/internal/plan"
+	"wpinq/internal/weighted"
+)
+
+// Fused pipeline builders over the sharded parallel executor: one-for-one
+// mirrors of fused.go sharing the same fragment keys, so a fused plan has
+// the same DAG shape on either executor. Construction mirrors the plain
+// engine builders exactly when the memo does not fuse.
+
+// EngineFusedPathsPipeline mirrors FusedPathsPipeline.
+func EngineFusedPathsPipeline(m *plan.Memo, edges engine.Source[graph.Edge]) engine.Source[Path] {
+	n := plan.Node{Key: pathsKey(), Op: "join(edges,edges)+where(a!=c)", Inputs: []string{"edges"}}
+	return plan.Shared(m, n, func() engine.Source[Path] {
+		s := EnginePathsPipeline(edges)
+		plan.Count[Path](m, s)
+		return s
+	})
+}
+
+// EngineFusedDegreesPipeline mirrors FusedDegreesPipeline.
+func EngineFusedDegreesPipeline(m *plan.Memo, edges engine.Source[graph.Edge], bucket int) engine.Source[weighted.Grouped[graph.Node, int]] {
+	n := plan.Node{Key: degreesKey(bucket), Op: "groupby(src,deg)", Inputs: []string{"edges"}}
+	return plan.Shared(m, n, func() engine.Source[weighted.Grouped[graph.Node, int]] {
+		s := EngineDegreesPipeline(edges, bucket)
+		plan.Count[weighted.Grouped[graph.Node, int]](m, s)
+		return s
+	})
+}
+
+// EngineFusedPathDegPipeline mirrors FusedPathDegPipeline.
+func EngineFusedPathDegPipeline(m *plan.Memo, edges engine.Source[graph.Edge], bucket int) engine.Source[PathDeg] {
+	paths := EngineFusedPathsPipeline(m, edges)
+	degs := EngineFusedDegreesPipeline(m, edges, bucket)
+	n := plan.Node{Key: pathDegKey(bucket), Op: "join(paths,degrees)", Inputs: []string{pathsKey(), degreesKey(bucket)}}
+	return plan.Shared(m, n, func() engine.Source[PathDeg] {
+		s := engine.Join(paths, degs,
+			func(p Path) graph.Node { return p.B },
+			func(d weighted.Grouped[graph.Node, int]) graph.Node { return d.Key },
+			func(p Path, d weighted.Grouped[graph.Node, int]) PathDeg {
+				return PathDeg{Path: p, Deg: d.Result}
+			})
+		plan.Count[PathDeg](m, s)
+		return s
+	})
+}
+
+// EngineFusedTbIPipeline mirrors FusedTbIPipeline.
+func EngineFusedTbIPipeline(m *plan.Memo, edges engine.Source[graph.Edge]) engine.Source[Unit] {
+	paths := EngineFusedPathsPipeline(m, edges)
+	n := plan.Node{Key: "tbi", Op: "rotate+intersect+unit", Inputs: []string{pathsKey()}}
+	return plan.Shared(m, n, func() engine.Source[Unit] {
+		rotated := engine.Select(paths, func(p Path) Path { return p.Rotate() })
+		triangles := engine.Intersect[Path](rotated, paths)
+		s := engine.Select(triangles, func(Path) Unit { return Unit{} })
+		plan.Count[Unit](m, s)
+		return s
+	})
+}
+
+// EngineFusedTbDPipeline mirrors FusedTbDPipeline.
+func EngineFusedTbDPipeline(m *plan.Memo, edges engine.Source[graph.Edge], bucket int) engine.Source[DegTriple] {
+	abc := EngineFusedPathDegPipeline(m, edges, bucket)
+	n := plan.Node{Key: tbdKey(bucket), Op: "rotations+2joins+sorttriple", Inputs: []string{pathDegKey(bucket)}}
+	return plan.Shared(m, n, func() engine.Source[DegTriple] {
+		bca := engine.Select[PathDeg](abc, func(x PathDeg) PathDeg {
+			return PathDeg{x.Path.Rotate(), x.Deg}
+		})
+		cab := engine.Select(bca, func(x PathDeg) PathDeg {
+			return PathDeg{x.Path.Rotate(), x.Deg}
+		})
+		two := engine.Join[PathDeg, PathDeg, Path, PathDeg2](abc, bca,
+			func(x PathDeg) Path { return x.Path },
+			func(y PathDeg) Path { return y.Path },
+			func(x, y PathDeg) PathDeg2 { return PathDeg2{Path: x.Path, D1: x.Deg, D2: y.Deg} })
+		s := engine.Join[PathDeg2, PathDeg, Path, DegTriple](two, cab,
+			func(x PathDeg2) Path { return x.Path },
+			func(y PathDeg) Path { return y.Path },
+			func(x PathDeg2, y PathDeg) DegTriple { return SortTriple(x.D1, x.D2, y.Deg) })
+		plan.Count[DegTriple](m, s)
+		return s
+	})
+}
+
+// EngineFusedJDDPipeline mirrors FusedJDDPipeline.
+func EngineFusedJDDPipeline(m *plan.Memo, edges engine.Source[graph.Edge]) engine.Source[DegPair] {
+	degs := EngineFusedDegreesPipeline(m, edges, 1)
+	n := plan.Node{Key: "jdd", Op: "join(degrees,edges)+selfjoin", Inputs: []string{degreesKey(1), "edges"}}
+	return plan.Shared(m, n, func() engine.Source[DegPair] {
+		temp := engine.Join(degs, edges,
+			func(d weighted.Grouped[graph.Node, int]) graph.Node { return d.Key },
+			func(e graph.Edge) graph.Node { return e.Src },
+			func(d weighted.Grouped[graph.Node, int], e graph.Edge) EdgeDeg {
+				return EdgeDeg{Edge: e, Deg: d.Result}
+			})
+		s := engine.Join[EdgeDeg, EdgeDeg, graph.Edge, DegPair](temp, temp,
+			func(x EdgeDeg) graph.Edge { return x.Edge },
+			func(y EdgeDeg) graph.Edge { return y.Edge.Reverse() },
+			func(x, y EdgeDeg) DegPair { return DegPair{DA: x.Deg, DB: y.Deg} })
+		plan.Count[DegPair](m, s)
+		return s
+	})
+}
+
+// EngineFusedWedgeCountPipeline mirrors FusedWedgeCountPipeline.
+func EngineFusedWedgeCountPipeline(m *plan.Memo, edges engine.Source[graph.Edge]) engine.Source[Unit] {
+	paths := EngineFusedPathsPipeline(m, edges)
+	n := plan.Node{Key: "wedges", Op: "unit", Inputs: []string{pathsKey()}}
+	return plan.Shared(m, n, func() engine.Source[Unit] {
+		s := engine.Select(paths, func(Path) Unit { return Unit{} })
+		plan.Count[Unit](m, s)
+		return s
+	})
+}
+
+// engineFusedEmbeddings mirrors fusedEmbeddings.
+func engineFusedEmbeddings(m *plan.Memo, edges engine.Source[graph.Edge], p Pattern) (engine.Source[Embedding], error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := plan.Node{Key: motifEmbKey(p), Op: "embedding-joins", Inputs: []string{"edges"}}
+	return plan.Shared(m, n, func() engine.Source[Embedding] {
+		emb, err := engineEmbeddings(edges, p)
+		if err != nil {
+			// Validate passed above; engineEmbeddings re-validates only.
+			panic(err)
+		}
+		plan.Count[Embedding](m, emb)
+		return emb
+	}), nil
+}
+
+// EngineFusedMotifByDegreePipeline mirrors FusedMotifByDegreePipeline.
+func EngineFusedMotifByDegreePipeline(m *plan.Memo, edges engine.Source[graph.Edge], p Pattern, bucket int) (engine.Source[DegProfile], error) {
+	emb, err := engineFusedEmbeddings(m, edges, p)
+	if err != nil {
+		return nil, err
+	}
+	degs := EngineFusedDegreesPipeline(m, edges, bucket)
+	n := plan.Node{
+		Key:    motifDegKey(p, bucket),
+		Op:     "per-vertex degree joins+sortprofile",
+		Inputs: []string{motifEmbKey(p), degreesKey(bucket)},
+	}
+	return plan.Shared(m, n, func() engine.Source[DegProfile] {
+		var cur engine.Source[embDegs] = engine.Select[Embedding, embDegs](emb,
+			func(e Embedding) embDegs { return embDegs{Emb: e} })
+		for v := 0; v < p.K; v++ {
+			v := v
+			cur = engine.Join[embDegs, weighted.Grouped[graph.Node, int], graph.Node, embDegs](cur, degs,
+				func(x embDegs) graph.Node { return x.Emb[v] },
+				func(d weighted.Grouped[graph.Node, int]) graph.Node { return d.Key },
+				func(x embDegs, d weighted.Grouped[graph.Node, int]) embDegs {
+					x.Degs[v] = d.Result
+					return x
+				})
+		}
+		k := p.K
+		s := engine.Select[embDegs, DegProfile](cur,
+			func(x embDegs) DegProfile { return sortProfile(x.Degs[:k]) })
+		plan.Count[DegProfile](m, s)
+		return s
+	}), nil
+}

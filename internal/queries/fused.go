@@ -1,0 +1,242 @@
+package queries
+
+import (
+	"fmt"
+	"strings"
+
+	"wpinq/internal/graph"
+	"wpinq/internal/incremental"
+	"wpinq/internal/plan"
+	"wpinq/internal/weighted"
+)
+
+// Fused pipeline builders over the serial incremental executor: the same
+// dataflow shapes as pipelines.go, but every reusable fragment (the
+// length-two-path join, the degree GroupBy, the path-degree join, motif
+// embedding chains) is requested through a plan.Memo, so pipelines built
+// on the same memo share their common prefixes — one fused DAG with
+// fan-out at the divergence points instead of N private copies. With a
+// non-fusing memo the builders construct the exact operator graphs of
+// the plain builders, in the same order, which is what makes fused and
+// unfused plans differentially comparable.
+//
+// Fragment keys canonicalize every parameter that changes the operator
+// subgraph (bucket width, pattern shape); two requests share a fragment
+// exactly when their subgraphs are identical.
+
+// fusedBucket canonicalizes the degree bucket width for fragment
+// identity: widths <= 1 all leave degrees unbucketed, so they name one
+// fragment.
+func fusedBucket(bucket int) int {
+	if bucket > 1 {
+		return bucket
+	}
+	return 1
+}
+
+// Fragment key constructors, shared by the serial and engine fused
+// builders so the two executors produce structurally identical DAGs.
+func pathsKey() string             { return "paths" }
+func degreesKey(bucket int) string { return fmt.Sprintf("degrees/b=%d", fusedBucket(bucket)) }
+func pathDegKey(bucket int) string { return fmt.Sprintf("pathdeg/b=%d", fusedBucket(bucket)) }
+func tbdKey(bucket int) string     { return fmt.Sprintf("tbd/b=%d", fusedBucket(bucket)) }
+func motifEmbKey(p Pattern) string { return "motif-emb/" + p.fragmentKey() }
+func motifDegKey(p Pattern, bucket int) string {
+	return fmt.Sprintf("motif-deg/%s/b=%d", p.fragmentKey(), fusedBucket(bucket))
+}
+
+// fragmentKey returns the canonical fusion identity of a pattern: the
+// vertex count and the edge list in declared order and orientation.
+// Edge order is part of the identity because the compiled join plan —
+// and with it the data-dependent motif weights — depends on it.
+func (p Pattern) fragmentKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "k%d", p.K)
+	for _, e := range p.Edges {
+		fmt.Fprintf(&b, ":%d-%d", e[0], e[1])
+	}
+	return b.String()
+}
+
+// FusedPathsPipeline is PathsPipeline requested through the memo.
+func FusedPathsPipeline(m *plan.Memo, edges incremental.Source[graph.Edge]) incremental.Source[Path] {
+	n := plan.Node{Key: pathsKey(), Op: "join(edges,edges)+where(a!=c)", Inputs: []string{"edges"}}
+	return plan.Shared(m, n, func() incremental.Source[Path] {
+		s := PathsPipeline(edges)
+		plan.Count(m, s)
+		return s
+	})
+}
+
+// FusedDegreesPipeline is DegreesPipeline requested through the memo.
+func FusedDegreesPipeline(m *plan.Memo, edges incremental.Source[graph.Edge], bucket int) incremental.Source[weighted.Grouped[graph.Node, int]] {
+	n := plan.Node{Key: degreesKey(bucket), Op: "groupby(src,deg)", Inputs: []string{"edges"}}
+	return plan.Shared(m, n, func() incremental.Source[weighted.Grouped[graph.Node, int]] {
+		s := DegreesPipeline(edges, bucket)
+		plan.Count(m, s)
+		return s
+	})
+}
+
+// FusedPathDegPipeline is the paths-with-center-degree join (TbD's and
+// SbD's "abc" prefix) requested through the memo.
+func FusedPathDegPipeline(m *plan.Memo, edges incremental.Source[graph.Edge], bucket int) incremental.Source[PathDeg] {
+	paths := FusedPathsPipeline(m, edges)
+	degs := FusedDegreesPipeline(m, edges, bucket)
+	n := plan.Node{Key: pathDegKey(bucket), Op: "join(paths,degrees)", Inputs: []string{pathsKey(), degreesKey(bucket)}}
+	return plan.Shared(m, n, func() incremental.Source[PathDeg] {
+		s := incremental.Join(paths, degs,
+			func(p Path) graph.Node { return p.B },
+			func(d weighted.Grouped[graph.Node, int]) graph.Node { return d.Key },
+			func(p Path, d weighted.Grouped[graph.Node, int]) PathDeg {
+				return PathDeg{Path: p, Deg: d.Result}
+			})
+		plan.Count(m, s)
+		return s
+	})
+}
+
+// FusedTbIPipeline is TbIPipeline with its paths prefix requested
+// through the memo; the rotate/intersect suffix is tbi's own branch.
+func FusedTbIPipeline(m *plan.Memo, edges incremental.Source[graph.Edge]) incremental.Source[Unit] {
+	paths := FusedPathsPipeline(m, edges)
+	n := plan.Node{Key: "tbi", Op: "rotate+intersect+unit", Inputs: []string{pathsKey()}}
+	return plan.Shared(m, n, func() incremental.Source[Unit] {
+		rotated := incremental.Select(paths, func(p Path) Path { return p.Rotate() })
+		triangles := incremental.Intersect[Path](rotated, paths)
+		s := incremental.Select(triangles, func(Path) Unit { return Unit{} })
+		plan.Count(m, s)
+		return s
+	})
+}
+
+// FusedTbDPipeline is TbDPipeline with the paths, degrees, and
+// path-degree prefixes requested through the memo.
+func FusedTbDPipeline(m *plan.Memo, edges incremental.Source[graph.Edge], bucket int) incremental.Source[DegTriple] {
+	abc := FusedPathDegPipeline(m, edges, bucket)
+	n := plan.Node{Key: tbdKey(bucket), Op: "rotations+2joins+sorttriple", Inputs: []string{pathDegKey(bucket)}}
+	return plan.Shared(m, n, func() incremental.Source[DegTriple] {
+		bca := incremental.Select[PathDeg](abc, func(x PathDeg) PathDeg {
+			return PathDeg{x.Path.Rotate(), x.Deg}
+		})
+		cab := incremental.Select(bca, func(x PathDeg) PathDeg {
+			return PathDeg{x.Path.Rotate(), x.Deg}
+		})
+		two := incremental.Join[PathDeg, PathDeg, Path, PathDeg2](abc, bca,
+			func(x PathDeg) Path { return x.Path },
+			func(y PathDeg) Path { return y.Path },
+			func(x, y PathDeg) PathDeg2 { return PathDeg2{Path: x.Path, D1: x.Deg, D2: y.Deg} })
+		s := incremental.Join[PathDeg2, PathDeg, Path, DegTriple](two, cab,
+			func(x PathDeg2) Path { return x.Path },
+			func(y PathDeg) Path { return y.Path },
+			func(x PathDeg2, y PathDeg) DegTriple { return SortTriple(x.D1, x.D2, y.Deg) })
+		plan.Count(m, s)
+		return s
+	})
+}
+
+// FusedJDDPipeline is JDDPipeline with its unbucketed-degrees prefix
+// requested through the memo.
+func FusedJDDPipeline(m *plan.Memo, edges incremental.Source[graph.Edge]) incremental.Source[DegPair] {
+	degs := FusedDegreesPipeline(m, edges, 1)
+	n := plan.Node{Key: "jdd", Op: "join(degrees,edges)+selfjoin", Inputs: []string{degreesKey(1), "edges"}}
+	return plan.Shared(m, n, func() incremental.Source[DegPair] {
+		temp := incremental.Join(degs, edges,
+			func(d weighted.Grouped[graph.Node, int]) graph.Node { return d.Key },
+			func(e graph.Edge) graph.Node { return e.Src },
+			func(d weighted.Grouped[graph.Node, int], e graph.Edge) EdgeDeg {
+				return EdgeDeg{Edge: e, Deg: d.Result}
+			})
+		s := incremental.Join[EdgeDeg, EdgeDeg, graph.Edge, DegPair](temp, temp,
+			func(x EdgeDeg) graph.Edge { return x.Edge },
+			func(y EdgeDeg) graph.Edge { return y.Edge.Reverse() },
+			func(x, y EdgeDeg) DegPair { return DegPair{DA: x.Deg, DB: y.Deg} })
+		plan.Count(m, s)
+		return s
+	})
+}
+
+// FusedWedgeCountPipeline is WedgeCountPipeline with its paths prefix
+// requested through the memo.
+func FusedWedgeCountPipeline(m *plan.Memo, edges incremental.Source[graph.Edge]) incremental.Source[Unit] {
+	paths := FusedPathsPipeline(m, edges)
+	n := plan.Node{Key: "wedges", Op: "unit", Inputs: []string{pathsKey()}}
+	return plan.Shared(m, n, func() incremental.Source[Unit] {
+		s := incremental.Select(paths, func(Path) Unit { return Unit{} })
+		plan.Count(m, s)
+		return s
+	})
+}
+
+// fusedEmbeddings requests the pattern's compiled embedding chain
+// through the memo: two motif workloads over the same pattern share the
+// whole chain.
+func fusedEmbeddings(m *plan.Memo, edges incremental.Source[graph.Edge], p Pattern) (incremental.Source[Embedding], error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := plan.Node{Key: motifEmbKey(p), Op: "embedding-joins", Inputs: []string{"edges"}}
+	return plan.Shared(m, n, func() incremental.Source[Embedding] {
+		first, steps := p.compile()
+		var emb incremental.Source[Embedding] = incremental.Select(edges, func(e graph.Edge) Embedding {
+			out := emptyEmbedding()
+			out[first[0]] = e.Src
+			out[first[1]] = e.Dst
+			return out
+		})
+		for _, s := range steps {
+			s := s
+			if s.Closing {
+				emb = incremental.Join[Embedding, graph.Edge, anchorKey, Embedding](emb, edges,
+					func(e Embedding) anchorKey { return anchorKey{e[s.U], e[s.V]} },
+					func(ed graph.Edge) anchorKey { return anchorKey{ed.Src, ed.Dst} },
+					func(e Embedding, _ graph.Edge) Embedding { return e })
+				continue
+			}
+			joined := incremental.Join[Embedding, graph.Edge, anchorKey, Embedding](emb, edges,
+				func(e Embedding) anchorKey { return anchorKey{e[s.U], -1} },
+				func(ed graph.Edge) anchorKey { return anchorKey{ed.Src, -1} },
+				func(e Embedding, ed graph.Edge) Embedding {
+					e[s.V] = ed.Dst
+					return e
+				})
+			emb = incremental.Where[Embedding](joined, injective)
+		}
+		plan.Count(m, emb)
+		return emb
+	}), nil
+}
+
+// FusedMotifByDegreePipeline is MotifByDegreePipeline with the
+// embedding chain and the degrees prefix requested through the memo.
+func FusedMotifByDegreePipeline(m *plan.Memo, edges incremental.Source[graph.Edge], p Pattern, bucket int) (incremental.Source[DegProfile], error) {
+	emb, err := fusedEmbeddings(m, edges, p)
+	if err != nil {
+		return nil, err
+	}
+	degs := FusedDegreesPipeline(m, edges, bucket)
+	n := plan.Node{
+		Key:    motifDegKey(p, bucket),
+		Op:     "per-vertex degree joins+sortprofile",
+		Inputs: []string{motifEmbKey(p), degreesKey(bucket)},
+	}
+	return plan.Shared(m, n, func() incremental.Source[DegProfile] {
+		var cur incremental.Source[embDegs] = incremental.Select[Embedding, embDegs](emb,
+			func(e Embedding) embDegs { return embDegs{Emb: e} })
+		for v := 0; v < p.K; v++ {
+			v := v
+			cur = incremental.Join[embDegs, weighted.Grouped[graph.Node, int], graph.Node, embDegs](cur, degs,
+				func(x embDegs) graph.Node { return x.Emb[v] },
+				func(d weighted.Grouped[graph.Node, int]) graph.Node { return d.Key },
+				func(x embDegs, d weighted.Grouped[graph.Node, int]) embDegs {
+					x.Degs[v] = d.Result
+					return x
+				})
+		}
+		k := p.K
+		s := incremental.Select[embDegs, DegProfile](cur,
+			func(x embDegs) DegProfile { return sortProfile(x.Degs[:k]) })
+		plan.Count(m, s)
+		return s
+	}), nil
+}

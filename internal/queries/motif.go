@@ -108,16 +108,35 @@ type planStep struct {
 }
 
 // compile orders the pattern edges so every step anchors on an
-// already-embedded vertex. Validate must pass first.
+// already-embedded vertex, choosing the order greedily by cheap
+// structural heuristics (janus-datalog style, no statistics):
+//
+//   - a cycle-closing edge always goes first — closing is a
+//     semijoin-shaped shave that only ever removes partial embeddings,
+//     so running it before the next extension keeps every later join's
+//     input smaller;
+//   - among extensions, pick the one whose new vertex has the most
+//     pattern edges into the already-embedded set — the vertex that
+//     unlocks the most closings soonest;
+//   - ties break on declaration order, keeping compilation
+//     deterministic (the plan is part of a motif workload's identity:
+//     its data-dependent weights depend on join order).
+//
+// Validate must pass first.
 func (p Pattern) compile() (first [2]int, steps []planStep) {
 	assigned := make([]bool, p.K)
 	used := make([]bool, len(p.Edges))
+	adj := make([][]int, p.K)
+	for _, e := range p.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
 	first = p.Edges[0]
 	used[0] = true
 	assigned[first[0]] = true
 	assigned[first[1]] = true
-	for done := 1; done < len(p.Edges); {
-		progressed := false
+	for done := 1; done < len(p.Edges); done++ {
+		best, bestScore, closing := -1, -1, false
 		for i, e := range p.Edges {
 			if used[i] {
 				continue
@@ -125,23 +144,43 @@ func (p Pattern) compile() (first [2]int, steps []planStep) {
 			u, v := e[0], e[1]
 			switch {
 			case assigned[u] && assigned[v]:
-				steps = append(steps, planStep{U: u, V: v, Closing: true})
-			case assigned[u]:
-				steps = append(steps, planStep{U: u, V: v})
-				assigned[v] = true
-			case assigned[v]:
-				steps = append(steps, planStep{U: v, V: u})
-				assigned[u] = true
-			default:
-				continue
+				if !closing {
+					best, closing = i, true
+				}
+			case assigned[u] || assigned[v]:
+				if closing {
+					continue
+				}
+				w := v
+				if assigned[v] {
+					w = u
+				}
+				score := 0
+				for _, x := range adj[w] {
+					if assigned[x] {
+						score++
+					}
+				}
+				if score > bestScore {
+					best, bestScore = i, score
+				}
 			}
-			used[i] = true
-			done++
-			progressed = true
 		}
-		if !progressed {
+		if best < 0 {
 			// Unreachable for validated (connected) patterns.
 			panic("queries: pattern compilation stalled")
+		}
+		e := p.Edges[best]
+		used[best] = true
+		switch u, v := e[0], e[1]; {
+		case closing:
+			steps = append(steps, planStep{U: u, V: v, Closing: true})
+		case assigned[u]:
+			steps = append(steps, planStep{U: u, V: v})
+			assigned[v] = true
+		default:
+			steps = append(steps, planStep{U: v, V: u})
+			assigned[u] = true
 		}
 	}
 	return first, steps

@@ -61,6 +61,11 @@ type JobRequest struct {
 	// only meaningful when the job runs more than one chain). For
 	// multi-chain jobs it also sets the progress/cancellation cadence.
 	SwapEvery int `json:"swapEvery,omitempty"`
+	// Fuse overrides the service's default multi-workload plan fusion
+	// setting for this job (synth.Config.NoFuse is its negation). Nil
+	// uses the service default; false fits each workload on a private
+	// pipeline.
+	Fuse *bool `json:"fuse,omitempty"`
 }
 
 // JobStatus is the pollable view of one job.
@@ -74,6 +79,7 @@ type JobStatus struct {
 	AcceptRate  float64 `json:"acceptRate"`
 	Score       float64 `json:"score"`
 	Shards      int     `json:"shards"`
+	Fused       bool    `json:"fused"`
 	Seed        int64   `json:"seed"`
 	SeedNodes   int     `json:"seedNodes,omitempty"`
 	SeedEdges   int     `json:"seedEdges,omitempty"`
@@ -111,6 +117,7 @@ type JobManager struct {
 	store         *Store
 	defaultShards int
 	defaultChains int
+	defaultNoFuse bool
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -124,8 +131,10 @@ type JobManager struct {
 
 // NewJobManager starts workers goroutines consuming the job queue.
 // defaultChains is the replica-exchange chain count applied to jobs that
-// do not set one (values below 1 mean a single chain).
-func NewJobManager(store *Store, defaultShards, defaultChains, workers int) *JobManager {
+// do not set one (values below 1 mean a single chain). defaultNoFuse
+// disables multi-workload plan fusion for jobs that do not set
+// JobRequest.Fuse.
+func NewJobManager(store *Store, defaultShards, defaultChains, workers int, defaultNoFuse bool) *JobManager {
 	if workers < 1 {
 		workers = 1
 	}
@@ -136,6 +145,7 @@ func NewJobManager(store *Store, defaultShards, defaultChains, workers int) *Job
 		store:         store,
 		defaultShards: defaultShards,
 		defaultChains: defaultChains,
+		defaultNoFuse: defaultNoFuse,
 		jobs:          make(map[string]*Job),
 		queue:         make(chan *Job, jobQueueDepth),
 		quit:          make(chan struct{}),
@@ -221,8 +231,14 @@ func (jm *JobManager) Submit(req JobRequest) (JobStatus, error) {
 		return JobStatus{}, fmt.Errorf("job SwapEvery must be non-negative, got %d", req.SwapEvery)
 	}
 
+	fuse := !jm.defaultNoFuse
+	if req.Fuse != nil {
+		fuse = *req.Fuse
+	}
+
 	run := req
 	run.Shards = &shards
+	run.Fuse = &fuse
 	jm.mu.Lock()
 	jm.nextID++
 	j := &Job{
@@ -233,6 +249,7 @@ func (jm *JobManager) Submit(req JobRequest) (JobStatus, error) {
 			State:       JobQueued,
 			Steps:       req.Steps,
 			Shards:      shards,
+			Fused:       fuse,
 			Seed:        req.Seed,
 		},
 		done: make(chan struct{}),
@@ -398,6 +415,7 @@ func (jm *JobManager) run(j *Job) {
 		ProgressEvery: req.ProgressEvery,
 		Chains:        req.Chains,
 		SwapEvery:     req.SwapEvery,
+		NoFuse:        !*req.Fuse,
 		OnProgress: func(p synth.Progress) bool {
 			j.mu.Lock()
 			j.status.Step = p.Step

@@ -50,6 +50,10 @@ type Options struct {
 	// hardware: GOMAXPROCS divided by the CPUs each job's executor
 	// uses, and at least 1.
 	Workers int
+	// NoFuse disables multi-workload plan fusion by default for
+	// synthesis jobs (synth.Config.NoFuse semantics). Individual jobs
+	// may override it via JobRequest.Fuse.
+	NoFuse bool
 	// Seed is the base for deriving per-request noise/MCMC seeds when a
 	// request does not supply one. Defaults to 1.
 	Seed int64
@@ -87,7 +91,7 @@ func New(opts Options) (*Service, error) {
 		store:    st,
 		registry: NewRegistry(),
 	}
-	s.jobs = NewJobManager(st, opts.Shards, opts.Chains, workerCount(opts))
+	s.jobs = NewJobManager(st, opts.Shards, opts.Chains, workerCount(opts), opts.NoFuse)
 	return s, nil
 }
 

@@ -42,9 +42,10 @@ func TestJDDFitImprovesScore(t *testing.T) {
 	}
 	// Measure seed chosen for a landscape where the annealed walk finds
 	// improvement across executor traces (the memoized noise for
-	// never-observed records is drawn in first-touch order, so the
-	// landscape away from the seed is trace-sensitive; some noise draws
-	// leave the seed in a local optimum this short walk cannot escape).
+	// never-observed records is record-keyed by the measurement's salt,
+	// so the landscape away from the seed depends on the measurement
+	// seed; some salts leave the seed in a local optimum this short walk
+	// cannot escape).
 	m, err := Measure(g, Config{Eps: 4.0, Workloads: []string{"jdd"}}, testRng(44))
 	if err != nil {
 		t.Fatal(err)
@@ -70,9 +71,9 @@ func TestJDDFitImprovesScore(t *testing.T) {
 	}
 	// Assert on the best score the walk reaches, not on wherever the
 	// still-warm walk happens to sit at the final step: the memoized
-	// NoisyCount noise for never-observed records is drawn in first-
-	// touch order, so the score landscape away from the seed legitimately
-	// varies between runs (and between executors), and the final-step
+	// NoisyCount noise for never-observed records is record-keyed by the
+	// measurement salt, so the score landscape away from the seed
+	// legitimately varies with the measurement seed, and the final-step
 	// score with it.
 	best := math.Inf(1)
 	fit.OnStep = func(step int, accepted bool, score float64) {

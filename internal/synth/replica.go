@@ -46,7 +46,7 @@ func synthesizeReplicas(m *Measurements, seed *graph.Graph, cfg Config, names []
 	states := make([]*mcmc.GraphState, cfg.Chains)
 	for i := range runners {
 		chainRng := rand.New(rand.NewSource(rng.Int63()))
-		plan := workload.NewPlan(shards)
+		plan := workload.NewPlanFused(shards, !cfg.NoFuse)
 		for _, name := range names {
 			fit, ok := m.Fits[name]
 			if !ok {

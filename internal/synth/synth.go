@@ -119,6 +119,13 @@ type Config struct {
 	// scoring") — the dominant cost saving in high-Pow and
 	// replica-exchange (cold chain) regimes where most steps reject.
 	Shards int
+	// NoFuse disables multi-workload plan fusion: each workload gets its
+	// own private pipeline, as in pre-fusion releases. The default
+	// (false) fuses shared operator prefixes across the configured
+	// workloads into one DAG (DESIGN.md "Plan fusion"), so per-proposal
+	// propagation cost scales with the merged DAG rather than the
+	// workload count.
+	NoFuse bool
 }
 
 // Validate fills defaults and rejects inconsistent configurations.
@@ -449,7 +456,7 @@ func Synthesize(m *Measurements, seed *graph.Graph, cfg Config, rng *rand.Rand) 
 	if cfg.Chains > 1 {
 		return synthesizeReplicas(m, seed, cfg, names, rng)
 	}
-	plan := workload.NewPlan(cfg.Shards)
+	plan := workload.NewPlanFused(cfg.Shards, !cfg.NoFuse)
 	for _, name := range names {
 		fit, ok := m.Fits[name]
 		if !ok {

@@ -5,6 +5,7 @@ import (
 	"wpinq/internal/engine"
 	"wpinq/internal/graph"
 	"wpinq/internal/incremental"
+	"wpinq/internal/plan"
 	"wpinq/internal/queries"
 )
 
@@ -33,6 +34,12 @@ func init() {
 		Engine: func(edges engine.Source[graph.Edge], _ int) engine.Source[queries.Unit] {
 			return queries.EngineTbIPipeline(edges)
 		},
+		SerialFused: func(m *plan.Memo, edges incremental.Source[graph.Edge], _ int) incremental.Source[queries.Unit] {
+			return queries.FusedTbIPipeline(m, edges)
+		},
+		EngineFused: func(m *plan.Memo, edges engine.Source[graph.Edge], _ int) engine.Source[queries.Unit] {
+			return queries.EngineFusedTbIPipeline(m, edges)
+		},
 	}))
 
 	MustRegister(Define[queries.DegTriple](Workload{
@@ -41,9 +48,11 @@ func init() {
 		Uses:        9,
 		Bucketed:    true,
 	}, Builders[queries.DegTriple]{
-		Query:  queries.TbD,
-		Serial: queries.TbDPipeline,
-		Engine: queries.EngineTbDPipeline,
+		Query:       queries.TbD,
+		Serial:      queries.TbDPipeline,
+		Engine:      queries.EngineTbDPipeline,
+		SerialFused: queries.FusedTbDPipeline,
+		EngineFused: queries.EngineFusedTbDPipeline,
 	}))
 
 	MustRegister(Define[queries.DegPair](Workload{
@@ -60,6 +69,12 @@ func init() {
 		Engine: func(edges engine.Source[graph.Edge], _ int) engine.Source[queries.DegPair] {
 			return queries.EngineJDDPipeline(edges)
 		},
+		SerialFused: func(m *plan.Memo, edges incremental.Source[graph.Edge], _ int) incremental.Source[queries.DegPair] {
+			return queries.FusedJDDPipeline(m, edges)
+		},
+		EngineFused: func(m *plan.Memo, edges engine.Source[graph.Edge], _ int) engine.Source[queries.DegPair] {
+			return queries.EngineFusedJDDPipeline(m, edges)
+		},
 	}))
 
 	MustRegister(Define[queries.Unit](Workload{
@@ -75,6 +90,12 @@ func init() {
 		},
 		Engine: func(edges engine.Source[graph.Edge], _ int) engine.Source[queries.Unit] {
 			return queries.EngineWedgeCountPipeline(edges)
+		},
+		SerialFused: func(m *plan.Memo, edges incremental.Source[graph.Edge], _ int) incremental.Source[queries.Unit] {
+			return queries.FusedWedgeCountPipeline(m, edges)
+		},
+		EngineFused: func(m *plan.Memo, edges engine.Source[graph.Edge], _ int) engine.Source[queries.Unit] {
+			return queries.EngineFusedWedgeCountPipeline(m, edges)
 		},
 	}))
 
@@ -97,6 +118,12 @@ func init() {
 		},
 		Engine: func(edges engine.Source[graph.Edge], bucket int) engine.Source[queries.DegProfile] {
 			return mustPlan(queries.EngineMotifByDegreePipeline(edges, queries.StarPattern4, bucket))
+		},
+		SerialFused: func(m *plan.Memo, edges incremental.Source[graph.Edge], bucket int) incremental.Source[queries.DegProfile] {
+			return mustPlan(queries.FusedMotifByDegreePipeline(m, edges, queries.StarPattern4, bucket))
+		},
+		EngineFused: func(m *plan.Memo, edges engine.Source[graph.Edge], bucket int) engine.Source[queries.DegProfile] {
+			return mustPlan(queries.EngineFusedMotifByDegreePipeline(m, edges, queries.StarPattern4, bucket))
 		},
 	}))
 }

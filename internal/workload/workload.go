@@ -33,6 +33,7 @@ import (
 	"wpinq/internal/engine"
 	"wpinq/internal/graph"
 	"wpinq/internal/incremental"
+	"wpinq/internal/plan"
 	"wpinq/internal/weighted"
 )
 
@@ -203,18 +204,30 @@ func (w Workload) Exact(g *graph.Graph, bucket int) (map[string]float64, error) 
 // input root plus the scorer the attached sinks feed. Shards semantics
 // match synth.Config.Shards: -1 selects the serial reference engine,
 // 0 the sharded executor with one shard per CPU, >0 an explicit count.
+//
+// Every plan carries a plan.Memo: workloads that register fused
+// builders request their pipeline fragments through it, so attaching
+// several workloads to one fusing plan builds a single DAG that shares
+// operator prefixes (NewPlan default). A non-fusing plan (NewPlanFused
+// with fuse false) builds every workload its private pipeline — the
+// pre-fusion behavior, kept as the differential baseline.
 type Plan struct {
 	serial *incremental.Input[graph.Edge]
 	eng    *engine.Engine
 	engIn  *engine.Input[graph.Edge]
 	scorer *incremental.Scorer
+	memo   *plan.Memo
 }
 
-// NewPlan returns an empty plan on the selected executor. Attach every
-// workload before pushing data through Input (both engines require
-// subscriptions to complete before the first push).
-func NewPlan(shards int) *Plan {
-	p := &Plan{scorer: incremental.NewScorer()}
+// NewPlan returns an empty fusing plan on the selected executor. Attach
+// every workload before pushing data through Input (both engines
+// require subscriptions to complete before the first push).
+func NewPlan(shards int) *Plan { return NewPlanFused(shards, true) }
+
+// NewPlanFused is NewPlan with explicit control over prefix fusion:
+// fuse false builds per-workload pipelines (the -fuse=false baseline).
+func NewPlanFused(shards int, fuse bool) *Plan {
+	p := &Plan{scorer: incremental.NewScorer(), memo: plan.New(fuse)}
 	if shards < 0 {
 		p.serial = incremental.NewInput[graph.Edge]()
 		return p
@@ -223,6 +236,10 @@ func NewPlan(shards int) *Plan {
 	p.engIn = engine.NewInput[graph.Edge](p.eng)
 	return p
 }
+
+// Fusion returns the plan's fusion memo: the fused DAG, sharing stats,
+// and the per-fragment propagation counter.
+func (p *Plan) Fusion() *plan.Memo { return p.memo }
 
 // Input returns the plan's edge-difference entry point.
 func (p *Plan) Input() Input {
@@ -242,6 +259,13 @@ func (p *Plan) Engine() *engine.Engine { return p.eng }
 // Builders supplies the three executions of one query plan for record
 // type T. The bucket argument is the degree bucket width; workloads
 // that do not use it receive 0 and must ignore it.
+//
+// SerialFused and EngineFused are optional memo-aware variants of
+// Serial and Engine: they request reusable pipeline fragments through
+// the plan's fusion memo (see wpinq/internal/plan and the Fused*
+// builders in wpinq/internal/queries), so several workloads attached to
+// one plan share their common operator prefixes. A workload without
+// fused builders still works on every plan — it just never shares.
 type Builders[T comparable] struct {
 	// Query is the one-shot measurement form over core.Collection.
 	Query func(edges *core.Collection[graph.Edge], bucket int) *core.Collection[T]
@@ -249,6 +273,10 @@ type Builders[T comparable] struct {
 	Serial func(edges incremental.Source[graph.Edge], bucket int) incremental.Source[T]
 	// Engine is the same pipeline on the sharded parallel executor.
 	Engine func(edges engine.Source[graph.Edge], bucket int) engine.Source[T]
+	// SerialFused is Serial requesting fragments through the memo.
+	SerialFused func(m *plan.Memo, edges incremental.Source[graph.Edge], bucket int) incremental.Source[T]
+	// EngineFused is Engine requesting fragments through the memo.
+	EngineFused func(m *plan.Memo, edges engine.Source[graph.Edge], bucket int) engine.Source[T]
 }
 
 // Define couples a workload's metadata with its typed builders. The
@@ -290,12 +318,20 @@ func (bs builders[T]) load(entries []Entry, eps float64, rng *rand.Rand) (Histog
 	return &typedHist[T]{h: h}, nil
 }
 
-// source builds the workload's pipeline on the plan's executor. Engine
-// streams implement incremental.Source, so both executors return the
-// same stream type and terminate in the same sinks.
+// source builds the workload's pipeline on the plan's executor,
+// preferring the fused builders (which share prefixes through the
+// plan's memo) when the workload registered them. Engine streams
+// implement incremental.Source, so both executors return the same
+// stream type and terminate in the same sinks.
 func (bs builders[T]) source(p *Plan, bucket int) incremental.Source[T] {
 	if p.serial != nil {
+		if bs.b.SerialFused != nil {
+			return bs.b.SerialFused(p.memo, p.serial, bucket)
+		}
 		return bs.b.Serial(p.serial, bucket)
+	}
+	if bs.b.EngineFused != nil {
+		return bs.b.EngineFused(p.memo, p.engIn, bucket)
 	}
 	return bs.b.Engine(p.engIn, bucket)
 }

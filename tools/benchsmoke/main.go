@@ -53,7 +53,7 @@ type event struct {
 var resultRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
 
 func main() {
-	bench := flag.String("bench", "BenchmarkRejectHeavy|BenchmarkChains|BenchmarkEngineShards",
+	bench := flag.String("bench", "BenchmarkRejectHeavy|BenchmarkChains|BenchmarkEngineShards|BenchmarkFusedChains",
 		"benchmark regexp passed to go test -bench")
 	benchtime := flag.String("benchtime", "1x", "benchtime passed to go test")
 	pkgs := flag.String("pkgs", ".", "package pattern to benchmark")

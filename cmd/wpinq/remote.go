@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -22,7 +23,7 @@ import (
 
 func runRemote(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("remote: a verb is required: measure, synthesize, or status")
+		return fmt.Errorf("remote: a verb is required: measure, synthesize, status, audit, or health")
 	}
 	switch args[0] {
 	case "measure":
@@ -31,8 +32,12 @@ func runRemote(args []string) error {
 		return runRemoteSynthesize(args[1:])
 	case "status":
 		return runRemoteStatus(args[1:])
+	case "audit":
+		return runRemoteAudit(args[1:])
+	case "health":
+		return runRemoteHealth(args[1:])
 	}
-	return fmt.Errorf("remote: unknown verb %q (want measure, synthesize, or status)", args[0])
+	return fmt.Errorf("remote: unknown verb %q (want measure, synthesize, status, audit, or health)", args[0])
 }
 
 func runRemoteMeasure(args []string) error {
@@ -157,6 +162,7 @@ func runRemoteSynthesize(args []string) error {
 		fmt.Fprintf(os.Stderr, "remote:   chain %d pow %-8.4g score %.6g accepted %d swaps %d\n",
 			c.Chain, c.Pow, c.Score, c.Accepted, c.Swaps)
 	}
+	printResiduals(os.Stderr, "remote:   ", final.Residuals)
 	g, err := c.JobResult(final.ID)
 	if err != nil {
 		return err
@@ -228,4 +234,85 @@ func printJob(st service.JobStatus) {
 		fmt.Printf(" error: %s", st.Error)
 	}
 	fmt.Println()
+	printResiduals(os.Stdout, "  ", st.Residuals)
+}
+
+// printResiduals renders the per-workload fit-residual breakdown: which
+// workload carries how much of the score, and which bins fit worst.
+func printResiduals(w io.Writer, indent string, residuals []service.WorkloadResidual) {
+	for _, wr := range residuals {
+		fmt.Fprintf(w, "%sresidual %-10s eps %-6g L1 %-12.6g weighted %.6g (%d bins)\n",
+			indent, wr.Workload, wr.Epsilon, wr.L1, wr.Weighted, wr.Bins)
+		for _, b := range wr.Worst {
+			fmt.Fprintf(w, "%s  worst bin %s: released %.4g current %g residual %.4g\n",
+				indent, b.Key, b.Released, b.Current, b.Residual)
+		}
+	}
+}
+
+// runRemoteAudit replays a dataset's provenance chain client-side (see
+// Client.AuditDataset) and reports the verdict; a failed audit is a
+// non-zero exit so scripts and CI can gate on it.
+func runRemoteAudit(args []string) error {
+	fs := flag.NewFlagSet("remote audit", flag.ContinueOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "wpinqd base URL")
+	dataset := fs.String("dataset", "", "dataset ID to audit (empty = every dataset on the server)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c := service.NewClient(*server)
+	ids := []string{*dataset}
+	if *dataset == "" {
+		datasets, err := c.Datasets()
+		if err != nil {
+			return err
+		}
+		ids = ids[:0]
+		for _, d := range datasets {
+			ids = append(ids, d.ID)
+		}
+	}
+	failed := 0
+	for _, id := range ids {
+		rep, err := c.AuditDataset(id)
+		if err != nil {
+			return err
+		}
+		verdict := "OK"
+		if !rep.OK {
+			verdict = "FAILED"
+			failed++
+		}
+		fmt.Printf("audit %s: %s — %d/%d records verified, replayed spend %g (ledger: %g spent of %g)\n",
+			id, verdict, rep.Verified, rep.Records, rep.SpentReplayed, rep.LedgerSpent, rep.LedgerBudget)
+		for _, p := range rep.Problems {
+			fmt.Printf("  problem: %s\n", p)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("remote audit: %d dataset(s) failed", failed)
+	}
+	return nil
+}
+
+func runRemoteHealth(args []string) error {
+	fs := flag.NewFlagSet("remote health", flag.ContinueOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "wpinqd base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	h, err := service.NewClient(*server).Health()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("status:       %s\n", h.Status)
+	if h.Version != "" {
+		fmt.Printf("version:      %s\n", h.Version)
+	}
+	fmt.Printf("go:           %s\n", h.GoVersion)
+	fmt.Printf("uptime:       %s\n", (time.Duration(h.UptimeSeconds * float64(time.Second))).Round(time.Second))
+	fmt.Printf("active jobs:  %d\n", h.ActiveJobs)
+	fmt.Printf("datasets:     %d\n", h.Datasets)
+	fmt.Printf("measurements: %d\n", h.Measurements)
+	return nil
 }

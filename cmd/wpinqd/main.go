@@ -5,23 +5,32 @@
 //
 // Usage:
 //
-//	wpinqd [-addr :8080] [-data DIR] [-shards N] [-chains K] [-workers N] [-fuse] [-seed N]
+//	wpinqd [-addr :8080] [-data DIR] [-shards N] [-chains K] [-workers N]
+//	       [-fuse] [-seed N] [-log-format text|json] [-debug-addr ADDR]
 //
 // The API is documented on service.Handler; `wpinq remote` is the
 // matching command-line client. See README.md, "Serving".
+//
+// Observability: GET /metrics on the main address serves Prometheus-
+// text metrics (engine pushes, MCMC accept/swap rates, HTTP latencies,
+// per-dataset budget gauges). -debug-addr additionally serves the
+// metrics page and net/http/pprof profiles on a separate listener,
+// which keeps profiling endpoints off the public API address.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"wpinq/internal/obs"
 	"wpinq/internal/service"
 )
 
@@ -42,9 +51,22 @@ func run(args []string) error {
 	fuse := fs.Bool("fuse", true,
 		"default plan fusion for synthesis jobs: fuse shared pipeline prefixes across fit workloads")
 	seed := fs.Int64("seed", 1, "base seed for requests that do not supply one")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
+	debugAddr := fs.String("debug-addr", "", "separate listen address for /metrics and /debug/pprof (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return fmt.Errorf("invalid -log-format %q (want text or json)", *logFormat)
+	}
+	logger := slog.New(handler)
 
 	svc, err := service.New(service.Options{
 		Dir:     *data,
@@ -53,6 +75,7 @@ func run(args []string) error {
 		Workers: *workers,
 		NoFuse:  !*fuse,
 		Seed:    *seed,
+		Logger:  logger,
 	})
 	if err != nil {
 		return err
@@ -60,9 +83,16 @@ func run(args []string) error {
 	defer svc.Close()
 
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("wpinqd: serving on %s (measurement store: %s)", *addr, storeDesc(*data))
+	logger.Info("serving", "addr", *addr, "store", storeDesc(*data))
+
+	var debug *http.Server
+	if *debugAddr != "" {
+		debug = &http.Server{Addr: *debugAddr, Handler: debugMux()}
+		go func() { errc <- debug.ListenAndServe() }()
+		logger.Info("debug listener up", "addr", *debugAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -70,11 +100,30 @@ func run(args []string) error {
 	case err := <-errc:
 		return err
 	case s := <-sig:
-		log.Printf("wpinqd: %v, shutting down", s)
+		logger.Info("shutting down", "signal", s.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if debug != nil {
+			debug.Shutdown(ctx)
+		}
 		return srv.Shutdown(ctx)
 	}
+}
+
+// debugMux serves the operator-only surface: the metrics page plus the
+// standard pprof profile endpoints. pprof's handlers are mounted
+// explicitly rather than via the package's DefaultServeMux side effect,
+// so importing this binary's packages never leaks profiling routes
+// onto the public API mux.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", obs.Default.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 func storeDesc(dir string) string {

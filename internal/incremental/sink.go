@@ -197,7 +197,14 @@ func (s *NoisyCountSink[T]) recompute() float64 {
 // Metropolis-Hastings: sum_i eps_i * ||Q_i(A) - m_i||_1. Sinks of different
 // record types are adapted through the SinkScore interface.
 type Scorer struct {
-	sinks []SinkScore
+	sinks []namedSink
+}
+
+// namedSink pairs a sink with the workload name it was attached under,
+// so residual diagnostics can attribute score contributions.
+type namedSink struct {
+	name string
+	s    SinkScore
 }
 
 // SinkScore is the type-erased view of a sink a Scorer needs.
@@ -212,19 +219,29 @@ type SinkScore interface {
 
 // NewScorer builds a scorer over the given sinks.
 func NewScorer(sinks ...SinkScore) *Scorer {
-	return &Scorer{sinks: sinks}
+	sc := &Scorer{}
+	for _, s := range sinks {
+		sc.Add(s)
+	}
+	return sc
 }
 
-// Add registers another sink.
-func (sc *Scorer) Add(s SinkScore) { sc.sinks = append(sc.sinks, s) }
+// Add registers another sink without a workload attribution.
+func (sc *Scorer) Add(s SinkScore) { sc.AddNamed("", s) }
+
+// AddNamed registers a sink attributed to the named workload, so
+// Residuals can report its score contribution by name.
+func (sc *Scorer) AddNamed(name string, s SinkScore) {
+	sc.sinks = append(sc.sinks, namedSink{name: name, s: s})
+}
 
 // Score returns sum_i eps_i * L1_i: lower is a better fit. (The MCMC
 // acceptance test uses score differences, so the posterior is
 // exp(-pow * Score).)
 func (sc *Scorer) Score() float64 {
 	var total float64
-	for _, s := range sc.sinks {
-		total += s.Epsilon() * s.L1()
+	for _, e := range sc.sinks {
+		total += e.s.Epsilon() * e.s.L1()
 	}
 	return total
 }
@@ -233,8 +250,8 @@ func (sc *Scorer) Score() float64 {
 // refreshed score.
 func (sc *Scorer) Recompute() float64 {
 	var total float64
-	for _, s := range sc.sinks {
-		total += s.Epsilon() * s.RecomputeL1()
+	for _, e := range sc.sinks {
+		total += e.s.Epsilon() * e.s.RecomputeL1()
 	}
 	return total
 }

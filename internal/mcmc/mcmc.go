@@ -310,6 +310,10 @@ func (r *Runner) pow() float64 {
 // Score returns the current fit score (lower is better).
 func (r *Runner) Score() float64 { return r.score }
 
+// Scorer returns the scorer the runner scores proposals against, for
+// residual diagnostics over the attached sinks.
+func (r *Runner) Scorer() *incremental.Scorer { return r.scorer }
+
 // State returns the runner's graph state.
 func (r *Runner) State() *GraphState { return r.state }
 
@@ -372,5 +376,6 @@ func (r *Runner) Run(steps int) Stats {
 		r.step++
 	}
 	st.FinalScore = r.score
+	recordRun(st)
 	return st
 }

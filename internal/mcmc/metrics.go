@@ -1,0 +1,46 @@
+package mcmc
+
+import (
+	"strconv"
+
+	"wpinq/internal/obs"
+)
+
+// Sampler metrics. Counters are updated once per Run call (from the
+// already-accumulated Stats) and once per swap round, never inside the
+// per-proposal loop, so instrumentation adds no work to the walk's hot
+// path and cannot perturb seeded traces (it draws nothing from the
+// chain rng).
+var (
+	stepsVec      = obs.Default.CounterVec("wpinq_mcmc_steps_total", "MCMC transitions by outcome.", "outcome")
+	stepsAccepted = stepsVec.With("accepted")
+	stepsRejected = stepsVec.With("rejected")
+	stepsInvalid  = stepsVec.With("invalid")
+	lastScore     = obs.Default.Gauge("wpinq_mcmc_last_score", "Fit score at the end of the most recent Run call (lower is better).")
+
+	swapsVec      = obs.Default.CounterVec("wpinq_mcmc_swaps_total", "Replica-exchange swap proposals between ladder-adjacent chains, by outcome.", "outcome")
+	swapsProposed = swapsVec.With("proposed")
+	swapsAccepted = swapsVec.With("accepted")
+
+	chainScore      = obs.Default.GaugeVec("wpinq_mcmc_chain_score", "Per-chain fit score at the latest swap-round barrier.", "chain")
+	chainAcceptRate = obs.Default.GaugeVec("wpinq_mcmc_chain_accept_rate", "Per-chain cumulative proposal accept rate.", "chain")
+	chainPow        = obs.Default.GaugeVec("wpinq_mcmc_chain_pow", "Per-chain posterior sharpening (ladder rung, moved by accepted swaps).", "chain")
+)
+
+// recordRun publishes one Run call's outcome counts.
+func recordRun(st Stats) {
+	stepsAccepted.Add(float64(st.Accepted))
+	stepsRejected.Add(float64(st.Rejected))
+	stepsInvalid.Add(float64(st.Invalid))
+	lastScore.Set(st.FinalScore)
+}
+
+// recordChains publishes per-chain gauges at a swap-round barrier.
+func recordChains(stats []ChainStats) {
+	for i := range stats {
+		label := strconv.Itoa(stats[i].Chain)
+		chainScore.With(label).Set(stats[i].FinalScore)
+		chainAcceptRate.With(label).Set(stats[i].AcceptRate())
+		chainPow.With(label).Set(stats[i].Pow)
+	}
+}

@@ -143,6 +143,7 @@ func RunReplicas(runners []*Runner, cfg ReplicaConfig, swapRng *rand.Rand) (Repl
 			exchange(runners, stats, ladder, parity, swapRng)
 			parity ^= 1
 		}
+		recordChains(stats)
 		if cfg.OnRound != nil {
 			snap := make([]ChainStats, len(stats))
 			copy(snap, stats)
@@ -178,6 +179,7 @@ func exchange(runners []*Runner, stats []ChainStats, ladder []int, parity int, r
 		a, b := ladder[k], ladder[k+1]
 		stats[a].SwapsProposed++
 		stats[b].SwapsProposed++
+		swapsProposed.Inc()
 		powA, powB := runners[a].cfg.Pow, runners[b].cfg.Pow
 		exponent := (powA - powB) * (runners[a].Score() - runners[b].Score())
 		if rng.Float64() >= math.Exp(math.Min(0, exponent)) {
@@ -187,6 +189,7 @@ func exchange(runners []*Runner, stats []ChainStats, ladder []int, parity int, r
 		stats[a].Pow, stats[b].Pow = powB, powA
 		stats[a].SwapsAccepted++
 		stats[b].SwapsAccepted++
+		swapsAccepted.Inc()
 		ladder[k], ladder[k+1] = b, a
 	}
 }

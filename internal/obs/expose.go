@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SeriesSnapshot is one series' state at snapshot time.
+type SeriesSnapshot struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`            // counters and gauges; histogram sum
+	Count  uint64            `json:"count,omitempty"`  // histograms only
+	Bounds []float64         `json:"bounds,omitempty"` // histograms only
+	Counts []uint64          `json:"counts,omitempty"` // per-bucket, last = overflow
+}
+
+// FamilySnapshot is one metric family's state at snapshot time.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help,omitempty"`
+	Kind   Kind             `json:"kind"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot returns a point-in-time copy of every family and series,
+// sorted by family name then label values. Series values are read
+// atomically but the snapshot as a whole is not a consistent cut —
+// fine for diagnostics, which is all it is for.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind}
+		for _, s := range f.sortedSeries() {
+			ss := SeriesSnapshot{}
+			if len(f.labels) > 0 {
+				ss.Labels = make(map[string]string, len(f.labels))
+				for i, ln := range f.labels {
+					ss.Labels[ln] = s.labelValues[i]
+				}
+			}
+			if f.kind == KindHistogram {
+				ss.Bounds = append([]float64(nil), f.buckets...)
+				ss.Counts = make([]uint64, len(s.counts))
+				var total uint64
+				for i := range s.counts {
+					c := s.counts[i].Load()
+					ss.Counts[i] = c
+					total += c
+				}
+				ss.Count = total
+				ss.Value = math.Float64frombits(s.sumBits.Load())
+			} else {
+				ss.Value = math.Float64frombits(s.bits.Load())
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// sortedSeries returns the family's series sorted by label values.
+func (f *family) sortedSeries() []*series {
+	f.mu.RLock()
+	keys := append([]string(nil), f.order...)
+	all := make([]*series, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		all = append(all, f.series[k])
+	}
+	f.mu.RUnlock()
+	return all
+}
+
+// WriteText writes the registry in Prometheus text exposition format
+// (version 0.0.4) to b. Families and series appear in sorted order so
+// output is deterministic for a fixed registry state.
+func (r *Registry) WriteText(b *strings.Builder) {
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.sortedSeries() {
+			switch f.kind {
+			case KindHistogram:
+				writeHistogram(b, f, s)
+			default:
+				b.WriteString(f.name)
+				writeLabels(b, f.labels, s.labelValues, "")
+				b.WriteByte(' ')
+				b.WriteString(formatValue(math.Float64frombits(s.bits.Load())))
+				b.WriteByte('\n')
+			}
+		}
+	}
+}
+
+// snapshotFamilies returns all families sorted by name.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// writeHistogram emits the cumulative _bucket series plus _sum and
+// _count for one histogram series.
+func writeHistogram(b *strings.Builder, f *family, s *series) {
+	var cum uint64
+	for i, bound := range f.buckets {
+		cum += s.counts[i].Load()
+		b.WriteString(f.name)
+		b.WriteString("_bucket")
+		writeLabels(b, f.labels, s.labelValues, formatValue(bound))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(cum, 10))
+		b.WriteByte('\n')
+	}
+	cum += s.counts[len(f.buckets)].Load()
+	b.WriteString(f.name)
+	b.WriteString("_bucket")
+	writeLabels(b, f.labels, s.labelValues, "+Inf")
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(cum, 10))
+	b.WriteByte('\n')
+	fmt.Fprintf(b, "%s_sum", f.name)
+	writeLabels(b, f.labels, s.labelValues, "")
+	fmt.Fprintf(b, " %s\n", formatValue(math.Float64frombits(s.sumBits.Load())))
+	fmt.Fprintf(b, "%s_count", f.name)
+	writeLabels(b, f.labels, s.labelValues, "")
+	fmt.Fprintf(b, " %d\n", cum)
+}
+
+// writeLabels writes `{k="v",...}`, appending le when non-empty (for
+// histogram buckets). Writes nothing when there are no labels at all.
+func writeLabels(b *strings.Builder, names, values []string, le string) {
+	if len(names) == 0 && le == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// formatValue renders a float the way Prometheus expects: integers
+// without a decimal point, +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes a help string per the exposition format.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// Text returns the full exposition document as a string.
+func (r *Registry) Text() string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}
+
+// Handler returns an http.Handler serving the registry in text
+// exposition format; mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(r.Text()))
+	})
+}

@@ -1,0 +1,291 @@
+// Package obs is wpinq's zero-dependency observability layer: process
+// metrics (counters, gauges, bucketed histograms) in a concurrent
+// registry with Prometheus text exposition and a structured snapshot
+// API.
+//
+// The package exists because the paper's two-party model lives on
+// trust: a curator service that computes everything but exposes nothing
+// about its own behavior cannot be audited, and on a single-CPU CI box
+// wall-clock benchmarks tie, so perf progress is only visible at the
+// counter level (propagations per proposal, allocations per walk,
+// flush batch sizes). Every hot layer registers its metrics against
+// Default; cmd/wpinqd serves them at GET /metrics.
+//
+// Metrics are identified by name plus an ordered label-name list.
+// Registration is get-or-create and idempotent: calling CounterVec
+// twice with the same name returns the same vector, so package-level
+// metric variables in independently initialized packages never
+// conflict. Re-registering a name as a different kind or with
+// different labels panics — that is a programming error, not a runtime
+// condition.
+//
+// All mutation paths (Inc, Add, Set, Observe) are lock-free after the
+// first touch of a series, so instrumenting a hot loop costs a few
+// atomic operations. Exposition walks the registry under read locks
+// and emits families and series in sorted order, so scrapes are
+// deterministic byte-for-byte for a fixed registry state.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates the metric families a registry holds.
+type Kind string
+
+// Metric kinds, matching the Prometheus exposition TYPE names.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Default is the process-wide registry. Library packages (engine
+// instrumentation, the MCMC sampler, the curator service) register
+// against it; cmd/wpinqd exposes it over HTTP.
+var Default = NewRegistry()
+
+// Registry holds metric families. All methods are safe for concurrent
+// use.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// family is one named metric: a kind, a help line, ordered label
+// names, and the live series keyed by their label values.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	labels  []string
+	buckets []float64 // histogram families only
+
+	mu     sync.RWMutex
+	series map[string]*series
+	order  []string // insertion order; sorted at exposition
+}
+
+// series is one (label values -> value) instance of a family.
+type series struct {
+	labelValues []string
+
+	// Scalar value for counters and gauges (IEEE-754 bits).
+	bits atomic.Uint64
+
+	// Histogram state: counts[i] counts observations <= buckets[i],
+	// non-cumulative; counts[len(buckets)] is the overflow bucket.
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup returns the family registered under name, creating it on
+// first use, and panics on a kind or label-arity mismatch: two code
+// sites registering the same name must agree on its schema.
+func (r *Registry) lookup(name, help string, kind Kind, labels []string, buckets []float64) *family {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		if f = r.families[name]; f == nil {
+			f = &family{
+				name:    name,
+				help:    help,
+				kind:    kind,
+				labels:  append([]string(nil), labels...),
+				buckets: append([]float64(nil), buckets...),
+				series:  make(map[string]*series),
+			}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s, was %s", name, kind, f.kind))
+	}
+	if len(f.labels) != len(labels) {
+		panic(fmt.Sprintf("obs: metric %q re-registered with %d labels, was %d", name, len(labels), len(f.labels)))
+	}
+	for i := range labels {
+		if f.labels[i] != labels[i] {
+			panic(fmt.Sprintf("obs: metric %q re-registered with label %q, was %q", name, labels[i], f.labels[i]))
+		}
+	}
+	return f
+}
+
+// seriesKey joins label values into a map key. 0x1f (ASCII unit
+// separator) cannot legally appear in a label value we emit unescaped,
+// and even if it did the key is only an internal index.
+func seriesKey(values []string) string { return strings.Join(values, "\x1f") }
+
+// get returns the series for the given label values, creating it on
+// first use.
+func (f *family) get(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q takes %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := seriesKey(values)
+	f.mu.RLock()
+	s := f.series[key]
+	f.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s = f.series[key]; s != nil {
+		return s
+	}
+	s = &series{labelValues: append([]string(nil), values...)}
+	if f.kind == KindHistogram {
+		s.counts = make([]atomic.Uint64, len(f.buckets)+1)
+	}
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// addFloat atomically adds d to an IEEE-754 accumulator.
+func addFloat(bits *atomic.Uint64, d float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ s *series }
+
+// Inc adds 1.
+func (c Counter) Inc() { c.Add(1) }
+
+// Add adds d, which must be non-negative (not enforced: the caller is
+// trusted, this is a metrics hot path).
+func (c Counter) Add(d float64) { addFloat(&c.s.bits, d) }
+
+// Value returns the current count.
+func (c Counter) Value() float64 { return math.Float64frombits(c.s.bits.Load()) }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ s *series }
+
+// Set replaces the value.
+func (g Gauge) Set(v float64) { g.s.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (negative d decrements).
+func (g Gauge) Add(d float64) { addFloat(&g.s.bits, d) }
+
+// Value returns the current value.
+func (g Gauge) Value() float64 { return math.Float64frombits(g.s.bits.Load()) }
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct {
+	f *family
+	s *series
+}
+
+// Observe records one observation.
+func (h Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.f.buckets, v) // first bound >= v; len(buckets) = overflow
+	h.s.counts[i].Add(1)
+	addFloat(&h.s.sumBits, v)
+}
+
+// Count returns the total number of observations.
+func (h Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.s.counts {
+		n += h.s.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observations.
+func (h Histogram) Sum() float64 { return math.Float64frombits(h.s.sumBits.Load()) }
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values.
+func (v CounterVec) With(labelValues ...string) Counter { return Counter{v.f.get(labelValues)} }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v GaugeVec) With(labelValues ...string) Gauge { return Gauge{v.f.get(labelValues)} }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v HistogramVec) With(labelValues ...string) Histogram {
+	return Histogram{f: v.f, s: v.f.get(labelValues)}
+}
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) CounterVec {
+	return CounterVec{r.lookup(name, help, KindCounter, labels, nil)}
+}
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) Counter {
+	return CounterVec{r.lookup(name, help, KindCounter, nil, nil)}.With()
+}
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) GaugeVec {
+	return GaugeVec{r.lookup(name, help, KindGauge, labels, nil)}
+}
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) Gauge {
+	return GaugeVec{r.lookup(name, help, KindGauge, nil, nil)}.With()
+}
+
+// HistogramVec registers (or returns) a labeled histogram family.
+// buckets are the upper bounds of the non-overflow buckets and must be
+// sorted ascending; the first registration wins (later bucket lists
+// for the same name are ignored, matching get-or-create semantics).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) HistogramVec {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	if !sort.Float64sAreSorted(buckets) {
+		panic(fmt.Sprintf("obs: histogram %q buckets are not sorted", name))
+	}
+	return HistogramVec{r.lookup(name, help, KindHistogram, labels, buckets)}
+}
+
+// Histogram registers (or returns) an unlabeled histogram.
+func (r *Registry) Histogram(name, help string, buckets []float64) Histogram {
+	return r.HistogramVec(name, help, buckets).With()
+}
+
+// DefBuckets are latency-shaped default bounds in seconds.
+var DefBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// SizeBuckets returns power-of-two bounds from 1 to 1<<(n-1), for
+// size-shaped histograms (batch lengths, byte counts).
+func SizeBuckets(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(uint64(1) << i)
+	}
+	return out
+}

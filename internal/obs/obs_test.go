@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(2)
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %v, want 3", got)
+	}
+	g := r.Gauge("temp", "temperature")
+	g.Set(5)
+	g.Add(-2)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %v, want 3", got)
+	}
+}
+
+func TestVecSeriesAreIndependent(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("hits_total", "hits", "route")
+	v.With("/a").Add(2)
+	v.With("/b").Inc()
+	if a, b := v.With("/a").Value(), v.With("/b").Value(); a != 2 || b != 1 {
+		t.Fatalf("series = %v, %v; want 2, 1", a, b)
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.CounterVec("x_total", "x", "k")
+	b := r.CounterVec("x_total", "x", "k")
+	a.With("v").Inc()
+	b.With("v").Inc()
+	if got := a.With("v").Value(); got != 2 {
+		t.Fatalf("re-registered counter = %v, want 2 (same underlying series)", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering counter as gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sizes", "batch sizes", []float64{1, 4, 16})
+	for _, v := range []float64{0.5, 1, 3, 20, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 124.5 {
+		t.Fatalf("sum = %v, want 124.5", got)
+	}
+	text := r.Text()
+	for _, want := range []string{
+		`sizes_bucket{le="1"} 2`,  // 0.5 and 1
+		`sizes_bucket{le="4"} 3`,  // + 3
+		`sizes_bucket{le="16"} 3`, // nothing in (4,16]
+		`sizes_bucket{le="+Inf"} 5`,
+		`sizes_sum 124.5`,
+		`sizes_count 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("req_total", "requests served", "route", "status").With("/v1/x", "200").Add(7)
+	r.Gauge("up", "liveness").Set(1)
+	text := r.Text()
+	for _, want := range []string{
+		"# HELP req_total requests served\n# TYPE req_total counter\n",
+		`req_total{route="/v1/x",status="200"} 7`,
+		"# TYPE up gauge\nup 1\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if r.Text() != text {
+		t.Error("exposition is not deterministic across calls")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("odd_total", "", "k").With("a\"b\\c\nd").Inc()
+	text := r.Text()
+	want := `odd_total{k="a\"b\\c\nd"} 1`
+	if !strings.Contains(text, want) {
+		t.Fatalf("exposition missing %q:\n%s", want, text)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("c_total", "c", "k").With("x").Add(3)
+	r.Histogram("h", "h", []float64{10}).Observe(4)
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("families = %d, want 2", len(snap))
+	}
+	if snap[0].Name != "c_total" || snap[0].Series[0].Value != 3 || snap[0].Series[0].Labels["k"] != "x" {
+		t.Fatalf("counter snapshot wrong: %+v", snap[0])
+	}
+	h := snap[1]
+	if h.Name != "h" || h.Series[0].Count != 1 || h.Series[0].Value != 4 || len(h.Series[0].Counts) != 2 {
+		t.Fatalf("histogram snapshot wrong: %+v", h)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Fatalf("body missing metric:\n%s", rec.Body.String())
+	}
+}
+
+// TestConcurrentAccess exercises inc/observe/export/register from many
+// goroutines; run under -race this is the registry's race test.
+func TestConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cv := r.CounterVec("ops_total", "ops", "worker")
+			hv := r.HistogramVec("lat", "latency", []float64{1, 10, 100}, "worker")
+			gv := r.GaugeVec("depth", "queue depth", "worker")
+			label := string(rune('a' + w))
+			for i := 0; i < iters; i++ {
+				cv.With(label).Inc()
+				hv.With(label).Observe(float64(i % 200))
+				gv.With(label).Set(float64(i))
+				if i%50 == 0 {
+					_ = r.Text()
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total float64
+	for _, fam := range r.Snapshot() {
+		if fam.Name != "ops_total" {
+			continue
+		}
+		for _, s := range fam.Series {
+			total += s.Value
+		}
+	}
+	if want := float64(workers * iters); total != want {
+		t.Fatalf("total ops = %v, want %v", total, want)
+	}
+}
+
+func TestSizeBuckets(t *testing.T) {
+	got := SizeBuckets(4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SizeBuckets(4) = %v, want %v", got, want)
+		}
+	}
+}

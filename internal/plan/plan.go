@@ -40,7 +40,18 @@
 // still counts).
 package plan
 
-import "wpinq/internal/incremental"
+import (
+	"wpinq/internal/incremental"
+	"wpinq/internal/obs"
+)
+
+// fragPushes lifts the per-memo Pushes counter into a process metric:
+// difference batches delivered through fragment outputs, split by
+// whether the owning memo fuses. Comparing the two series is the live
+// version of the fused-vs-unfused differential the memo's own counter
+// supports per plan.
+var fragPushes = obs.Default.CounterVec("wpinq_plan_fragment_pushes_total",
+	"Difference batches delivered through plan fragment outputs.", "fused")
 
 // Node describes one fragment of a pipeline for structural
 // identification: Op is a human-readable operator label, Key is the
@@ -191,5 +202,16 @@ func Count[T comparable](m *Memo, src incremental.Source[T]) {
 	if m == nil {
 		return
 	}
-	src.Subscribe(func([]incremental.Delta[T]) { m.pushes++ })
+	c := fragPushes.With(fusedLabel(m.fuse))
+	src.Subscribe(func([]incremental.Delta[T]) {
+		m.pushes++
+		c.Inc()
+	})
+}
+
+func fusedLabel(fuse bool) string {
+	if fuse {
+		return "true"
+	}
+	return "false"
 }

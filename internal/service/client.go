@@ -25,10 +25,16 @@ func NewClient(base string) *Client {
 	return &Client{base: base, hc: &http.Client{Timeout: 5 * time.Minute}}
 }
 
-// Health checks the server's liveness endpoint.
-func (c *Client) Health() error {
-	var out map[string]string
-	return c.do(http.MethodGet, "/v1/healthz", nil, "", &out)
+// Health fetches the server's health view (build, uptime, load).
+func (c *Client) Health() (HealthInfo, error) {
+	var out HealthInfo
+	err := c.do(http.MethodGet, "/v1/healthz", nil, "", &out)
+	return out, err
+}
+
+// Metrics fetches the server's Prometheus-text metrics page.
+func (c *Client) Metrics() ([]byte, error) {
+	return c.raw(http.MethodGet, "/metrics")
 }
 
 // Upload registers an edge list under the given name and total privacy
@@ -52,6 +58,28 @@ func (c *Client) Dataset(id string) (DatasetInfo, error) {
 	var out DatasetInfo
 	err := c.do(http.MethodGet, "/v1/datasets/"+url.PathEscape(id), nil, "", &out)
 	return out, err
+}
+
+// Provenance fetches one dataset's hash-chained release ledger together
+// with the live budget snapshot.
+func (c *Client) Provenance(id string) (ProvenanceInfo, error) {
+	var out ProvenanceInfo
+	err := c.do(http.MethodGet, "/v1/datasets/"+url.PathEscape(id)+"/provenance", nil, "", &out)
+	return out, err
+}
+
+// AuditDataset replays a dataset's provenance chain client-side: it
+// fetches the chain and the budget snapshot, then re-downloads every
+// referenced release and verifies hashes, costs, and the spend replay
+// locally. The trust model is the point — the analyst checks the
+// curator's ledger against the bytes the curator actually serves,
+// rather than asking the server to vouch for itself.
+func (c *Client) AuditDataset(id string) (AuditReport, error) {
+	info, err := c.Provenance(id)
+	if err != nil {
+		return AuditReport{}, err
+	}
+	return AuditRecords(id, info.Records, info.Ledger, c.Measurement), nil
 }
 
 // Measure takes DP measurements of a dataset.

@@ -9,15 +9,18 @@ import (
 
 	"wpinq/internal/budget"
 	"wpinq/internal/graph"
+	"wpinq/internal/obs"
 )
 
 // Handler returns the HTTP JSON API over the service:
 //
-//	GET    /v1/healthz                    liveness probe
+//	GET    /v1/healthz                    health probe (build, uptime, load)
+//	GET    /metrics                       Prometheus-text metrics
 //	POST   /v1/datasets?name=&budget=     upload an edge list (text body)
 //	GET    /v1/datasets                   list dataset ledgers
 //	GET    /v1/datasets/{id}              one dataset's ledger
 //	POST   /v1/datasets/{id}/measure      take DP measurements (JSON MeasureRequest)
+//	GET    /v1/datasets/{id}/provenance   hash-chained release ledger + budget snapshot
 //	GET    /v1/measurements               list stored releases
 //	GET    /v1/measurements/{id}          fetch one release's stored bytes
 //	POST   /v1/jobs                       submit a synthesis job (JSON JobRequest)
@@ -27,12 +30,16 @@ import (
 //	GET    /v1/jobs/{id}/result           download the synthetic edge list
 //
 // Errors are JSON APIError bodies; budget overdraw maps to
-// 402 Payment Required with code "insufficient_budget".
+// 402 Payment Required with code "insufficient_budget". Every response
+// carries an X-Request-ID (echoed from the request, or generated), and
+// every request is counted and timed under wpinq_http_* metrics labeled
+// by route pattern.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, s.Health())
 	})
+	mux.Handle("GET /metrics", obs.Default.Handler())
 	mux.HandleFunc("POST /v1/datasets", s.handleUpload)
 	mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.registry.List())
@@ -46,6 +53,14 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, info)
 	})
 	mux.HandleFunc("POST /v1/datasets/{id}/measure", s.handleMeasure)
+	mux.HandleFunc("GET /v1/datasets/{id}/provenance", func(w http.ResponseWriter, r *http.Request) {
+		info, err := s.Provenance(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
 	mux.HandleFunc("GET /v1/measurements", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.store.List())
 	})
@@ -87,7 +102,7 @@ func (s *Service) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		graph.WriteEdgeList(w, g)
 	})
-	return mux
+	return instrument(mux, s.opts.Logger)
 }
 
 func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request) {

@@ -196,8 +196,10 @@ func TestConcurrentOverdrawOverHTTP(t *testing.T) {
 
 func TestHTTPErrorShapes(t *testing.T) {
 	client := newTestClient(t, Options{})
-	if err := client.Health(); err != nil {
+	if h, err := client.Health(); err != nil {
 		t.Fatal(err)
+	} else if h.Status != "ok" {
+		t.Fatalf("health status = %q, want ok", h.Status)
 	}
 	cases := []struct {
 		name string

@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -68,6 +69,13 @@ type JobRequest struct {
 	Fuse *bool `json:"fuse,omitempty"`
 }
 
+// WorkloadResidual and BinResidual re-export the synth residual views
+// so API clients need only this package.
+type (
+	WorkloadResidual = synth.WorkloadResidual
+	BinResidual      = synth.BinResidual
+)
+
 // JobStatus is the pollable view of one job.
 type JobStatus struct {
 	ID          string  `json:"id"`
@@ -90,7 +98,13 @@ type JobStatus struct {
 	// order; absent for single-chain jobs. The top-level Step, Score,
 	// Accepted, and AcceptRate track the best chain.
 	Chains []synth.ChainProgress `json:"chains,omitempty"`
-	Error  string                `json:"error,omitempty"`
+	// Residuals breaks the current score into per-workload fit residuals
+	// (L1 distance to the released noisy counts, weighted by epsilon)
+	// with the worst-fitting bins of each workload — the diagnostic for
+	// which workload the sampler is failing to match. Updated at each
+	// progress checkpoint and final on termination.
+	Residuals []synth.WorkloadResidual `json:"residuals,omitempty"`
+	Error     string                   `json:"error,omitempty"`
 }
 
 // Terminal reports whether the job has stopped (done, cancelled, or
@@ -118,34 +132,40 @@ type JobManager struct {
 	defaultShards int
 	defaultChains int
 	defaultNoFuse bool
+	log           *slog.Logger
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	order  []string
 	nextID int
 
-	queue chan *Job
-	quit  chan struct{}
-	wg    sync.WaitGroup
+	queue     chan *Job
+	quit      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
 }
 
 // NewJobManager starts workers goroutines consuming the job queue.
 // defaultChains is the replica-exchange chain count applied to jobs that
 // do not set one (values below 1 mean a single chain). defaultNoFuse
 // disables multi-workload plan fusion for jobs that do not set
-// JobRequest.Fuse.
-func NewJobManager(store *Store, defaultShards, defaultChains, workers int, defaultNoFuse bool) *JobManager {
+// JobRequest.Fuse. A nil logger discards job lifecycle logs.
+func NewJobManager(store *Store, defaultShards, defaultChains, workers int, defaultNoFuse bool, logger *slog.Logger) *JobManager {
 	if workers < 1 {
 		workers = 1
 	}
 	if defaultChains < 1 {
 		defaultChains = 1
 	}
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	jm := &JobManager{
 		store:         store,
 		defaultShards: defaultShards,
 		defaultChains: defaultChains,
 		defaultNoFuse: defaultNoFuse,
+		log:           logger,
 		jobs:          make(map[string]*Job),
 		queue:         make(chan *Job, jobQueueDepth),
 		quit:          make(chan struct{}),
@@ -159,14 +179,14 @@ func NewJobManager(store *Store, defaultShards, defaultChains, workers int, defa
 
 // Close cancels every live job and waits for the workers to exit.
 // Jobs still queued are finished as cancelled, so waiters on their
-// Done channels unblock.
+// Done channels unblock. Closing an already-closed manager is a no-op.
 func (jm *JobManager) Close() {
 	jm.mu.Lock()
 	for _, j := range jm.jobs {
 		j.cancelled.Store(true)
 	}
 	jm.mu.Unlock()
-	close(jm.quit)
+	jm.closeOnce.Do(func() { close(jm.quit) })
 	jm.wg.Wait()
 	for {
 		select {
@@ -257,6 +277,11 @@ func (jm *JobManager) Submit(req JobRequest) (JobStatus, error) {
 	jm.jobs[j.status.ID] = j
 	jm.order = append(jm.order, j.status.ID)
 	jm.mu.Unlock()
+	recordJobState(JobQueued)
+	jobsActive.Add(1)
+	jm.log.Info("job queued", "job", j.status.ID,
+		"measurement", req.Measurement, "steps", req.Steps,
+		"chains", run.Chains, "shards", shards, "fused", fuse)
 
 	select {
 	case jm.queue <- j:
@@ -280,7 +305,11 @@ func (j *Job) Status() JobStatus {
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
-// finish transitions the job to a terminal state exactly once.
+// finish transitions the job to a terminal state exactly once. The job
+// metrics piggyback on its exactly-once guarantee: every job increments
+// jobsActive at submission and decrements it here, on whichever of the
+// finish paths (run, cancel-before-start, queue overflow, shutdown
+// drain) fires first.
 func (j *Job) finish(update func(*JobStatus)) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -288,6 +317,8 @@ func (j *Job) finish(update func(*JobStatus)) {
 		return
 	}
 	update(&j.status)
+	recordJobState(j.status.State)
+	jobsActive.Add(-1)
 	close(j.done)
 }
 
@@ -308,6 +339,18 @@ func (jm *JobManager) get(id string) (*Job, error) {
 		return nil, fmt.Errorf("%w: job %s", ErrNotFound, id)
 	}
 	return j, nil
+}
+
+// Active counts jobs that have not yet reached a terminal state
+// (queued + running), for the health endpoint.
+func (jm *JobManager) Active() int {
+	n := 0
+	for _, js := range jm.List() {
+		if !js.Terminal() {
+			n++
+		}
+	}
+	return n
 }
 
 // List returns every job's status in submission order.
@@ -388,16 +431,22 @@ func (jm *JobManager) run(j *Job) {
 	shards := *req.Shards
 	j.mu.Lock()
 	j.status.State = JobRunning
+	id := j.status.ID
 	j.mu.Unlock()
+	recordJobState(JobRunning)
+	log := jm.log.With("job", id)
+	log.Info("job running", "measurement", req.Measurement, "seed", seed)
 
 	rng := rand.New(rand.NewSource(seed))
 	m, err := jm.store.Load(req.Measurement, rng)
 	if err != nil {
+		log.Error("job failed", "stage", "load", "err", err)
 		j.finish(func(st *JobStatus) { st.State = JobFailed; st.Error = err.Error() })
 		return
 	}
 	seedG, err := synth.SeedGraph(m, rng)
 	if err != nil {
+		log.Error("job failed", "stage", "seed", "err", err)
 		j.finish(func(st *JobStatus) { st.State = JobFailed; st.Error = err.Error() })
 		return
 	}
@@ -423,6 +472,7 @@ func (jm *JobManager) run(j *Job) {
 			j.status.AcceptRate = p.AcceptRate()
 			j.status.Score = p.Score
 			j.status.Chains = p.Chains
+			j.status.Residuals = p.Residuals
 			j.mu.Unlock()
 			select {
 			case <-jm.quit:
@@ -434,6 +484,7 @@ func (jm *JobManager) run(j *Job) {
 	}
 	res, err := synth.Synthesize(m, seedG, cfg, rng)
 	if err != nil {
+		log.Error("job failed", "stage", "synthesize", "err", err)
 		j.finish(func(st *JobStatus) { st.State = JobFailed; st.Error = err.Error() })
 		return
 	}
@@ -453,5 +504,9 @@ func (jm *JobManager) run(j *Job) {
 		st.ResultNodes = res.Synthetic.NumNodes()
 		st.ResultEdges = res.Synthetic.NumEdges()
 		st.Chains = synth.ChainSnapshots(res.Chains)
+		st.Residuals = res.Residuals
 	})
+	st := j.Status()
+	log.Info("job finished", "state", st.State, "score", st.Score,
+		"accepted", st.Accepted, "steps", st.Step)
 }

@@ -1,0 +1,47 @@
+package service
+
+import (
+	"strconv"
+
+	"wpinq/internal/budget"
+	"wpinq/internal/obs"
+)
+
+// Service-layer metrics: HTTP traffic, job lifecycle, per-dataset
+// budget ledgers, and store/provenance growth. All register against
+// obs.Default, which cmd/wpinqd exposes at GET /metrics.
+var (
+	httpRequests = obs.Default.CounterVec("wpinq_http_requests_total",
+		"API requests served, by ServeMux route pattern, method, and status.",
+		"route", "method", "status")
+	httpLatency = obs.Default.HistogramVec("wpinq_http_request_seconds",
+		"API request latency in seconds, by route pattern.", nil, "route")
+
+	jobsTotal = obs.Default.CounterVec("wpinq_jobs_total",
+		"Synthesis job state transitions (queued at submit, then one terminal state).", "state")
+	jobsActive = obs.Default.Gauge("wpinq_jobs_active",
+		"Synthesis jobs submitted but not yet terminal (queued + running).")
+
+	budgetRemaining = obs.Default.GaugeVec("wpinq_dataset_budget_remaining",
+		"Unspent privacy budget (epsilon) per dataset.", "dataset")
+	budgetSpent = obs.Default.GaugeVec("wpinq_dataset_budget_spent",
+		"Cumulative privacy budget (epsilon) charged per dataset.", "dataset")
+
+	measurementsStored = obs.Default.Counter("wpinq_store_measurements_total",
+		"Releases added to the measurement store (idempotent re-puts excluded).")
+	provenanceRecords = obs.Default.Counter("wpinq_store_provenance_records_total",
+		"Records appended to the provenance ledger.")
+)
+
+// recordLedger publishes one dataset's budget gauges from a consistent
+// ledger snapshot.
+func recordLedger(id string, snap budget.Snapshot) {
+	budgetRemaining.With(id).Set(snap.Remaining)
+	budgetSpent.With(id).Set(snap.Spent)
+}
+
+// recordJobState counts a job entering the given state.
+func recordJobState(state string) { jobsTotal.With(state).Inc() }
+
+// statusLabel renders an HTTP status for the requests counter.
+func statusLabel(code int) string { return strconv.Itoa(code) }

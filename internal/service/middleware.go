@@ -1,0 +1,67 @@
+package service
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// statusRecorder captures the status code a handler writes so the
+// middleware can label metrics and logs with it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+// requestCtr numbers requests for the X-Request-ID correlation header;
+// process-local monotonic is enough to join a log line to a response.
+var requestCtr atomic.Uint64
+
+// instrument wraps the API mux with metrics and structured logging.
+// Metrics are labeled by the ServeMux route pattern ("GET /v1/jobs/{id}"),
+// not the raw URL: patterns are a small fixed set, so series cardinality
+// stays bounded no matter what IDs clients request. ServeMux only
+// exposes the matched pattern on the request *it* clones, which the
+// middleware never sees — so the pattern is looked up here via
+// mux.Handler before delegating.
+func instrument(mux *http.ServeMux, log *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, pattern := mux.Handler(r)
+		if pattern == "" {
+			pattern = "unmatched"
+		}
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = "r" + strconv.FormatUint(requestCtr.Add(1), 10)
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		sr := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		mux.ServeHTTP(sr, r)
+		elapsed := time.Since(start)
+		if sr.status == 0 {
+			sr.status = http.StatusOK
+		}
+		httpRequests.With(pattern, r.Method, statusLabel(sr.status)).Inc()
+		httpLatency.With(pattern).Observe(elapsed.Seconds())
+		log.Info("request", "requestID", reqID, "method", r.Method,
+			"path", r.URL.Path, "route", pattern, "status", sr.status,
+			"elapsed", elapsed)
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 
@@ -90,6 +91,7 @@ func (r *Registry) Upload(name string, totalBudget float64, edges io.Reader) (Da
 	r.byID[id] = d
 	r.order = append(r.order, id)
 	r.mu.Unlock()
+	recordLedger(id, d.src.Snapshot())
 	return d.info(), nil
 }
 
@@ -269,14 +271,43 @@ func (s *Service) Measure(id string, req MeasureRequest) (MeasureResult, error) 
 		d.mu.Unlock()
 		return MeasureResult{}, err
 	}
+	ledger := d.src.Snapshot()
+	// Chain the release into the dataset's provenance ledger while still
+	// holding the dataset lock: the parent list and SpentAfter checkpoint
+	// must reflect exactly the state this charge committed against.
+	stored, err := s.store.Bytes(info.ID)
+	if err != nil {
+		d.mu.Unlock()
+		return MeasureResult{}, err
+	}
+	workloads := append([]string(nil), cfg.Workloads...)
+	sort.Strings(workloads)
+	if _, err := s.store.AppendProvenance(ProvenanceRecord{
+		Dataset:       id,
+		Op:            ProvenanceOpMeasure,
+		Measurement:   info.ID,
+		Workloads:     workloads,
+		Eps:           cfg.Eps,
+		Cost:          cost,
+		SpentAfter:    ledger.Spent,
+		FormatVersion: formatVersion(stored),
+		Parents:       append([]string(nil), d.measurements...),
+		ContentHash:   ContentHash(stored),
+	}); err != nil {
+		// The release is stored and the charge stands, but an unledgered
+		// release would fail every future audit — surface that now.
+		d.mu.Unlock()
+		return MeasureResult{}, fmt.Errorf("measurement %s stored but provenance append failed: %w", info.ID, err)
+	}
 	if !req.Keep {
 		d.g = nil // the paper's "discard the data" step
 	}
 	d.measurements = append(d.measurements, info.ID)
+	recordLedger(id, ledger)
 	res := MeasureResult{
 		Measurement: info,
 		Cost:        cost,
-		Ledger:      d.src.Snapshot(),
+		Ledger:      ledger,
 		Discarded:   d.g == nil,
 		Seed:        seed,
 	}

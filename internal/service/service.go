@@ -28,8 +28,13 @@ package service
 
 import (
 	"fmt"
+	"log/slog"
 	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // Options configures a Service.
@@ -57,6 +62,10 @@ type Options struct {
 	// Seed is the base for deriving per-request noise/MCMC seeds when a
 	// request does not supply one. Defaults to 1.
 	Seed int64
+	// Logger receives structured service logs (job lifecycle, HTTP
+	// requests). Nil discards them, which keeps library users and tests
+	// quiet by default; cmd/wpinqd always supplies one.
+	Logger *slog.Logger
 }
 
 // Service owns the curator-side state: datasets and their budget
@@ -68,6 +77,7 @@ type Service struct {
 	registry *Registry
 	jobs     *JobManager
 	seedCtr  atomic.Int64
+	started  time.Time
 }
 
 // New builds a Service, loading any measurements already persisted
@@ -82,6 +92,9 @@ func New(opts Options) (*Service, error) {
 	if opts.Chains < 0 || opts.Chains > maxJobChains {
 		return nil, fmt.Errorf("service: invalid chain count %d (max %d)", opts.Chains, maxJobChains)
 	}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.DiscardHandler)
+	}
 	st, err := NewStore(opts.Dir)
 	if err != nil {
 		return nil, err
@@ -90,8 +103,19 @@ func New(opts Options) (*Service, error) {
 		opts:     opts,
 		store:    st,
 		registry: NewRegistry(),
+		started:  time.Now(),
 	}
-	s.jobs = NewJobManager(st, opts.Shards, opts.Chains, workerCount(opts), opts.NoFuse)
+	// Dataset IDs restart at d1 on every boot (the registry is
+	// in-memory), but the persisted provenance ledger may already hold
+	// chains for IDs a previous process handed out. Start numbering past
+	// them so a re-uploaded dataset can never graft onto another
+	// dataset's chain.
+	for _, id := range st.ProvenanceDatasets() {
+		if n, err := strconv.Atoi(strings.TrimPrefix(id, "d")); err == nil && n > s.registry.nextID {
+			s.registry.nextID = n
+		}
+	}
+	s.jobs = NewJobManager(st, opts.Shards, opts.Chains, workerCount(opts), opts.NoFuse, opts.Logger)
 	return s, nil
 }
 
@@ -117,6 +141,42 @@ func workerCount(opts Options) int {
 	return n
 }
 
+// HealthInfo is the health endpoint's response: liveness plus the
+// build and load facts an operator checks first.
+type HealthInfo struct {
+	Status        string  `json:"status"`
+	Version       string  `json:"version,omitempty"`
+	GoVersion     string  `json:"goVersion,omitempty"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	ActiveJobs    int     `json:"activeJobs"`
+	Datasets      int     `json:"datasets"`
+	Measurements  int     `json:"measurements"`
+}
+
+// Health reports the service's liveness view.
+func (s *Service) Health() HealthInfo {
+	h := HealthInfo{
+		Status:        "ok",
+		GoVersion:     runtime.Version(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		ActiveJobs:    s.jobs.Active(),
+		Datasets:      len(s.registry.List()),
+		Measurements:  len(s.store.List()),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		h.Version = bi.Main.Version
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" && len(kv.Value) >= 12 {
+				h.Version = kv.Value[:12]
+			}
+		}
+	}
+	return h
+}
+
+// Logger returns the service's structured logger.
+func (s *Service) Logger() *slog.Logger { return s.opts.Logger }
+
 // Store returns the measurement store.
 func (s *Service) Store() *Store { return s.store }
 
@@ -125,6 +185,32 @@ func (s *Service) Registry() *Registry { return s.registry }
 
 // Jobs returns the synthesis job manager.
 func (s *Service) Jobs() *JobManager { return s.jobs }
+
+// Provenance returns dataset id's hash-chained release ledger together
+// with the live budget snapshot audits replay against.
+func (s *Service) Provenance(id string) (ProvenanceInfo, error) {
+	info, err := s.registry.Info(id)
+	if err != nil {
+		return ProvenanceInfo{}, err
+	}
+	return ProvenanceInfo{
+		Dataset: id,
+		Ledger:  info.Ledger,
+		Records: s.store.Provenance(id),
+	}, nil
+}
+
+// Audit replays dataset id's provenance chain server-side: chain
+// integrity, stored-content hashes, recomputed costs, and the budget
+// ledger replay. The `wpinq remote audit` verb performs the same replay
+// client-side so analysts need not trust this method's answer.
+func (s *Service) Audit(id string) (AuditReport, error) {
+	info, err := s.registry.Info(id)
+	if err != nil {
+		return AuditReport{}, err
+	}
+	return AuditRecords(id, s.store.Provenance(id), info.Ledger, s.store.Bytes), nil
+}
 
 // Close stops the job workers, cancelling any running jobs, and waits
 // for them to exit.

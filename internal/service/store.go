@@ -29,6 +29,7 @@ type Store struct {
 	mu      sync.Mutex
 	entries map[string]storeEntry
 	order   []string // insertion order, for stable listings
+	prov    map[string][]ProvenanceRecord
 }
 
 type storeEntry struct {
@@ -81,6 +82,9 @@ func NewStore(dir string) (*Store, error) {
 		}
 		st.entries[id] = storeEntry{info: info, data: data}
 		st.order = append(st.order, id)
+	}
+	if err := st.loadProvenance(); err != nil {
+		return nil, err
 	}
 	return st, nil
 }
@@ -145,6 +149,7 @@ func (st *Store) Put(m *synth.Measurements) (MeasurementInfo, error) {
 	}
 	st.entries[id] = storeEntry{info: info, data: data}
 	st.order = append(st.order, id)
+	measurementsStored.Inc()
 	return info, nil
 }
 

@@ -80,7 +80,9 @@ func synthesizeReplicas(m *Measurements, seed *graph.Graph, cfg Config, names []
 	rep := mcmc.ReplicaConfig{Steps: cfg.Steps, SwapEvery: cfg.SwapEvery}
 	if cfg.OnProgress != nil {
 		rep.OnRound = func(done int, chains []mcmc.ChainStats) bool {
-			return cfg.OnProgress(replicaProgress(done, cfg.Steps, chains))
+			// OnRound fires at the swap-round barrier with every chain
+			// parked, so reading the best chain's scorer races nothing.
+			return cfg.OnProgress(replicaProgress(done, cfg.Steps, chains, runners))
 		}
 	}
 	res, err := mcmc.RunReplicas(runners, rep, swapRng)
@@ -94,13 +96,15 @@ func synthesizeReplicas(m *Measurements, seed *graph.Graph, cfg Config, names []
 		Chains:    res.Chains,
 		BestChain: res.Best,
 		TotalCost: m.TotalCost,
+		Residuals: runners[res.Best].Scorer().Residuals(residualTopK),
 		Cancelled: res.Cancelled,
 	}, nil
 }
 
 // replicaProgress converts a swap-round snapshot into the Progress view:
-// top-level fields track the best chain, Chains carries the detail.
-func replicaProgress(done, steps int, chains []mcmc.ChainStats) Progress {
+// top-level fields track the best chain, Chains carries the detail, and
+// the residual breakdown reads the best chain's scorer.
+func replicaProgress(done, steps int, chains []mcmc.ChainStats, runners []*mcmc.Runner) Progress {
 	best := 0
 	for i := range chains {
 		if chains[i].FinalScore < chains[best].FinalScore {
@@ -108,11 +112,12 @@ func replicaProgress(done, steps int, chains []mcmc.ChainStats) Progress {
 		}
 	}
 	p := Progress{
-		Step:     done,
-		Steps:    steps,
-		Accepted: chains[best].Accepted,
-		Score:    chains[best].FinalScore,
-		Chains:   ChainSnapshots(chains),
+		Step:      done,
+		Steps:     steps,
+		Accepted:  chains[best].Accepted,
+		Score:     chains[best].FinalScore,
+		Chains:    ChainSnapshots(chains),
+		Residuals: runners[chains[best].Chain].Scorer().Residuals(residualTopK),
 	}
 	return p
 }

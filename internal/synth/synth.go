@@ -30,6 +30,7 @@ import (
 	"wpinq/internal/budget"
 	"wpinq/internal/core"
 	"wpinq/internal/graph"
+	"wpinq/internal/incremental"
 	"wpinq/internal/laplace"
 	"wpinq/internal/mcmc"
 	"wpinq/internal/postprocess"
@@ -201,7 +202,23 @@ type Progress struct {
 	// Chains is the per-chain view of a replica-exchange run, in chain
 	// order; nil for single-chain runs.
 	Chains []ChainProgress
+	// Residuals breaks the score down by workload, each with its top-K
+	// worst measurement bins (best chain for multi-chain runs): the
+	// operator-level provenance of the score.
+	Residuals []WorkloadResidual
 }
+
+// WorkloadResidual is one workload's share of the fit score with its
+// worst bins; see incremental.WorkloadResidual for the field contract.
+type WorkloadResidual = incremental.WorkloadResidual
+
+// BinResidual is one measurement record's residual; see
+// incremental.BinResidual.
+type BinResidual = incremental.BinResidual
+
+// residualTopK is how many worst bins each workload's residual report
+// carries in progress snapshots and results.
+const residualTopK = 5
 
 // ChainProgress is one replica-exchange chain's live view: its current
 // ladder position and fit state. It doubles as the wire representation
@@ -421,6 +438,9 @@ type Result struct {
 	// BestChain indexes Chains at the chain whose graph Synthetic is;
 	// 0 for single-chain runs.
 	BestChain int
+	// Residuals is the final per-workload score breakdown of the
+	// returned synthetic graph (the best chain's, for multi-chain runs).
+	Residuals []WorkloadResidual
 	// Cancelled reports that OnProgress stopped the fit early; Synthetic
 	// holds the partial result at the point of cancellation.
 	Cancelled bool
@@ -483,6 +503,7 @@ func Synthesize(m *Measurements, seed *graph.Graph, cfg Config, rng *rand.Rand) 
 		Synthetic: state.Graph(),
 		Stats:     stats,
 		TotalCost: m.TotalCost,
+		Residuals: scorer.Residuals(residualTopK),
 		Cancelled: cancelled,
 	}, nil
 }
@@ -540,10 +561,11 @@ func runChunked(runner *mcmc.Runner, cfg Config) (mcmc.Stats, bool) {
 		stats.FinalScore = s.FinalScore
 		done += n
 		if !cfg.OnProgress(Progress{
-			Step:     done,
-			Steps:    cfg.Steps,
-			Accepted: stats.Accepted,
-			Score:    s.FinalScore,
+			Step:      done,
+			Steps:     cfg.Steps,
+			Accepted:  stats.Accepted,
+			Score:     s.FinalScore,
+			Residuals: runner.Scorer().Residuals(residualTopK),
 		}) {
 			return stats, true
 		}

@@ -95,7 +95,7 @@ func (m Measured) Entries() ([]Entry, error) { return m.Hist.Entries() }
 // registers the sink with the plan's scorer. eps is the privacy
 // parameter the measurement was taken with.
 func (m Measured) Attach(p *Plan, eps float64) error {
-	return m.Workload.impl.attach(p, m.Hist, m.Bucket, eps)
+	return m.Workload.impl.attach(p, m.Workload.Name, m.Hist, m.Bucket, eps)
 }
 
 // Reseed returns a copy of the measurement whose histogram draws lazy
@@ -142,7 +142,7 @@ type Workload struct {
 type impl interface {
 	measure(edges *core.Collection[graph.Edge], bucket int, eps float64, rng *rand.Rand) (Histogram, error)
 	load(entries []Entry, eps float64, rng *rand.Rand) (Histogram, error)
-	attach(p *Plan, h Histogram, bucket int, eps float64) error
+	attach(p *Plan, name string, h Histogram, bucket int, eps float64) error
 	collect(p *Plan, bucket int) Collected
 	exact(g *graph.Graph, bucket int) (map[string]float64, error)
 }
@@ -215,6 +215,7 @@ type Plan struct {
 	serial *incremental.Input[graph.Edge]
 	eng    *engine.Engine
 	engIn  *engine.Input[graph.Edge]
+	input  *obsInput // metrics decorator over the root input
 	scorer *incremental.Scorer
 	memo   *plan.Memo
 }
@@ -230,10 +231,12 @@ func NewPlanFused(shards int, fuse bool) *Plan {
 	p := &Plan{scorer: incremental.NewScorer(), memo: plan.New(fuse)}
 	if shards < 0 {
 		p.serial = incremental.NewInput[graph.Edge]()
+		p.input = newObsInput(p.serial, "serial")
 		return p
 	}
 	p.eng = engine.New(shards)
 	p.engIn = engine.NewInput[graph.Edge](p.eng)
+	p.input = newObsInput(p.engIn, "sharded")
 	return p
 }
 
@@ -241,13 +244,10 @@ func NewPlanFused(shards int, fuse bool) *Plan {
 // and the per-fragment propagation counter.
 func (p *Plan) Fusion() *plan.Memo { return p.memo }
 
-// Input returns the plan's edge-difference entry point.
-func (p *Plan) Input() Input {
-	if p.serial != nil {
-		return p.serial
-	}
-	return p.engIn
-}
+// Input returns the plan's edge-difference entry point: the executor's
+// root input behind a metrics decorator that still satisfies
+// mcmc.TxnInput and exposes the executor's Pushes counter.
+func (p *Plan) Input() Input { return p.input }
 
 // Scorer returns the scorer aggregating every attached sink.
 func (p *Plan) Scorer() *incremental.Scorer { return p.scorer }
@@ -336,7 +336,7 @@ func (bs builders[T]) source(p *Plan, bucket int) incremental.Source[T] {
 	return bs.b.Engine(p.engIn, bucket)
 }
 
-func (bs builders[T]) attach(p *Plan, h Histogram, bucket int, eps float64) error {
+func (bs builders[T]) attach(p *Plan, name string, h Histogram, bucket int, eps float64) error {
 	th, ok := h.(*typedHist[T])
 	if !ok {
 		return fmt.Errorf("workload: histogram has record type %T, want %T", h, &typedHist[T]{})
@@ -357,7 +357,7 @@ func (bs builders[T]) attach(p *Plan, h Histogram, bucket int, eps float64) erro
 	}
 	sort.Sort(&domainByKey[T]{recs: domain, keys: keys})
 	sink := incremental.NewNoisyCountSink[T](bs.source(p, bucket), th.h, domain, eps)
-	p.scorer.Add(sink)
+	p.scorer.AddNamed(name, sink)
 	return nil
 }
 

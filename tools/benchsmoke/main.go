@@ -1,8 +1,9 @@
 // Command benchsmoke is the benchmark regression gate: it runs the
-// MCMC-relevant benchmarks through `go test -bench -json`, writes the
-// parsed ns/op results to a JSON report (BENCH_mcmc.json in CI), and
-// exits non-zero when any benchmark is more than -threshold times slower
-// than the committed baseline.
+// MCMC-relevant benchmarks through `go test -bench -benchmem -json`,
+// writes every parsed per-op metric to a JSON report (BENCH_mcmc.json
+// in CI), and exits non-zero when a gated metric — ns/op, allocs/op,
+// or fragpushes/op — is more than -threshold times worse than the
+// committed baseline.
 //
 // Usage:
 //
@@ -15,6 +16,10 @@
 // noisy, so the gate only catches gross regressions (the 2x default
 // corresponds to, for example, reintroducing the second propagation per
 // rejected MCMC proposal that the transactional protocol removed).
+// Gating allocs/op and fragpushes/op alongside wall-clock catches the
+// regressions a single-CPU box can't see in ns/op: per-step allocations
+// and redundant fragment deliveries scale with hardware parallelism, so
+// they are gated as counts, which are near-deterministic per run.
 package main
 
 import (
@@ -30,11 +35,42 @@ import (
 	"strconv"
 )
 
+// gatedUnits are the per-op metrics compared against the baseline, in
+// report order. Other units (B/op, accept-rate, ...) are recorded in
+// the report but informational only.
+var gatedUnits = []string{"ns/op", "allocs/op", "fragpushes/op"}
+
 // report is the schema of both the baseline and the output file.
 type report struct {
 	// Benchmarks maps benchmark name (sub-benchmarks included,
-	// GOMAXPROCS suffix stripped) to nanoseconds per operation.
-	Benchmarks map[string]float64 `json:"benchmarks"`
+	// GOMAXPROCS suffix stripped) to its per-op metrics by unit
+	// ("ns/op", "allocs/op", ...).
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+// UnmarshalJSON also accepts the legacy baseline schema, where each
+// benchmark mapped to a bare ns/op number.
+func (r *report) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Benchmarks map[string]json.RawMessage `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	r.Benchmarks = make(map[string]map[string]float64, len(raw.Benchmarks))
+	for name, v := range raw.Benchmarks {
+		var ns float64
+		if err := json.Unmarshal(v, &ns); err == nil {
+			r.Benchmarks[name] = map[string]float64{"ns/op": ns}
+			continue
+		}
+		var units map[string]float64
+		if err := json.Unmarshal(v, &units); err != nil {
+			return fmt.Errorf("benchmark %s: %w", name, err)
+		}
+		r.Benchmarks[name] = units
+	}
+	return nil
 }
 
 // event is the subset of the `go test -json` stream the parser needs.
@@ -49,8 +85,11 @@ type event struct {
 }
 
 // resultRe matches a benchmark result line, e.g.
-// "BenchmarkRejectHeavy/txn-2   5   1512424698 ns/op   ...".
-var resultRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// "BenchmarkRejectHeavy/txn-2   5   1512424698 ns/op   320 B/op   4 allocs/op".
+var resultRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.+)$`)
+
+// metricRe matches one "value unit" pair on a result line.
+var metricRe = regexp.MustCompile(`(-?[0-9][0-9.eE+-]*)\s+([^\s]+)`)
 
 func main() {
 	bench := flag.String("bench", "BenchmarkRejectHeavy|BenchmarkChains|BenchmarkEngineShards|BenchmarkFusedChains",
@@ -59,7 +98,7 @@ func main() {
 	pkgs := flag.String("pkgs", ".", "package pattern to benchmark")
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline to compare against")
 	outPath := flag.String("out", "BENCH_mcmc.json", "where to write this run's results")
-	threshold := flag.Float64("threshold", 2.0, "fail when ns/op exceeds baseline by this factor")
+	threshold := flag.Float64("threshold", 2.0, "fail when a gated metric exceeds baseline by this factor")
 	update := flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
 	flag.Parse()
 
@@ -96,10 +135,11 @@ func main() {
 	}
 }
 
-// run executes the benchmarks and parses ns/op per benchmark name.
+// run executes the benchmarks and parses every per-op metric per
+// benchmark name.
 func run(bench, benchtime, pkgs string) (report, error) {
 	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench,
-		"-benchtime", benchtime, "-json", pkgs)
+		"-benchtime", benchtime, "-benchmem", "-json", pkgs)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.StdoutPipe()
 	if err != nil {
@@ -132,25 +172,36 @@ func run(bench, benchtime, pkgs string) (report, error) {
 	if err := cmd.Wait(); err != nil {
 		return report{}, fmt.Errorf("go test -bench: %w", err)
 	}
-	res := report{Benchmarks: make(map[string]float64)}
+	res := report{Benchmarks: make(map[string]map[string]float64)}
 	for _, buf := range streams {
 		lines := bufio.NewScanner(buf)
 		lines.Buffer(make([]byte, 0, 1<<20), 1<<20)
 		for lines.Scan() {
-			if m := resultRe.FindStringSubmatch(lines.Text()); m != nil {
-				ns, err := strconv.ParseFloat(m[2], 64)
+			m := resultRe.FindStringSubmatch(lines.Text())
+			if m == nil {
+				continue
+			}
+			units := res.Benchmarks[m[1]]
+			if units == nil {
+				units = make(map[string]float64)
+				res.Benchmarks[m[1]] = units
+			}
+			for _, pair := range metricRe.FindAllStringSubmatch(m[2], -1) {
+				v, err := strconv.ParseFloat(pair[1], 64)
 				if err != nil {
 					continue
 				}
-				res.Benchmarks[m[1]] = ns
+				units[pair[2]] = v
 			}
 		}
 	}
 	return res, nil
 }
 
-// compare reports each benchmark against the baseline and returns
-// whether any exceeded the threshold.
+// compare reports each benchmark's gated metrics against the baseline
+// and returns whether any exceeded the threshold. A gated unit absent
+// from the baseline (e.g. a legacy ns/op-only file) is informational
+// until the baseline is regenerated with -update.
 func compare(baseline, results report, threshold float64) bool {
 	names := make([]string, 0, len(baseline.Benchmarks))
 	for name := range baseline.Benchmarks {
@@ -159,21 +210,41 @@ func compare(baseline, results report, threshold float64) bool {
 	sort.Strings(names)
 	failed := false
 	for _, name := range names {
-		base := baseline.Benchmarks[name]
 		got, ok := results.Benchmarks[name]
 		if !ok {
 			fmt.Printf("FAIL %s: present in baseline but produced no result\n", name)
 			failed = true
 			continue
 		}
-		ratio := got / base
-		status := "ok  "
-		if ratio > threshold {
-			status = "FAIL"
-			failed = true
+		for _, unit := range gatedUnits {
+			base, inBase := baseline.Benchmarks[name][unit]
+			cur, inRun := got[unit]
+			switch {
+			case !inBase:
+				continue
+			case !inRun:
+				fmt.Printf("FAIL %s: baseline has %s but the run produced none\n", name, unit)
+				failed = true
+			case base == 0:
+				// A zero baseline admits no ratio; anything nonzero is a
+				// regression from literally free.
+				status := "ok  "
+				if cur > 0 {
+					status = "FAIL"
+					failed = true
+				}
+				fmt.Printf("%s %s: %.0f %s vs baseline 0\n", status, name, cur, unit)
+			default:
+				ratio := cur / base
+				status := "ok  "
+				if ratio > threshold {
+					status = "FAIL"
+					failed = true
+				}
+				fmt.Printf("%s %s: %.0f %s vs baseline %.0f (%.2fx, limit %.2fx)\n",
+					status, name, cur, unit, base, ratio, threshold)
+			}
 		}
-		fmt.Printf("%s %s: %.0f ns/op vs baseline %.0f (%.2fx, limit %.2fx)\n",
-			status, name, got, base, ratio, threshold)
 	}
 	for name := range results.Benchmarks {
 		if _, ok := baseline.Benchmarks[name]; !ok {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"wpinq/internal/budget"
@@ -366,6 +367,12 @@ func BenchmarkChains(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			// ns/op reports the wall-clock flatness claim; ns/chainop
+			// normalizes by the chain count to expose aggregate proposal
+			// throughput: on an idle multi-core box it should fall toward
+			// 1/K of the chains=1 figure, and on a single CPU it should
+			// stay near-flat (same total work, serialized).
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(chains), "ns/chainop")
 		})
 	}
 }
@@ -635,6 +642,82 @@ func BenchmarkFusedChains(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(p.Fusion().Pushes()-base)/float64(b.N), "fragpushes/op")
 			fusedChainsSink = p.Scorer().Score()
+		})
+	}
+}
+
+// --- Million-edge scale --------------------------------------------------
+
+// millionEdgeSink defeats dead-code elimination in BenchmarkMillionEdge.
+var millionEdgeSink float64
+
+// BenchmarkMillionEdge exercises the streaming hot path at the paper's
+// claimed scale (Section 5's million-edge graphs): a Barabási–Albert
+// graph (m = 8) is bulk-loaded into the three degree workloads — the
+// degree CCDF, the degree sequence, and per-vertex degrees — and then a
+// fixed 200-proposal transactional walk alternates commits and aborts.
+// The triangle and JDD pipelines are excluded on purpose: their join
+// state grows superlinearly with degree and would measure state size,
+// not the streaming path. allocs/op and B/op gate the pooled buffers;
+// heapMB reports the heap high-water mark (read after bulk load and
+// after the walk), the figure that decides whether a graph of this
+// scale fits the box at all. The 1e5-edge variant runs under -short and
+// is the CI-gated smoke; the 1e6-edge variant is the full-scale run for
+// local and nightly use.
+func BenchmarkMillionEdge(b *testing.B) {
+	for _, edges := range []int{100_000, 1_000_000} {
+		edges := edges
+		b.Run(fmt.Sprintf("edges=%d", edges), func(b *testing.B) {
+			if edges > 100_000 && testing.Short() {
+				b.Skip("-short runs the 1e5-edge smoke; the 1e6-edge run is local/nightly")
+			}
+			const m = 8
+			g, err := datasets.BarabasiForBeta(0.6, edges/m, m, rand.New(rand.NewSource(17)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var heapHigh uint64
+			readHeap := func() {
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > heapHigh {
+					heapHigh = ms.HeapAlloc
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				in := queries.NewEdgeInput()
+				ccdf := incremental.NewNoisyCountSink[int](
+					queries.DegreeCCDFPipeline(in), incremental.MapObservations[int]{}, nil, 0.5)
+				seq := incremental.NewNoisyCountSink[int](
+					queries.DegreeSequencePipeline(in), incremental.MapObservations[int]{}, nil, 0.5)
+				degs := incremental.NewNoisyCountSink[weighted.Grouped[graph.Node, int]](
+					queries.DegreesPipeline(in, 1),
+					incremental.MapObservations[weighted.Grouped[graph.Node, int]]{}, nil, 0.5)
+				scorer := incremental.NewScorer(ccdf, seq, degs)
+				state := mcmc.NewGraphState(g, in) // pushes the initial dataset itself
+				readHeap()
+				rng := rand.New(rand.NewSource(29))
+				valid := 0
+				for valid < 200 {
+					prop, ok := state.Propose(rng)
+					if !ok {
+						continue
+					}
+					valid++
+					state.Speculate(prop)
+					millionEdgeSink = scorer.Score()
+					if valid%2 == 0 {
+						state.Commit()
+					} else {
+						state.Abort(prop)
+					}
+				}
+				readHeap()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(heapHigh)/1e6, "heapMB")
 		})
 	}
 }

@@ -30,21 +30,33 @@ type JoinNode[A, B comparable, K comparable, R comparable] struct {
 	left  map[K]*stateMap[A]
 	right map[K]*stateMap[B]
 
+	// Freelists of dropped key groups, one per side. MCMC walks churn
+	// groups (a key empties when its last record swaps away, then
+	// reappears), so dropped groups are recycled rather than released.
+	poolA statePool[A]
+	poolB statePool[B]
+
 	fastPath bool
 	stats    joinStats
 
 	// Batched-update scratch, reused across pushes so hot loops do not
 	// re-allocate a difference map and output batch per push. Safe
 	// because emitted batches are owned by this node and handlers must
-	// not retain them. The key-order slices record each key's first
-	// appearance so keys are processed — and differences emitted — in a
-	// deterministic order (see stateMap).
-	byKeyA    map[K][]Delta[A]
-	byKeyB    map[K][]Delta[B]
+	// not retain them. Batch deltas are grouped by key into slot-indexed
+	// buckets; the key-order slice records each key's first appearance so
+	// keys are processed — and differences emitted — in a deterministic
+	// order (see stateMap). Slot entries are deleted per push (tracked
+	// via the key order, never clear()), so a bulk load's high-water mark
+	// costs nothing on later small pushes.
+	slotA     map[K]int
+	slotB     map[K]int
+	bucketsA  [][]Delta[A]
+	bucketsB  [][]Delta[B]
 	keyOrderA []K
 	keyOrderB []K
+	scratchA  sideScratch[A]
+	scratchB  sideScratch[B]
 	diff      *orderedDiff[R]
-	out       []Delta[R]
 
 	// Transaction state: per-side groups first touched this transaction
 	// (their undo logs are active), in touch order. As in GroupByNode,
@@ -61,6 +73,22 @@ type joinStats struct {
 	slowKeys int64
 }
 
+// sideScratch is joinUpdateSide's multi-delta working set: each touched
+// record's pre-push weight, in first-touch order. Reused across pushes;
+// reset deletes exactly the keys the push touched so the map never pays
+// for its high-water mark.
+type sideScratch[X comparable] struct {
+	oldW    map[X]float64
+	touched []X
+}
+
+func (s *sideScratch[X]) reset() {
+	for _, x := range s.touched {
+		delete(s.oldW, x)
+	}
+	s.touched = s.touched[:0]
+}
+
 // Join builds an incremental join of two difference streams.
 func Join[A, B comparable, K comparable, R comparable](
 	a Source[A], b Source[B],
@@ -74,10 +102,12 @@ func Join[A, B comparable, K comparable, R comparable](
 		left:     make(map[K]*stateMap[A]),
 		right:    make(map[K]*stateMap[B]),
 		fastPath: true,
-		byKeyA:   make(map[K][]Delta[A]),
-		byKeyB:   make(map[K][]Delta[B]),
+		slotA:    make(map[K]int),
+		slotB:    make(map[K]int),
 		diff:     newOrderedDiff[R](),
 	}
+	n.scratchA.oldW = make(map[A]float64)
+	n.scratchB.oldW = make(map[B]float64)
 	a.Subscribe(n.onLeft)
 	b.Subscribe(n.onRight)
 	forwardTxn(a, n.onTxn)
@@ -98,12 +128,14 @@ func (n *JoinNode[A, B, K, R]) onTxn(op TxnOp) {
 			t.g.commitLog()
 			if t.g.len() == 0 {
 				delete(n.left, t.k)
+				n.poolA.put(t.g)
 			}
 		}
 		for _, t := range n.touchedB {
 			t.g.commitLog()
 			if t.g.len() == 0 {
 				delete(n.right, t.k)
+				n.poolB.put(t.g)
 			}
 		}
 		n.touchedA = n.touchedA[:0]
@@ -116,6 +148,7 @@ func (n *JoinNode[A, B, K, R]) onTxn(op TxnOp) {
 			t.g.abortLog()
 			if t.created {
 				delete(n.left, t.k)
+				n.poolA.put(t.g)
 			}
 		}
 		for k := len(n.touchedB) - 1; k >= 0; k-- {
@@ -123,6 +156,7 @@ func (n *JoinNode[A, B, K, R]) onTxn(op TxnOp) {
 			t.g.abortLog()
 			if t.created {
 				delete(n.right, t.k)
+				n.poolB.put(t.g)
 			}
 		}
 		n.touchedA = n.touchedA[:0]
@@ -154,53 +188,65 @@ func (n *JoinNode[A, B, K, R]) StateSize() int {
 }
 
 func (n *JoinNode[A, B, K, R]) onLeft(batch []Delta[A]) {
-	byKey := n.byKeyA
-	clear(byKey)
 	keys := n.keyOrderA[:0]
 	for _, d := range batch {
 		k := n.keyA(d.Record)
-		if _, seen := byKey[k]; !seen {
+		i, seen := n.slotA[k]
+		if !seen {
+			i = len(keys)
+			if i < len(n.bucketsA) {
+				n.bucketsA[i] = n.bucketsA[i][:0]
+			} else {
+				n.bucketsA = append(n.bucketsA, nil)
+			}
+			n.slotA[k] = i
 			keys = append(keys, k)
 		}
-		byKey[k] = append(byKey[k], d)
+		n.bucketsA[i] = append(n.bucketsA[i], d)
 	}
 	n.keyOrderA = keys
 	diff := n.diff
-	diff.reset()
-	for _, k := range keys {
-		joinUpdateSide(&n.stats, byKey[k], n.leftGroup(k), n.rightGroup(k), n.fastPath, n.reduce, diff)
+	for i, k := range keys {
+		joinUpdateSide(&n.stats, n.bucketsA[i], n.leftGroup(k), n.rightGroup(k), n.fastPath, n.reduce, &n.scratchA, diff)
 		n.dropEmpty(k)
+		delete(n.slotA, k)
 	}
-	n.emitDiff(diff)
+	n.emit(diff.takeBatch())
 }
 
 func (n *JoinNode[A, B, K, R]) onRight(batch []Delta[B]) {
-	byKey := n.byKeyB
-	clear(byKey)
 	keys := n.keyOrderB[:0]
 	for _, d := range batch {
 		k := n.keyB(d.Record)
-		if _, seen := byKey[k]; !seen {
+		i, seen := n.slotB[k]
+		if !seen {
+			i = len(keys)
+			if i < len(n.bucketsB) {
+				n.bucketsB[i] = n.bucketsB[i][:0]
+			} else {
+				n.bucketsB = append(n.bucketsB, nil)
+			}
+			n.slotB[k] = i
 			keys = append(keys, k)
 		}
-		byKey[k] = append(byKey[k], d)
+		n.bucketsB[i] = append(n.bucketsB[i], d)
 	}
 	n.keyOrderB = keys
 	diff := n.diff
-	diff.reset()
 	swapped := func(y B, x A) R { return n.reduce(x, y) }
-	for _, k := range keys {
-		joinUpdateSide(&n.stats, byKey[k], n.rightGroup(k), n.leftGroup(k), n.fastPath, swapped, diff)
+	for i, k := range keys {
+		joinUpdateSide(&n.stats, n.bucketsB[i], n.rightGroup(k), n.leftGroup(k), n.fastPath, swapped, &n.scratchB, diff)
 		n.dropEmpty(k)
+		delete(n.slotB, k)
 	}
-	n.emitDiff(diff)
+	n.emit(diff.takeBatch())
 }
 
 func (n *JoinNode[A, B, K, R]) leftGroup(k K) *stateMap[A] {
 	g := n.left[k]
 	created := false
 	if g == nil {
-		g = newStateMap[A]()
+		g = n.poolA.get()
 		n.left[k] = g
 		created = true
 	}
@@ -215,7 +261,7 @@ func (n *JoinNode[A, B, K, R]) rightGroup(k K) *stateMap[B] {
 	g := n.right[k]
 	created := false
 	if g == nil {
-		g = newStateMap[B]()
+		g = n.poolB.get()
 		n.right[k] = g
 		created = true
 	}
@@ -226,7 +272,7 @@ func (n *JoinNode[A, B, K, R]) rightGroup(k K) *stateMap[B] {
 	return g
 }
 
-// dropEmpty releases index entries for keys whose groups became empty, so
+// dropEmpty recycles index entries for keys whose groups became empty, so
 // long random walks do not leak memory through abandoned keys. Inside a
 // transaction the drop is deferred to commit (an empty group joins to
 // nothing, so keeping it changes no arithmetic) so Abort can restore the
@@ -237,9 +283,11 @@ func (n *JoinNode[A, B, K, R]) dropEmpty(k K) {
 	}
 	if g, ok := n.left[k]; ok && g.len() == 0 {
 		delete(n.left, k)
+		n.poolA.put(g)
 	}
 	if g, ok := n.right[k]; ok && g.len() == 0 {
 		delete(n.right, k)
+		n.poolB.put(g)
 	}
 }
 
@@ -253,6 +301,7 @@ func joinUpdateSide[X, Y comparable, R comparable](
 	own *stateMap[X], other *stateMap[Y],
 	fastPath bool,
 	reduce func(X, Y) R,
+	scratch *sideScratch[X],
 	diff *orderedDiff[R],
 ) {
 	otherNorm := other.norm
@@ -261,7 +310,7 @@ func joinUpdateSide[X, Y comparable, R comparable](
 	// Fast path for the overwhelmingly common MCMC shape: one difference
 	// for this key that leaves the group norm unchanged is impossible (a
 	// single signed delta moves the norm unless it cancels exactly), but a
-	// single difference avoids the oldWeights allocation below.
+	// single difference avoids the pre-weight scratch below.
 	if len(ds) == 1 {
 		d := ds[0]
 		oldW, newW := own.apply(d.Record, d.Weight)
@@ -305,13 +354,14 @@ func joinUpdateSide[X, Y comparable, R comparable](
 	}
 
 	// Apply differences, remembering each touched record's prior weight
-	// in first-touch order.
-	oldWeights := make(map[X]float64, len(ds))
-	touched := make([]X, 0, len(ds))
+	// in first-touch order. The scratch is node-owned and reset on every
+	// exit path, including panics unwinding through the push.
+	defer scratch.reset()
+	oldWeights := scratch.oldW
 	for _, d := range ds {
 		if _, seen := oldWeights[d.Record]; !seen {
 			oldWeights[d.Record] = own.weight(d.Record)
-			touched = append(touched, d.Record)
+			scratch.touched = append(scratch.touched, d.Record)
 		}
 		own.apply(d.Record, d.Weight)
 	}
@@ -324,7 +374,7 @@ func joinUpdateSide[X, Y comparable, R comparable](
 
 	if fastPath && math.Abs(newDenom-oldDenom) < weighted.Eps && oldDenom >= weighted.Eps {
 		stats.fastKeys++
-		for _, x := range touched {
+		for _, x := range scratch.touched {
 			dw := own.weight(x) - oldWeights[x]
 			if math.Abs(dw) < weighted.Eps {
 				continue
@@ -339,7 +389,7 @@ func joinUpdateSide[X, Y comparable, R comparable](
 	stats.slowKeys++
 	// Retract the old outer product under the old denominator.
 	if oldDenom >= weighted.Eps {
-		for _, x := range touched {
+		for _, x := range scratch.touched {
 			oldW := oldWeights[x]
 			if oldW == 0 {
 				continue
@@ -365,9 +415,4 @@ func joinUpdateSide[X, Y comparable, R comparable](
 			})
 		})
 	}
-}
-
-func (n *JoinNode[A, B, K, R]) emitDiff(diff *orderedDiff[R]) {
-	n.out = diff.appendTo(n.out[:0])
-	n.emit(n.out)
 }

@@ -91,17 +91,24 @@ type GroupByNode[T comparable, K comparable, R comparable] struct {
 	key    func(T) K
 	reduce func([]T) R
 
+	// Freelist of dropped groups; see statePool.
+	pool statePool[T]
+
 	// Batched-update scratch, reused across pushes so hot loops do not
 	// re-allocate a fresh index and difference map per batch. Safe
 	// because emitted batches are owned by this node and handlers must
-	// not retain them. keyOrder records each key's first appearance in
-	// the batch, so keys are processed — and differences emitted — in a
-	// deterministic order.
-	byKey    map[K][]Delta[T]
-	keyOrder []K
-	members  []weighted.Pair[T]
-	diff     *orderedDiff[weighted.Grouped[K, R]]
-	out      []Delta[weighted.Grouped[K, R]]
+	// not retain them. Batch deltas are grouped by key into slot-indexed
+	// buckets; keyOrder records each key's first appearance in the
+	// batch, so keys are processed — and differences emitted — in a
+	// deterministic order. Slot entries are deleted per push (tracked
+	// via keyOrder, never clear()), so a bulk load's high-water mark
+	// costs nothing on later small pushes.
+	slot          map[K]int
+	buckets       [][]Delta[T]
+	keyOrder      []K
+	members       []weighted.Pair[T]
+	prefixScratch []T
+	diff          *orderedDiff[weighted.Grouped[K, R]]
 
 	// Transaction state: groups first touched this transaction (their
 	// undo logs are active), in touch order. Group deletion is deferred
@@ -125,6 +132,7 @@ func (n *GroupByNode[T, K, R]) onTxn(op TxnOp) {
 			t.g.commitLog()
 			if t.g.len() == 0 {
 				delete(n.groups, t.k)
+				n.pool.put(t.g)
 			}
 		}
 		n.touched = n.touched[:0]
@@ -134,6 +142,7 @@ func (n *GroupByNode[T, K, R]) onTxn(op TxnOp) {
 			t.g.abortLog()
 			if t.created {
 				delete(n.groups, t.k)
+				n.pool.put(t.g)
 			}
 		}
 		n.touched = n.touched[:0]
@@ -152,7 +161,7 @@ func GroupBy[T comparable, K comparable, R comparable](
 		groups: make(map[K]*stateMap[T]),
 		key:    key,
 		reduce: reduce,
-		byKey:  make(map[K][]Delta[T]),
+		slot:   make(map[K]int),
 		diff:   newOrderedDiff[weighted.Grouped[K, R]](),
 	}
 	src.Subscribe(n.onInput)
@@ -163,27 +172,32 @@ func GroupBy[T comparable, K comparable, R comparable](
 func (n *GroupByNode[T, K, R]) onInput(batch []Delta[T]) {
 	// Group arriving differences by key, remembering first-appearance
 	// order.
-	byKey := n.byKey
-	clear(byKey)
 	keys := n.keyOrder[:0]
 	for _, d := range batch {
 		k := n.key(d.Record)
-		if _, seen := byKey[k]; !seen {
+		i, seen := n.slot[k]
+		if !seen {
+			i = len(keys)
+			if i < len(n.buckets) {
+				n.buckets[i] = n.buckets[i][:0]
+			} else {
+				n.buckets = append(n.buckets, nil)
+			}
+			n.slot[k] = i
 			keys = append(keys, k)
 		}
-		byKey[k] = append(byKey[k], d)
+		n.buckets[i] = append(n.buckets[i], d)
 	}
 	n.keyOrder = keys
 	diff := n.diff
-	diff.reset()
-	for _, k := range keys {
+	for i, k := range keys {
 		group := n.groups[k]
 		// Retract old outputs.
 		n.expand(k, group, func(g weighted.Grouped[K, R], w float64) { diff.add(g, -w) })
 		// Apply the differences.
 		created := false
 		if group == nil {
-			group = newStateMap[T]()
+			group = n.pool.get()
 			n.groups[k] = group
 			created = true
 		}
@@ -191,20 +205,21 @@ func (n *GroupByNode[T, K, R]) onInput(batch []Delta[T]) {
 			group.beginLog()
 			n.touched = append(n.touched, touchedGroup[K, T]{k: k, g: group, created: created})
 		}
-		for _, d := range byKey[k] {
+		for _, d := range n.buckets[i] {
 			group.apply(d.Record, d.Weight)
 		}
 		if group.len() == 0 && !n.gate.Active() {
 			// Deletion is deferred to commit inside a transaction so
 			// Abort can restore the group in place.
 			delete(n.groups, k)
+			n.pool.put(group)
 			group = nil
 		}
 		// Assert new outputs.
 		n.expand(k, group, func(g weighted.Grouped[K, R], w float64) { diff.add(g, w) })
+		delete(n.slot, k)
 	}
-	n.out = diff.appendTo(n.out[:0])
-	n.emit(n.out)
+	n.emit(diff.takeBatch())
 }
 
 // StateSize returns the number of records indexed across all groups.
@@ -225,7 +240,7 @@ func (n *GroupByNode[T, K, R]) expand(k K, group *stateMap[T], emit func(weighte
 		members = append(members, weighted.Pair[T]{Record: x, Weight: w})
 	})
 	n.members = members
-	weighted.PrefixReduce(k, members, n.reduce, emit)
+	n.prefixScratch = weighted.PrefixReduceInto(k, members, n.reduce, emit, n.prefixScratch)
 }
 
 // ShaveNode is the output of Shave.
@@ -236,8 +251,15 @@ type ShaveNode[T comparable] struct {
 	gate  TxnGate
 
 	// Batched-update scratch, reused across pushes (see GroupByNode).
-	diff *orderedDiff[weighted.Indexed[T]]
-	out  []Delta[weighted.Indexed[T]]
+	// slot/pending consolidate a batch per record before expansion: an
+	// unconsolidated batch (a bulk load delivers one delta per edge, so a
+	// source vertex of degree d arrives d times) must cost one
+	// retract/re-expand per distinct record, not one per delta — a record
+	// at weight W expands to O(W) slices, so per-delta expansion is
+	// quadratic in W while per-record expansion is linear.
+	slot    map[T]int
+	pending []Delta[T]
+	diff    *orderedDiff[weighted.Indexed[T]]
 }
 
 // onTxn applies a transaction event to the record index and forwards it
@@ -265,6 +287,7 @@ func Shave[T comparable](src Source[T], f func(x T, i int) float64) *ShaveNode[T
 	n := &ShaveNode[T]{
 		state: newStateMap[T](),
 		f:     f,
+		slot:  make(map[T]int),
 		diff:  newOrderedDiff[weighted.Indexed[T]](),
 	}
 	src.Subscribe(n.onInput)
@@ -281,9 +304,20 @@ func ShaveConst[T comparable](src Source[T], w float64) *ShaveNode[T] {
 func (n *ShaveNode[T]) StateSize() int { return n.state.len() }
 
 func (n *ShaveNode[T]) onInput(batch []Delta[T]) {
-	diff := n.diff
-	diff.reset()
+	// Consolidate per record in first-appearance order, then expand each
+	// distinct record exactly once.
+	pending := n.pending
 	for _, d := range batch {
+		if i, ok := n.slot[d.Record]; ok {
+			pending[i].Weight += d.Weight
+			continue
+		}
+		n.slot[d.Record] = len(pending)
+		pending = append(pending, d)
+	}
+	diff := n.diff
+	for _, d := range pending {
+		delete(n.slot, d.Record)
 		oldW, newW := n.state.apply(d.Record, d.Weight)
 		if oldW == newW {
 			continue
@@ -296,6 +330,6 @@ func (n *ShaveNode[T]) onInput(batch []Delta[T]) {
 			diff.add(weighted.Indexed[T]{Value: x, Index: i}, wi)
 		})
 	}
-	n.out = diff.appendTo(n.out[:0])
-	n.emit(n.out)
+	n.pending = pending[:0]
+	n.emit(diff.takeBatch())
 }

@@ -27,12 +27,15 @@ func (n *Node[T]) onTxn(op TxnOp) {
 }
 
 // Select incrementally applies f to each record, preserving weights.
+// The output buffer is owned by the node and reused across batches
+// (handlers must not retain emitted batches; see Handler).
 func Select[T, U comparable](src Source[T], f func(T) U) *Node[U] {
 	n := &Node[U]{}
+	var out []Delta[U]
 	src.Subscribe(func(batch []Delta[T]) {
-		out := make([]Delta[U], len(batch))
-		for i, d := range batch {
-			out[i] = Delta[U]{f(d.Record), d.Weight}
+		out = out[:0]
+		for _, d := range batch {
+			out = append(out, Delta[U]{f(d.Record), d.Weight})
 		}
 		n.emit(out)
 	})
@@ -43,8 +46,9 @@ func Select[T, U comparable](src Source[T], f func(T) U) *Node[U] {
 // Where incrementally filters records by p.
 func Where[T comparable](src Source[T], p func(T) bool) *Node[T] {
 	n := &Node[T]{}
+	var out []Delta[T]
 	src.Subscribe(func(batch []Delta[T]) {
-		out := make([]Delta[T], 0, len(batch))
+		out = out[:0]
 		for _, d := range batch {
 			if p(d.Record) {
 				out = append(out, d)
@@ -61,8 +65,9 @@ func Where[T comparable](src Source[T], p func(T) bool) *Node[T] {
 // difference touching the record.
 func SelectMany[T, U comparable](src Source[T], f func(T) *weighted.Dataset[U]) *Node[U] {
 	n := &Node[U]{}
+	var out []Delta[U]
 	src.Subscribe(func(batch []Delta[T]) {
-		var out []Delta[U]
+		out = out[:0]
 		for _, d := range batch {
 			fx := f(d.Record)
 			scale := d.Weight / math.Max(1, fx.Norm())
@@ -98,10 +103,11 @@ func Concat[T comparable](a, b Source[T]) *Node[T] {
 func Except[T comparable](a, b Source[T]) *Node[T] {
 	n := &Node[T]{}
 	a.Subscribe(func(batch []Delta[T]) { n.emit(batch) })
+	var out []Delta[T]
 	b.Subscribe(func(batch []Delta[T]) {
-		out := make([]Delta[T], len(batch))
-		for i, d := range batch {
-			out[i] = Delta[T]{d.Record, -d.Weight}
+		out = out[:0]
+		for _, d := range batch {
+			out = append(out, Delta[T]{d.Record, -d.Weight})
 		}
 		n.emit(out)
 	})

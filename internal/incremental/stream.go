@@ -203,6 +203,12 @@ func (c *Collector[T]) Norm() float64 { return c.data.Norm() }
 // trace bit-reproducible: the sinks' floating-point score accumulation
 // sees the same operand order on every identically-seeded run.
 type stateMap[T comparable] struct {
+	// pos is nil until the map grows past posThreshold records; below
+	// that, lookups linear-scan recs. Most groups are keyed by a vertex
+	// and hold O(degree) records — or are join-key singletons — so the
+	// common case never allocates the map at all. Once built, pos is
+	// maintained forever (inserts, deletes, abort replay), so a lookup
+	// path switch can never observe a stale index.
 	pos  map[T]int
 	recs []T
 	ws   []float64
@@ -215,15 +221,35 @@ type stateMap[T comparable] struct {
 	undo    []stateUndo[T]
 }
 
+// posThreshold is the record count past which a stateMap builds its
+// position index. Below it a lookup scans recs — at most posThreshold
+// comparisons against (typically packed-integer) records, cheaper than
+// one map probe plus the map's allocation.
+const posThreshold = 16
+
 func newStateMap[T comparable]() *stateMap[T] {
-	return &stateMap[T]{pos: make(map[T]int)}
+	return &stateMap[T]{}
+}
+
+// index locates record x, via pos when built, else by scanning recs.
+func (m *stateMap[T]) index(x T) (int, bool) {
+	if m.pos != nil {
+		i, ok := m.pos[x]
+		return i, ok
+	}
+	for i, r := range m.recs {
+		if r == x {
+			return i, true
+		}
+	}
+	return 0, false
 }
 
 // apply adds delta to record x and returns (old, new) weights. Weights with
 // magnitude below weighted.Eps collapse to exactly zero, keeping the state
 // identical to the reference engine's.
 func (m *stateMap[T]) apply(x T, delta float64) (oldW, newW float64) {
-	i, ok := m.pos[x]
+	i, ok := m.index(x)
 	if ok {
 		oldW = m.ws[i]
 	}
@@ -238,10 +264,12 @@ func (m *stateMap[T]) apply(x T, delta float64) (oldW, newW float64) {
 			last := len(m.recs) - 1
 			moved := m.recs[last]
 			m.recs[i], m.ws[i] = moved, m.ws[last]
-			m.pos[moved] = i
 			m.recs = m.recs[:last]
 			m.ws = m.ws[:last]
-			delete(m.pos, x) // after pos[moved]: moved may be x itself
+			if m.pos != nil {
+				m.pos[moved] = i
+				delete(m.pos, x) // after pos[moved]: moved may be x itself
+			}
 		}
 	case ok:
 		if m.logging {
@@ -252,16 +280,40 @@ func (m *stateMap[T]) apply(x T, delta float64) (oldW, newW float64) {
 		if m.logging {
 			m.undo = append(m.undo, stateUndo[T]{kind: undoInsert, oldNorm: m.norm})
 		}
-		m.pos[x] = len(m.recs)
+		if m.pos != nil {
+			m.pos[x] = len(m.recs)
+		}
 		m.recs = append(m.recs, x)
 		m.ws = append(m.ws, newW)
+		if m.pos == nil && len(m.recs) > posThreshold {
+			m.pos = make(map[T]int, 2*posThreshold)
+			for j, r := range m.recs {
+				m.pos[r] = j
+			}
+		}
 	}
 	m.norm += math.Abs(newW) - math.Abs(oldW)
 	return oldW, newW
 }
 
+// recycle resets an emptied state map to its freshly-constructed state
+// while keeping allocated capacity, so statePool can reuse it. Only empty
+// maps are recycled (pos, when built, has no entries once recs is empty),
+// which makes a recycled map indistinguishable from a new one except for
+// spare capacity — a kept-but-empty pos only changes lookup strategy,
+// never results: norm is forced to exactly zero because a drained group
+// can carry ±1e-17 of float dust, and a fresh map's norm is bit-exact 0 —
+// trace bit-identity requires the zeroing, not just "small".
+func (m *stateMap[T]) recycle() {
+	m.recs = m.recs[:0]
+	m.ws = m.ws[:0]
+	m.norm = 0
+	m.logging = false
+	m.undo = m.undo[:0]
+}
+
 func (m *stateMap[T]) weight(x T) float64 {
-	if i, ok := m.pos[x]; ok {
+	if i, ok := m.index(x); ok {
 		return m.ws[i]
 	}
 	return 0
@@ -285,10 +337,17 @@ func (m *stateMap[T]) each(f func(x T, w float64)) {
 // map-backed dataset it flushes in insertion order, so a node's emitted
 // batch order is a deterministic function of its input, never of map
 // iteration order (see stateMap).
+//
+// Differences accumulate directly as Delta values, so takeBatch can
+// compact non-zero entries in place and hand the node its own backing
+// array to emit: zero copies and zero allocations at steady state.
+// Handlers must not retain emitted batches (the Handler contract), which
+// is what makes lending the internal slice out safe — emission is
+// synchronous, and the next push overwrites the array only after every
+// downstream handler has returned.
 type orderedDiff[T comparable] struct {
-	pos  map[T]int
-	recs []T
-	ws   []float64
+	pos map[T]int
+	ds  []Delta[T]
 }
 
 func newOrderedDiff[T comparable]() *orderedDiff[T] {
@@ -298,35 +357,38 @@ func newOrderedDiff[T comparable]() *orderedDiff[T] {
 // add accumulates w onto record x.
 func (d *orderedDiff[T]) add(x T, w float64) {
 	if i, ok := d.pos[x]; ok {
-		nw := d.ws[i] + w
+		nw := d.ds[i].Weight + w
 		if math.Abs(nw) < weighted.Eps {
 			nw = 0
 		}
-		d.ws[i] = nw
+		d.ds[i].Weight = nw
 		return
 	}
 	if math.Abs(w) < weighted.Eps {
 		w = 0
 	}
-	d.pos[x] = len(d.recs)
-	d.recs = append(d.recs, x)
-	d.ws = append(d.ws, w)
+	d.pos[x] = len(d.ds)
+	d.ds = append(d.ds, Delta[T]{Record: x, Weight: w})
 }
 
-// reset clears the accumulator, keeping capacity for reuse across pushes.
-func (d *orderedDiff[T]) reset() {
-	clear(d.pos)
-	d.recs = d.recs[:0]
-	d.ws = d.ws[:0]
-}
-
-// appendTo flushes the non-zero accumulated differences, in insertion
-// order, onto out.
-func (d *orderedDiff[T]) appendTo(out []Delta[T]) []Delta[T] {
-	for i, x := range d.recs {
-		if d.ws[i] != 0 {
-			out = append(out, Delta[T]{x, d.ws[i]})
+// takeBatch compacts the non-zero accumulated differences in place —
+// preserving insertion order — clears the index, and returns the batch
+// for immediate emission. The index cleanup deletes exactly the keys
+// this push inserted (O(accumulated), never O(map buckets)), so a node
+// that once saw a bulk load does not pay for its high-water mark on
+// every subsequent small push. The accumulator is empty when takeBatch
+// returns; the returned slice aliases the internal array and is valid
+// until the next add.
+func (d *orderedDiff[T]) takeBatch() []Delta[T] {
+	w := 0
+	for _, e := range d.ds {
+		delete(d.pos, e.Record)
+		if e.Weight != 0 {
+			d.ds[w] = e
+			w++
 		}
 	}
+	out := d.ds[:w]
+	d.ds = d.ds[:0]
 	return out
 }

@@ -122,7 +122,14 @@ type stateUndo[T comparable] struct {
 // beginLog starts logging mutations. Idempotent within a transaction;
 // callers use the logging flag to register the map as touched exactly
 // once.
-func (m *stateMap[T]) beginLog() { m.logging = true }
+func (m *stateMap[T]) beginLog() {
+	m.logging = true
+	if m.undo == nil {
+		// Pre-size the first log so a typical transaction's handful of
+		// entries costs one allocation, not a 1-2-4-8 growth ladder.
+		m.undo = make([]stateUndo[T], 0, 8)
+	}
+}
 
 // commitLog discards the log and stops logging.
 func (m *stateMap[T]) commitLog() {
@@ -141,7 +148,9 @@ func (m *stateMap[T]) abortLog() {
 			m.ws[u.i] = u.oldW
 		case undoInsert:
 			last := len(m.recs) - 1
-			delete(m.pos, m.recs[last])
+			if m.pos != nil {
+				delete(m.pos, m.recs[last])
+			}
 			m.recs = m.recs[:last]
 			m.ws = m.ws[:last]
 		case undoDelete:
@@ -156,11 +165,15 @@ func (m *stateMap[T]) abortLog() {
 				moved := m.recs[u.i]
 				m.recs = append(m.recs, moved)
 				m.ws = append(m.ws, m.ws[u.i])
-				m.pos[moved] = last
+				if m.pos != nil {
+					m.pos[moved] = last
+				}
 				m.recs[u.i] = u.x
 				m.ws[u.i] = u.oldW
 			}
-			m.pos[u.x] = u.i
+			if m.pos != nil {
+				m.pos[u.x] = u.i
+			}
 		}
 		m.norm = u.oldNorm
 	}

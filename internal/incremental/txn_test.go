@@ -1,6 +1,7 @@
 package incremental
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -177,40 +178,49 @@ func TestTxnSinkKeepsNewObservations(t *testing.T) {
 
 // TestTxnStateMapAbortRestoresOrder pins the slice-order restoration the
 // deterministic-emission invariants depend on: a swap-delete undone by
-// abort must put every record back in its original slot.
+// abort must put every record back in its original slot. Runs at a size
+// below posThreshold (linear-scan index, pos never built) and above it
+// (built position map, which abort replay must keep in sync).
 func TestTxnStateMapAbortRestoresOrder(t *testing.T) {
-	m := newStateMap[int]()
-	for i := 0; i < 6; i++ {
-		m.apply(i, float64(i+1))
-	}
-	var wantRecs []int
-	var wantWs []float64
-	wantRecs = append(wantRecs, m.recs...)
-	wantWs = append(wantWs, m.ws...)
-	wantNorm := m.norm
+	for _, size := range []int{6, posThreshold + 8} {
+		t.Run(fmt.Sprintf("size=%d", size), func(t *testing.T) {
+			m := newStateMap[int]()
+			for i := 0; i < size; i++ {
+				m.apply(i, float64(i+1))
+			}
+			if small, built := size <= posThreshold, m.pos != nil; small == built {
+				t.Fatalf("pos built = %v at %d records, threshold %d", built, size, posThreshold)
+			}
+			var wantRecs []int
+			var wantWs []float64
+			wantRecs = append(wantRecs, m.recs...)
+			wantWs = append(wantWs, m.ws...)
+			wantNorm := m.norm
 
-	m.beginLog()
-	m.apply(1, -2)  // delete record 1 (swap-moves 5 into slot 1)
-	m.apply(3, 2.5) // update
-	m.apply(9, 4)   // insert
-	m.apply(9, -4)  // delete the tail insert
-	m.apply(0, -1)  // delete record 0
-	m.abortLog()
+			m.beginLog()
+			m.apply(1, -2)  // delete record 1 (swap-moves the tail into slot 1)
+			m.apply(3, 2.5) // update
+			m.apply(99, 4)  // insert
+			m.apply(99, -4) // delete the tail insert
+			m.apply(0, -1)  // delete record 0
+			m.abortLog()
 
-	if len(m.recs) != len(wantRecs) {
-		t.Fatalf("recs length %d, want %d", len(m.recs), len(wantRecs))
-	}
-	for i := range wantRecs {
-		if m.recs[i] != wantRecs[i] || m.ws[i] != wantWs[i] {
-			t.Errorf("slot %d: (%v, %v), want (%v, %v)", i, m.recs[i], m.ws[i], wantRecs[i], wantWs[i])
-		}
-	}
-	if m.norm != wantNorm {
-		t.Errorf("norm %v, want %v", m.norm, wantNorm)
-	}
-	for i, x := range m.recs {
-		if m.pos[x] != i {
-			t.Errorf("pos[%v] = %d, want %d", x, m.pos[x], i)
-		}
+			if len(m.recs) != len(wantRecs) {
+				t.Fatalf("recs length %d, want %d", len(m.recs), len(wantRecs))
+			}
+			for i := range wantRecs {
+				if m.recs[i] != wantRecs[i] || m.ws[i] != wantWs[i] {
+					t.Errorf("slot %d: (%v, %v), want (%v, %v)", i, m.recs[i], m.ws[i], wantRecs[i], wantWs[i])
+				}
+			}
+			if m.norm != wantNorm {
+				t.Errorf("norm %v, want %v", m.norm, wantNorm)
+			}
+			for i, x := range m.recs {
+				if j, ok := m.index(x); !ok || j != i {
+					t.Errorf("index(%v) = %d, %v, want %d, true", x, j, ok, i)
+				}
+			}
+		})
 	}
 }

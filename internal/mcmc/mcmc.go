@@ -73,6 +73,12 @@ type GraphState struct {
 	edges []graph.Edge // normalized (Src < Dst) undirected edge list
 	input Input
 	txn   TxnInput // input's transactional view, nil when unsupported
+
+	// swapBatch is the reusable eight-delta proposal batch. Push consumes
+	// the slice synchronously (the serial executor propagates before
+	// returning; the engine drains its round inside Push), so reusing it
+	// across proposals is safe and keeps Apply allocation-free.
+	swapBatch []incremental.Delta[graph.Edge]
 }
 
 // NewGraphState couples g (cloned) to input and pushes the initial edge
@@ -153,16 +159,17 @@ func (s *GraphState) Apply(p Proposal) {
 	s.g.AddEdge(p.C, p.B)
 	s.edges[p.I] = normEdge(p.A, p.D)
 	s.edges[p.J] = normEdge(p.C, p.B)
-	s.input.Push([]incremental.Delta[graph.Edge]{
-		{Record: graph.Edge{Src: p.A, Dst: p.B}, Weight: -1},
-		{Record: graph.Edge{Src: p.B, Dst: p.A}, Weight: -1},
-		{Record: graph.Edge{Src: p.C, Dst: p.D}, Weight: -1},
-		{Record: graph.Edge{Src: p.D, Dst: p.C}, Weight: -1},
-		{Record: graph.Edge{Src: p.A, Dst: p.D}, Weight: 1},
-		{Record: graph.Edge{Src: p.D, Dst: p.A}, Weight: 1},
-		{Record: graph.Edge{Src: p.C, Dst: p.B}, Weight: 1},
-		{Record: graph.Edge{Src: p.B, Dst: p.C}, Weight: 1},
-	})
+	s.swapBatch = append(s.swapBatch[:0],
+		incremental.Delta[graph.Edge]{Record: graph.Edge{Src: p.A, Dst: p.B}, Weight: -1},
+		incremental.Delta[graph.Edge]{Record: graph.Edge{Src: p.B, Dst: p.A}, Weight: -1},
+		incremental.Delta[graph.Edge]{Record: graph.Edge{Src: p.C, Dst: p.D}, Weight: -1},
+		incremental.Delta[graph.Edge]{Record: graph.Edge{Src: p.D, Dst: p.C}, Weight: -1},
+		incremental.Delta[graph.Edge]{Record: graph.Edge{Src: p.A, Dst: p.D}, Weight: 1},
+		incremental.Delta[graph.Edge]{Record: graph.Edge{Src: p.D, Dst: p.A}, Weight: 1},
+		incremental.Delta[graph.Edge]{Record: graph.Edge{Src: p.C, Dst: p.B}, Weight: 1},
+		incremental.Delta[graph.Edge]{Record: graph.Edge{Src: p.B, Dst: p.C}, Weight: 1},
+	)
+	s.input.Push(s.swapBatch)
 }
 
 // Revert undoes a just-applied proposal by applying the inverse swap:

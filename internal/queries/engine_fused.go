@@ -38,12 +38,11 @@ func EngineFusedPathDegPipeline(m *plan.Memo, edges engine.Source[graph.Edge], b
 	degs := EngineFusedDegreesPipeline(m, edges, bucket)
 	n := plan.Node{Key: pathDegKey(bucket), Op: "join(paths,degrees)", Inputs: []string{pathsKey(), degreesKey(bucket)}}
 	return plan.Shared(m, n, func() engine.Source[PathDeg] {
-		s := engine.Join(paths, degs,
-			func(p Path) graph.Node { return p.B },
-			func(d weighted.Grouped[graph.Node, int]) graph.Node { return d.Key },
-			func(p Path, d weighted.Grouped[graph.Node, int]) PathDeg {
-				return PathDeg{Path: p, Deg: d.Result}
-			})
+		pp := engine.Select(paths, packPath)
+		pd := engine.Select(degs, func(d weighted.Grouped[graph.Node, int]) PDeg {
+			return packedDeg(packNode(d.Key), d.Result)
+		})
+		s := engine.Select(enginePathDegCore(pp, pd), PPathDeg.unpack)
 		plan.Count[PathDeg](m, s)
 		return s
 	})
@@ -54,9 +53,7 @@ func EngineFusedTbIPipeline(m *plan.Memo, edges engine.Source[graph.Edge]) engin
 	paths := EngineFusedPathsPipeline(m, edges)
 	n := plan.Node{Key: "tbi", Op: "rotate+intersect+unit", Inputs: []string{pathsKey()}}
 	return plan.Shared(m, n, func() engine.Source[Unit] {
-		rotated := engine.Select(paths, func(p Path) Path { return p.Rotate() })
-		triangles := engine.Intersect[Path](rotated, paths)
-		s := engine.Select(triangles, func(Path) Unit { return Unit{} })
+		s := engineTbiCore(engine.Select(paths, packPath))
 		plan.Count[Unit](m, s)
 		return s
 	})
@@ -67,20 +64,10 @@ func EngineFusedTbDPipeline(m *plan.Memo, edges engine.Source[graph.Edge], bucke
 	abc := EngineFusedPathDegPipeline(m, edges, bucket)
 	n := plan.Node{Key: tbdKey(bucket), Op: "rotations+2joins+sorttriple", Inputs: []string{pathDegKey(bucket)}}
 	return plan.Shared(m, n, func() engine.Source[DegTriple] {
-		bca := engine.Select[PathDeg](abc, func(x PathDeg) PathDeg {
-			return PathDeg{x.Path.Rotate(), x.Deg}
+		packed := engine.Select(abc, func(x PathDeg) PPathDeg {
+			return PPathDeg{P: packPath(x.Path), Deg: int32(x.Deg)}
 		})
-		cab := engine.Select(bca, func(x PathDeg) PathDeg {
-			return PathDeg{x.Path.Rotate(), x.Deg}
-		})
-		two := engine.Join[PathDeg, PathDeg, Path, PathDeg2](abc, bca,
-			func(x PathDeg) Path { return x.Path },
-			func(y PathDeg) Path { return y.Path },
-			func(x, y PathDeg) PathDeg2 { return PathDeg2{Path: x.Path, D1: x.Deg, D2: y.Deg} })
-		s := engine.Join[PathDeg2, PathDeg, Path, DegTriple](two, cab,
-			func(x PathDeg2) Path { return x.Path },
-			func(y PathDeg) Path { return y.Path },
-			func(x PathDeg2, y PathDeg) DegTriple { return SortTriple(x.D1, x.D2, y.Deg) })
+		s := engineTbdCore(packed)
 		plan.Count[DegTriple](m, s)
 		return s
 	})
@@ -91,16 +78,10 @@ func EngineFusedJDDPipeline(m *plan.Memo, edges engine.Source[graph.Edge]) engin
 	degs := EngineFusedDegreesPipeline(m, edges, 1)
 	n := plan.Node{Key: "jdd", Op: "join(degrees,edges)+selfjoin", Inputs: []string{degreesKey(1), "edges"}}
 	return plan.Shared(m, n, func() engine.Source[DegPair] {
-		temp := engine.Join(degs, edges,
-			func(d weighted.Grouped[graph.Node, int]) graph.Node { return d.Key },
-			func(e graph.Edge) graph.Node { return e.Src },
-			func(d weighted.Grouped[graph.Node, int], e graph.Edge) EdgeDeg {
-				return EdgeDeg{Edge: e, Deg: d.Result}
-			})
-		s := engine.Join[EdgeDeg, EdgeDeg, graph.Edge, DegPair](temp, temp,
-			func(x EdgeDeg) graph.Edge { return x.Edge },
-			func(y EdgeDeg) graph.Edge { return y.Edge.Reverse() },
-			func(x, y EdgeDeg) DegPair { return DegPair{DA: x.Deg, DB: y.Deg} })
+		pd := engine.Select(degs, func(d weighted.Grouped[graph.Node, int]) PDeg {
+			return packedDeg(packNode(d.Key), d.Result)
+		})
+		s := engineJddCore(pd, enginePackEdges(edges))
 		plan.Count[DegPair](m, s)
 		return s
 	})

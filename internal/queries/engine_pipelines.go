@@ -13,7 +13,9 @@ import (
 // implement incremental.Source, the returned sources terminate in the
 // same sinks (incremental.NewNoisyCountSink, incremental.Collect) the
 // serial pipelines use — or in engine.Collect when the materialized
-// output itself is large enough to shard.
+// output itself is large enough to shard. Interiors run on the packed
+// encodings of packed.go, exactly as the serial builders do; packed
+// uint64 keys also shrink the hash-exchange records between shards.
 
 // NewEngineEdgeInput returns a sharded input for symmetric directed edge
 // differences, registered with e.
@@ -21,74 +23,109 @@ func NewEngineEdgeInput(e *engine.Engine) *engine.Input[graph.Edge] {
 	return engine.NewInput[graph.Edge](e)
 }
 
-// EnginePathsPipeline mirrors PathsPipeline on the sharded executor.
-func EnginePathsPipeline(edges engine.Source[graph.Edge]) engine.Source[Path] {
-	joined := engine.Join(edges, edges,
-		func(e graph.Edge) graph.Node { return e.Dst },
-		func(e graph.Edge) graph.Node { return e.Src },
-		func(x, y graph.Edge) Path { return Path{x.Src, x.Dst, y.Dst} })
-	return engine.Where[Path](joined, func(p Path) bool { return p.A != p.C })
+// enginePackEdges mirrors packEdges on the sharded executor.
+func enginePackEdges(edges engine.Source[graph.Edge]) engine.Source[PEdge] {
+	return engine.Select(edges, packEdge)
 }
 
-// EngineDegreesPipeline mirrors DegreesPipeline on the sharded executor.
-func EngineDegreesPipeline(edges engine.Source[graph.Edge], bucket int) engine.Source[weighted.Grouped[graph.Node, int]] {
-	return engine.GroupBy(edges,
-		func(e graph.Edge) graph.Node { return e.Src },
-		func(es []graph.Edge) int {
+// enginePathsCore mirrors pathsCore.
+func enginePathsCore(pe engine.Source[PEdge]) engine.Source[PPath] {
+	joined := engine.Join(pe, pe,
+		func(e PEdge) uint64 { return e.dstKey() },
+		func(e PEdge) uint64 { return e.srcKey() },
+		func(x, y PEdge) PPath { return packedPath(x.srcKey(), x.dstKey(), y.dstKey()) })
+	return engine.Where[PPath](joined, func(p PPath) bool { return p.aKey() != p.cKey() })
+}
+
+// engineDegreesCore mirrors degreesCore.
+func engineDegreesCore(pe engine.Source[PEdge], bucket int) engine.Source[PDeg] {
+	grouped := engine.GroupBy(pe,
+		func(e PEdge) uint64 { return e.srcKey() },
+		func(es []PEdge) int {
 			if bucket > 1 {
 				return len(es) / bucket
 			}
 			return len(es)
 		})
+	return engine.Select(grouped, func(g weighted.Grouped[uint64, int]) PDeg {
+		return packedDeg(g.Key, g.Result)
+	})
+}
+
+// enginePathDegCore mirrors pathDegCore.
+func enginePathDegCore(pp engine.Source[PPath], pd engine.Source[PDeg]) engine.Source[PPathDeg] {
+	return engine.Join(pp, pd,
+		func(p PPath) uint64 { return p.bKey() },
+		func(d PDeg) uint64 { return d.nodeKey() },
+		func(p PPath, d PDeg) PPathDeg { return PPathDeg{P: p, Deg: int32(d.deg())} })
+}
+
+// engineTbiCore mirrors tbiCore.
+func engineTbiCore(pp engine.Source[PPath]) engine.Source[Unit] {
+	rotated := engine.Select(pp, func(p PPath) PPath { return p.rotate() })
+	triangles := engine.Intersect[PPath](rotated, pp)
+	return engine.Select(triangles, func(PPath) Unit { return Unit{} })
+}
+
+// engineTbdCore mirrors tbdCore.
+func engineTbdCore(abc engine.Source[PPathDeg]) engine.Source[DegTriple] {
+	bca := engine.Select[PPathDeg](abc, func(x PPathDeg) PPathDeg {
+		return PPathDeg{x.P.rotate(), x.Deg}
+	})
+	cab := engine.Select(bca, func(x PPathDeg) PPathDeg {
+		return PPathDeg{x.P.rotate(), x.Deg}
+	})
+	two := engine.Join[PPathDeg, PPathDeg, PPath, PPathDeg2](abc, bca,
+		func(x PPathDeg) PPath { return x.P },
+		func(y PPathDeg) PPath { return y.P },
+		func(x, y PPathDeg) PPathDeg2 { return PPathDeg2{P: x.P, D1: x.Deg, D2: y.Deg} })
+	return engine.Join[PPathDeg2, PPathDeg, PPath, DegTriple](two, cab,
+		func(x PPathDeg2) PPath { return x.P },
+		func(y PPathDeg) PPath { return y.P },
+		func(x PPathDeg2, y PPathDeg) DegTriple { return SortTriple(int(x.D1), int(x.D2), int(y.Deg)) })
+}
+
+// engineJddCore mirrors jddCore.
+func engineJddCore(pd engine.Source[PDeg], pe engine.Source[PEdge]) engine.Source[DegPair] {
+	temp := engine.Join(pd, pe,
+		func(d PDeg) uint64 { return d.nodeKey() },
+		func(e PEdge) uint64 { return e.srcKey() },
+		func(d PDeg, e PEdge) PEdgeDeg { return packedEdgeDeg(e, d.deg()) })
+	return engine.Join[PEdgeDeg, PEdgeDeg, uint64, DegPair](temp, temp,
+		func(x PEdgeDeg) uint64 { return x.edgeKey() },
+		func(y PEdgeDeg) uint64 { return y.reverseKey() },
+		func(x, y PEdgeDeg) DegPair { return DegPair{DA: x.deg(), DB: y.deg()} })
+}
+
+// EnginePathsPipeline mirrors PathsPipeline on the sharded executor.
+func EnginePathsPipeline(edges engine.Source[graph.Edge]) engine.Source[Path] {
+	pp := enginePathsCore(enginePackEdges(edges))
+	return engine.Select(pp, PPath.unpack)
+}
+
+// EngineDegreesPipeline mirrors DegreesPipeline on the sharded executor.
+func EngineDegreesPipeline(edges engine.Source[graph.Edge], bucket int) engine.Source[weighted.Grouped[graph.Node, int]] {
+	pd := engineDegreesCore(enginePackEdges(edges), bucket)
+	return engine.Select(pd, func(d PDeg) weighted.Grouped[graph.Node, int] {
+		return weighted.Grouped[graph.Node, int]{Key: unpackNode(d.nodeKey()), Result: d.deg()}
+	})
 }
 
 // EngineTbIPipeline mirrors TbIPipeline on the sharded executor.
 func EngineTbIPipeline(edges engine.Source[graph.Edge]) engine.Source[Unit] {
-	paths := EnginePathsPipeline(edges)
-	rotated := engine.Select(paths, func(p Path) Path { return p.Rotate() })
-	triangles := engine.Intersect[Path](rotated, paths)
-	return engine.Select(triangles, func(Path) Unit { return Unit{} })
+	return engineTbiCore(enginePathsCore(enginePackEdges(edges)))
 }
 
 // EngineTbDPipeline mirrors TbDPipeline on the sharded executor.
 func EngineTbDPipeline(edges engine.Source[graph.Edge], bucket int) engine.Source[DegTriple] {
-	paths := EnginePathsPipeline(edges)
-	degs := EngineDegreesPipeline(edges, bucket)
-	abc := engine.Join(paths, degs,
-		func(p Path) graph.Node { return p.B },
-		func(d weighted.Grouped[graph.Node, int]) graph.Node { return d.Key },
-		func(p Path, d weighted.Grouped[graph.Node, int]) PathDeg {
-			return PathDeg{Path: p, Deg: d.Result}
-		})
-	bca := engine.Select[PathDeg](abc, func(x PathDeg) PathDeg {
-		return PathDeg{x.Path.Rotate(), x.Deg}
-	})
-	cab := engine.Select(bca, func(x PathDeg) PathDeg {
-		return PathDeg{x.Path.Rotate(), x.Deg}
-	})
-	two := engine.Join[PathDeg, PathDeg, Path, PathDeg2](abc, bca,
-		func(x PathDeg) Path { return x.Path },
-		func(y PathDeg) Path { return y.Path },
-		func(x, y PathDeg) PathDeg2 { return PathDeg2{Path: x.Path, D1: x.Deg, D2: y.Deg} })
-	return engine.Join[PathDeg2, PathDeg, Path, DegTriple](two, cab,
-		func(x PathDeg2) Path { return x.Path },
-		func(y PathDeg) Path { return y.Path },
-		func(x PathDeg2, y PathDeg) DegTriple { return SortTriple(x.D1, x.D2, y.Deg) })
+	pe := enginePackEdges(edges)
+	return engineTbdCore(enginePathDegCore(enginePathsCore(pe), engineDegreesCore(pe, bucket)))
 }
 
 // EngineJDDPipeline mirrors JDDPipeline on the sharded executor.
 func EngineJDDPipeline(edges engine.Source[graph.Edge]) engine.Source[DegPair] {
-	degs := EngineDegreesPipeline(edges, 1)
-	temp := engine.Join(degs, edges,
-		func(d weighted.Grouped[graph.Node, int]) graph.Node { return d.Key },
-		func(e graph.Edge) graph.Node { return e.Src },
-		func(d weighted.Grouped[graph.Node, int], e graph.Edge) EdgeDeg {
-			return EdgeDeg{Edge: e, Deg: d.Result}
-		})
-	return engine.Join[EdgeDeg, EdgeDeg, graph.Edge, DegPair](temp, temp,
-		func(x EdgeDeg) graph.Edge { return x.Edge },
-		func(y EdgeDeg) graph.Edge { return y.Edge.Reverse() },
-		func(x, y EdgeDeg) DegPair { return DegPair{DA: x.Deg, DB: y.Deg} })
+	pe := enginePackEdges(edges)
+	return engineJddCore(engineDegreesCore(pe, 1), pe)
 }
 
 // EngineSbDPipeline mirrors SbDPipeline on the sharded executor.

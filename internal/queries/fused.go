@@ -79,18 +79,20 @@ func FusedDegreesPipeline(m *plan.Memo, edges incremental.Source[graph.Edge], bu
 }
 
 // FusedPathDegPipeline is the paths-with-center-degree join (TbD's and
-// SbD's "abc" prefix) requested through the memo.
+// SbD's "abc" prefix) requested through the memo. Fragments exchange
+// decoded records at their boundaries (keeping keys, output types, and
+// DAG shape identical to the unpacked plan); the body re-packs its two
+// inputs and runs the join on packed keys.
 func FusedPathDegPipeline(m *plan.Memo, edges incremental.Source[graph.Edge], bucket int) incremental.Source[PathDeg] {
 	paths := FusedPathsPipeline(m, edges)
 	degs := FusedDegreesPipeline(m, edges, bucket)
 	n := plan.Node{Key: pathDegKey(bucket), Op: "join(paths,degrees)", Inputs: []string{pathsKey(), degreesKey(bucket)}}
 	return plan.Shared(m, n, func() incremental.Source[PathDeg] {
-		s := incremental.Join(paths, degs,
-			func(p Path) graph.Node { return p.B },
-			func(d weighted.Grouped[graph.Node, int]) graph.Node { return d.Key },
-			func(p Path, d weighted.Grouped[graph.Node, int]) PathDeg {
-				return PathDeg{Path: p, Deg: d.Result}
-			})
+		pp := incremental.Select(paths, packPath)
+		pd := incremental.Select(degs, func(d weighted.Grouped[graph.Node, int]) PDeg {
+			return packedDeg(packNode(d.Key), d.Result)
+		})
+		s := incremental.Select(pathDegCore(pp, pd), PPathDeg.unpack)
 		plan.Count(m, s)
 		return s
 	})
@@ -102,9 +104,7 @@ func FusedTbIPipeline(m *plan.Memo, edges incremental.Source[graph.Edge]) increm
 	paths := FusedPathsPipeline(m, edges)
 	n := plan.Node{Key: "tbi", Op: "rotate+intersect+unit", Inputs: []string{pathsKey()}}
 	return plan.Shared(m, n, func() incremental.Source[Unit] {
-		rotated := incremental.Select(paths, func(p Path) Path { return p.Rotate() })
-		triangles := incremental.Intersect[Path](rotated, paths)
-		s := incremental.Select(triangles, func(Path) Unit { return Unit{} })
+		s := tbiCore(incremental.Select(paths, packPath))
 		plan.Count(m, s)
 		return s
 	})
@@ -116,20 +116,10 @@ func FusedTbDPipeline(m *plan.Memo, edges incremental.Source[graph.Edge], bucket
 	abc := FusedPathDegPipeline(m, edges, bucket)
 	n := plan.Node{Key: tbdKey(bucket), Op: "rotations+2joins+sorttriple", Inputs: []string{pathDegKey(bucket)}}
 	return plan.Shared(m, n, func() incremental.Source[DegTriple] {
-		bca := incremental.Select[PathDeg](abc, func(x PathDeg) PathDeg {
-			return PathDeg{x.Path.Rotate(), x.Deg}
+		packed := incremental.Select(abc, func(x PathDeg) PPathDeg {
+			return PPathDeg{P: packPath(x.Path), Deg: int32(x.Deg)}
 		})
-		cab := incremental.Select(bca, func(x PathDeg) PathDeg {
-			return PathDeg{x.Path.Rotate(), x.Deg}
-		})
-		two := incremental.Join[PathDeg, PathDeg, Path, PathDeg2](abc, bca,
-			func(x PathDeg) Path { return x.Path },
-			func(y PathDeg) Path { return y.Path },
-			func(x, y PathDeg) PathDeg2 { return PathDeg2{Path: x.Path, D1: x.Deg, D2: y.Deg} })
-		s := incremental.Join[PathDeg2, PathDeg, Path, DegTriple](two, cab,
-			func(x PathDeg2) Path { return x.Path },
-			func(y PathDeg) Path { return y.Path },
-			func(x PathDeg2, y PathDeg) DegTriple { return SortTriple(x.D1, x.D2, y.Deg) })
+		s := tbdCore(packed)
 		plan.Count(m, s)
 		return s
 	})
@@ -141,16 +131,10 @@ func FusedJDDPipeline(m *plan.Memo, edges incremental.Source[graph.Edge]) increm
 	degs := FusedDegreesPipeline(m, edges, 1)
 	n := plan.Node{Key: "jdd", Op: "join(degrees,edges)+selfjoin", Inputs: []string{degreesKey(1), "edges"}}
 	return plan.Shared(m, n, func() incremental.Source[DegPair] {
-		temp := incremental.Join(degs, edges,
-			func(d weighted.Grouped[graph.Node, int]) graph.Node { return d.Key },
-			func(e graph.Edge) graph.Node { return e.Src },
-			func(d weighted.Grouped[graph.Node, int], e graph.Edge) EdgeDeg {
-				return EdgeDeg{Edge: e, Deg: d.Result}
-			})
-		s := incremental.Join[EdgeDeg, EdgeDeg, graph.Edge, DegPair](temp, temp,
-			func(x EdgeDeg) graph.Edge { return x.Edge },
-			func(y EdgeDeg) graph.Edge { return y.Edge.Reverse() },
-			func(x, y EdgeDeg) DegPair { return DegPair{DA: x.Deg, DB: y.Deg} })
+		pd := incremental.Select(degs, func(d weighted.Grouped[graph.Node, int]) PDeg {
+			return packedDeg(packNode(d.Key), d.Result)
+		})
+		s := jddCore(pd, packEdges(edges))
 		plan.Count(m, s)
 		return s
 	})

@@ -1,8 +1,6 @@
 package queries
 
 import (
-	"sort"
-
 	"wpinq/internal/core"
 	"wpinq/internal/graph"
 	"wpinq/internal/incremental"
@@ -25,15 +23,25 @@ import (
 // slots beyond the pattern's size hold -1.
 type DegProfile [MaxPatternNodes]int
 
-// sortProfile canonicalizes the first k slots ascending.
+// sortProfile canonicalizes the first k slots ascending. It runs once
+// per emitted motif difference on the hot path, so it insertion-sorts
+// in place inside the fixed-size profile (k <= MaxPatternNodes) rather
+// than copying through a heap slice.
 func sortProfile(degs []int) DegProfile {
 	var p DegProfile
 	for i := range p {
 		p[i] = -1
 	}
-	sorted := append([]int(nil), degs...)
-	sort.Ints(sorted)
-	copy(p[:], sorted)
+	copy(p[:], degs)
+	for i := 1; i < len(degs); i++ {
+		x := p[i]
+		j := i - 1
+		for j >= 0 && p[j] > x {
+			p[j+1] = p[j]
+			j--
+		}
+		p[j+1] = x
+	}
 	return p
 }
 

@@ -12,6 +12,13 @@ import (
 // (paper Section 4.3). Each builder takes the edge-difference input stream
 // and returns the stream of final output records, ready to terminate in a
 // NoisyCountSink (for scoring) or Collector (for inspection).
+//
+// Pipeline interiors run on the packed record encodings of packed.go: a
+// builder packs the edge stream once at entry, threads uint64-keyed
+// records through its joins and group-bys, and decodes only where its
+// public output type requires it. The *Core helpers hold the packed
+// interiors shared between the plain builders here and the fused
+// fragment bodies in fused.go.
 
 // EdgeInput is the root stream type of all graph pipelines: differences to
 // the symmetric directed edge dataset.
@@ -20,82 +27,124 @@ type EdgeInput = *incremental.Input[graph.Edge]
 // NewEdgeInput returns an input for symmetric directed edge differences.
 func NewEdgeInput() EdgeInput { return incremental.NewInput[graph.Edge]() }
 
-// PathsPipeline mirrors Paths: length-two paths (a,b,c), a != c, at weight
-// 1/(2*db).
-func PathsPipeline(edges incremental.Source[graph.Edge]) incremental.Source[Path] {
-	joined := incremental.Join(edges, edges,
-		func(e graph.Edge) graph.Node { return e.Dst },
-		func(e graph.Edge) graph.Node { return e.Src },
-		func(x, y graph.Edge) Path { return Path{x.Src, x.Dst, y.Dst} })
-	return incremental.Where[Path](joined, func(p Path) bool { return p.A != p.C })
+// packEdges packs the edge stream for a pipeline's interior. Each builder
+// creates one pack node and fans its interior out from it, preserving the
+// relative cascade order the unpacked builders had when they subscribed
+// to the edge input directly.
+func packEdges(edges incremental.Source[graph.Edge]) incremental.Source[PEdge] {
+	return incremental.Select(edges, packEdge)
 }
 
-// DegreesPipeline mirrors Degrees: (vertex, possibly bucketed degree)
-// pairs at weight 0.5.
-func DegreesPipeline(edges incremental.Source[graph.Edge], bucket int) incremental.Source[weighted.Grouped[graph.Node, int]] {
-	return incremental.GroupBy(edges,
-		func(e graph.Edge) graph.Node { return e.Src },
-		func(es []graph.Edge) int {
+// pathsCore is the packed interior of PathsPipeline.
+func pathsCore(pe incremental.Source[PEdge]) incremental.Source[PPath] {
+	joined := incremental.Join(pe, pe,
+		func(e PEdge) uint64 { return e.dstKey() },
+		func(e PEdge) uint64 { return e.srcKey() },
+		func(x, y PEdge) PPath { return packedPath(x.srcKey(), x.dstKey(), y.dstKey()) })
+	return incremental.Where[PPath](joined, func(p PPath) bool { return p.aKey() != p.cKey() })
+}
+
+// degreesCore is the packed interior of DegreesPipeline.
+func degreesCore(pe incremental.Source[PEdge], bucket int) incremental.Source[PDeg] {
+	grouped := incremental.GroupBy(pe,
+		func(e PEdge) uint64 { return e.srcKey() },
+		func(es []PEdge) int {
 			if bucket > 1 {
 				return len(es) / bucket
 			}
 			return len(es)
 		})
+	return incremental.Select(grouped, func(g weighted.Grouped[uint64, int]) PDeg {
+		return packedDeg(g.Key, g.Result)
+	})
+}
+
+// pathDegCore joins packed paths with the center vertex's degree: the
+// shared "abc" prefix of TbD and SbD.
+func pathDegCore(pp incremental.Source[PPath], pd incremental.Source[PDeg]) incremental.Source[PPathDeg] {
+	return incremental.Join(pp, pd,
+		func(p PPath) uint64 { return p.bKey() },
+		func(d PDeg) uint64 { return d.nodeKey() },
+		func(p PPath, d PDeg) PPathDeg { return PPathDeg{P: p, Deg: int32(d.deg())} })
+}
+
+// tbiCore is the rotate/intersect/unit suffix of TbI over packed paths.
+func tbiCore(pp incremental.Source[PPath]) incremental.Source[Unit] {
+	rotated := incremental.Select(pp, func(p PPath) PPath { return p.rotate() })
+	triangles := incremental.Intersect[PPath](rotated, pp)
+	return incremental.Select(triangles, func(PPath) Unit { return Unit{} })
+}
+
+// tbdCore is the rotations/joins/sort suffix of TbD over the packed
+// path-degree stream.
+func tbdCore(abc incremental.Source[PPathDeg]) incremental.Source[DegTriple] {
+	bca := incremental.Select[PPathDeg](abc, func(x PPathDeg) PPathDeg {
+		return PPathDeg{x.P.rotate(), x.Deg}
+	})
+	cab := incremental.Select(bca, func(x PPathDeg) PPathDeg {
+		return PPathDeg{x.P.rotate(), x.Deg}
+	})
+	two := incremental.Join[PPathDeg, PPathDeg, PPath, PPathDeg2](abc, bca,
+		func(x PPathDeg) PPath { return x.P },
+		func(y PPathDeg) PPath { return y.P },
+		func(x, y PPathDeg) PPathDeg2 { return PPathDeg2{P: x.P, D1: x.Deg, D2: y.Deg} })
+	return incremental.Join[PPathDeg2, PPathDeg, PPath, DegTriple](two, cab,
+		func(x PPathDeg2) PPath { return x.P },
+		func(y PPathDeg) PPath { return y.P },
+		func(x PPathDeg2, y PPathDeg) DegTriple { return SortTriple(int(x.D1), int(x.D2), int(y.Deg)) })
+}
+
+// jddCore is the degree-join/self-join interior of JDD.
+func jddCore(pd incremental.Source[PDeg], pe incremental.Source[PEdge]) incremental.Source[DegPair] {
+	temp := incremental.Join(pd, pe,
+		func(d PDeg) uint64 { return d.nodeKey() },
+		func(e PEdge) uint64 { return e.srcKey() },
+		func(d PDeg, e PEdge) PEdgeDeg { return packedEdgeDeg(e, d.deg()) })
+	return incremental.Join[PEdgeDeg, PEdgeDeg, uint64, DegPair](temp, temp,
+		func(x PEdgeDeg) uint64 { return x.edgeKey() },
+		func(y PEdgeDeg) uint64 { return y.reverseKey() },
+		func(x, y PEdgeDeg) DegPair { return DegPair{DA: x.deg(), DB: y.deg()} })
+}
+
+// PathsPipeline mirrors Paths: length-two paths (a,b,c), a != c, at weight
+// 1/(2*db).
+func PathsPipeline(edges incremental.Source[graph.Edge]) incremental.Source[Path] {
+	pp := pathsCore(packEdges(edges))
+	return incremental.Select(pp, PPath.unpack)
+}
+
+// DegreesPipeline mirrors Degrees: (vertex, possibly bucketed degree)
+// pairs at weight 0.5.
+func DegreesPipeline(edges incremental.Source[graph.Edge], bucket int) incremental.Source[weighted.Grouped[graph.Node, int]] {
+	pd := degreesCore(packEdges(edges), bucket)
+	return incremental.Select(pd, func(d PDeg) weighted.Grouped[graph.Node, int] {
+		return weighted.Grouped[graph.Node, int]{Key: unpackNode(d.nodeKey()), Result: d.deg()}
+	})
 }
 
 // TbIPipeline mirrors TbI: a single Unit record carrying the triangle
 // signal of eq. 8. Cost model: 4 uses of the edge input.
 func TbIPipeline(edges incremental.Source[graph.Edge]) incremental.Source[Unit] {
-	paths := PathsPipeline(edges)
-	rotated := incremental.Select(paths, func(p Path) Path { return p.Rotate() })
-	triangles := incremental.Intersect[Path](rotated, paths)
-	return incremental.Select(triangles, func(Path) Unit { return Unit{} })
+	return tbiCore(pathsCore(packEdges(edges)))
 }
 
 // TbDPipeline mirrors TbD: sorted (bucketed) degree triples of triangles.
 // Cost model: 9 uses of the edge input.
 func TbDPipeline(edges incremental.Source[graph.Edge], bucket int) incremental.Source[DegTriple] {
-	paths := PathsPipeline(edges)
-	degs := DegreesPipeline(edges, bucket)
-	abc := incremental.Join(paths, degs,
-		func(p Path) graph.Node { return p.B },
-		func(d weighted.Grouped[graph.Node, int]) graph.Node { return d.Key },
-		func(p Path, d weighted.Grouped[graph.Node, int]) PathDeg {
-			return PathDeg{Path: p, Deg: d.Result}
-		})
-	bca := incremental.Select[PathDeg](abc, func(x PathDeg) PathDeg {
-		return PathDeg{x.Path.Rotate(), x.Deg}
-	})
-	cab := incremental.Select(bca, func(x PathDeg) PathDeg {
-		return PathDeg{x.Path.Rotate(), x.Deg}
-	})
-	two := incremental.Join[PathDeg, PathDeg, Path, PathDeg2](abc, bca,
-		func(x PathDeg) Path { return x.Path },
-		func(y PathDeg) Path { return y.Path },
-		func(x, y PathDeg) PathDeg2 { return PathDeg2{Path: x.Path, D1: x.Deg, D2: y.Deg} })
-	return incremental.Join[PathDeg2, PathDeg, Path, DegTriple](two, cab,
-		func(x PathDeg2) Path { return x.Path },
-		func(y PathDeg) Path { return y.Path },
-		func(x PathDeg2, y PathDeg) DegTriple { return SortTriple(x.D1, x.D2, y.Deg) })
+	pe := packEdges(edges)
+	return tbdCore(pathDegCore(pathsCore(pe), degreesCore(pe, bucket)))
 }
 
 // JDDPipeline mirrors JDD: (da, db) records at weight 1/(2+2da+2db).
 // Cost model: 4 uses of the edge input.
 func JDDPipeline(edges incremental.Source[graph.Edge]) incremental.Source[DegPair] {
-	degs := DegreesPipeline(edges, 1)
-	temp := incremental.Join(degs, edges,
-		func(d weighted.Grouped[graph.Node, int]) graph.Node { return d.Key },
-		func(e graph.Edge) graph.Node { return e.Src },
-		func(d weighted.Grouped[graph.Node, int], e graph.Edge) EdgeDeg {
-			return EdgeDeg{Edge: e, Deg: d.Result}
-		})
-	return incremental.Join[EdgeDeg, EdgeDeg, graph.Edge, DegPair](temp, temp,
-		func(x EdgeDeg) graph.Edge { return x.Edge },
-		func(y EdgeDeg) graph.Edge { return y.Edge.Reverse() },
-		func(x, y EdgeDeg) DegPair { return DegPair{DA: x.Deg, DB: y.Deg} })
+	pe := packEdges(edges)
+	return jddCore(degreesCore(pe, 1), pe)
 }
 
-// SbDPipeline mirrors SbD: sorted degree quadruples of 4-cycles.
+// SbDPipeline mirrors SbD: sorted degree quadruples of 4-cycles. It runs
+// on decoded records: its [2]graph.Node and Path3 join keys have no
+// packed encoding, and it sits outside the MCMC workload hot path.
 // Cost model: 12 uses of the edge input.
 func SbDPipeline(edges incremental.Source[graph.Edge]) incremental.Source[DegQuad] {
 	paths := PathsPipeline(edges)

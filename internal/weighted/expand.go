@@ -2,7 +2,7 @@ package weighted
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // This file holds the shared expansion semantics of GroupBy and Shave used
@@ -21,6 +21,21 @@ func PrefixReduce[T comparable, K comparable, R comparable](
 	reduce func([]T) R,
 	emit func(Grouped[K, R], float64),
 ) {
+	PrefixReduceInto(key, members, reduce, emit, nil)
+}
+
+// PrefixReduceInto is PrefixReduce with a caller-supplied prefix scratch
+// buffer, so hot loops (the incremental GroupBy re-expands two groups per
+// touched key per push) do not allocate the prefix slice each call. The
+// possibly-grown scratch is returned for reuse; its contents are
+// meaningless after the call.
+func PrefixReduceInto[T comparable, K comparable, R comparable](
+	key K,
+	members []Pair[T],
+	reduce func([]T) R,
+	emit func(Grouped[K, R], float64),
+	scratch []T,
+) []T {
 	// Drop non-positive weights: a record with zero weight is absent, and
 	// the GroupBy stability argument is over non-negative datasets.
 	kept := members[:0]
@@ -30,8 +45,22 @@ func PrefixReduce[T comparable, K comparable, R comparable](
 		}
 	}
 	members = kept
-	sort.SliceStable(members, func(i, j int) bool { return members[i].Weight > members[j].Weight })
-	prefix := make([]T, 0, len(members))
+	// Stable descending sort by weight. The comparison is the exact
+	// negation pair of the previous sort.SliceStable less function, and
+	// both sorts are stable, so the resulting permutation — and therefore
+	// every downstream float accumulation order — is identical; this
+	// variant just avoids the reflection-based swapper allocations.
+	slices.SortStableFunc(members, func(a, b Pair[T]) int {
+		switch {
+		case a.Weight > b.Weight:
+			return -1
+		case a.Weight < b.Weight:
+			return 1
+		default:
+			return 0
+		}
+	})
+	prefix := scratch[:0]
 	for i, p := range members {
 		prefix = append(prefix, p.Record)
 		next := 0.0
@@ -44,6 +73,7 @@ func PrefixReduce[T comparable, K comparable, R comparable](
 		}
 		emit(Grouped[K, R]{key, reduce(prefix)}, pw)
 	}
+	return prefix
 }
 
 // ShaveExpand emits the indexed slices of a single record x of weight w

@@ -44,11 +44,14 @@ func runFuseTrace(t *testing.T, fits []workload.Measured, shards, cutoff int, fu
 	}
 	p, _, _ := fusePlan(t, fits, shards, cutoff, fuse, eps, 23)
 
+	// NewGraphState pushes the initial edge dataset itself; pushing it
+	// again here would hold every edge at weight 2 in the dataflow while
+	// swaps move +/-1, stranding removed edges at weight 1 — state then
+	// grows monotonically with the walk instead of staying degree-bounded.
 	state := mcmc.NewGraphState(g, p.Input())
 	if !state.Transactional() {
 		t.Fatalf("fuse=%v shards=%d: fused DAG input does not speak the txn protocol", fuse, shards)
 	}
-	p.Input().PushDataset(graph.SymmetricEdges(g))
 
 	counter, ok := p.Input().(pushCounter)
 	if !ok {

@@ -2,14 +2,15 @@
 // MCMC-relevant benchmarks through `go test -bench -benchmem -json`,
 // writes every parsed per-op metric to a JSON report (BENCH_mcmc.json
 // in CI), and exits non-zero when a gated metric — ns/op, allocs/op,
-// or fragpushes/op — is more than -threshold times worse than the
-// committed baseline.
+// B/op, heapMB, or fragpushes/op — is more than -threshold times worse
+// than the committed baseline.
 //
 // Usage:
 //
 //	go run ./tools/benchsmoke                  # compare against BENCH_baseline.json
 //	go run ./tools/benchsmoke -update         # rewrite the baseline from this machine
 //	go run ./tools/benchsmoke -bench 'BenchmarkRejectHeavy' -benchtime 3x
+//	go run ./tools/benchsmoke -short          # CI profile: skips the 1e6-edge scale run
 //
 // The committed baseline is a smoke threshold, not a precision
 // measurement: single-iteration benchmark runs on shared CI machines are
@@ -36,9 +37,13 @@ import (
 )
 
 // gatedUnits are the per-op metrics compared against the baseline, in
-// report order. Other units (B/op, accept-rate, ...) are recorded in
-// the report but informational only.
-var gatedUnits = []string{"ns/op", "allocs/op", "fragpushes/op"}
+// report order. Other units (accept-rate, ns/chainop, ...) are recorded
+// in the report but informational only. B/op and heapMB gate the memory
+// model alongside allocation counts: B/op catches a pooled buffer that
+// silently grows per operation, heapMB (the scale benchmarks' measured
+// high-water heap) catches footprint regressions that per-op metrics
+// normalize away.
+var gatedUnits = []string{"ns/op", "allocs/op", "B/op", "heapMB", "fragpushes/op"}
 
 // report is the schema of both the baseline and the output file.
 type report struct {
@@ -92,9 +97,10 @@ var resultRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.+)$`)
 var metricRe = regexp.MustCompile(`(-?[0-9][0-9.eE+-]*)\s+([^\s]+)`)
 
 func main() {
-	bench := flag.String("bench", "BenchmarkRejectHeavy|BenchmarkChains|BenchmarkEngineShards|BenchmarkFusedChains",
+	bench := flag.String("bench", "BenchmarkRejectHeavy|BenchmarkChains|BenchmarkEngineShards|BenchmarkFusedChains|BenchmarkMillionEdge",
 		"benchmark regexp passed to go test -bench")
 	benchtime := flag.String("benchtime", "1x", "benchtime passed to go test")
+	short := flag.Bool("short", false, "pass -short to go test (skips the million-edge full-scale run)")
 	pkgs := flag.String("pkgs", ".", "package pattern to benchmark")
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline to compare against")
 	outPath := flag.String("out", "BENCH_mcmc.json", "where to write this run's results")
@@ -102,7 +108,7 @@ func main() {
 	update := flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
 	flag.Parse()
 
-	results, err := run(*bench, *benchtime, *pkgs)
+	results, err := run(*bench, *benchtime, *pkgs, *short)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchsmoke: %v\n", err)
 		os.Exit(1)
@@ -129,7 +135,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchsmoke: %v (run with -update to create it)\n", err)
 		os.Exit(1)
 	}
-	failed := compare(baseline, results, *threshold)
+	failed := compare(baseline, results, *threshold, *short)
 	if failed {
 		os.Exit(1)
 	}
@@ -137,9 +143,13 @@ func main() {
 
 // run executes the benchmarks and parses every per-op metric per
 // benchmark name.
-func run(bench, benchtime, pkgs string) (report, error) {
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench,
-		"-benchtime", benchtime, "-benchmem", "-json", pkgs)
+func run(bench, benchtime, pkgs string, short bool) (report, error) {
+	args := []string{"test", "-run", "^$", "-bench", bench,
+		"-benchtime", benchtime, "-benchmem", "-json"}
+	if short {
+		args = append(args, "-short")
+	}
+	cmd := exec.Command("go", append(args, pkgs)...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.StdoutPipe()
 	if err != nil {
@@ -201,8 +211,11 @@ func run(bench, benchtime, pkgs string) (report, error) {
 // compare reports each benchmark's gated metrics against the baseline
 // and returns whether any exceeded the threshold. A gated unit absent
 // from the baseline (e.g. a legacy ns/op-only file) is informational
-// until the baseline is regenerated with -update.
-func compare(baseline, results report, threshold float64) bool {
+// until the baseline is regenerated with -update. A baseline benchmark
+// that produced no result is a failure (a silently vanished benchmark
+// would otherwise pass forever) — except under -short, where full-scale
+// cases the baseline records from a complete run legitimately skip.
+func compare(baseline, results report, threshold float64, short bool) bool {
 	names := make([]string, 0, len(baseline.Benchmarks))
 	for name := range baseline.Benchmarks {
 		names = append(names, name)
@@ -212,6 +225,10 @@ func compare(baseline, results report, threshold float64) bool {
 	for _, name := range names {
 		got, ok := results.Benchmarks[name]
 		if !ok {
+			if short {
+				fmt.Printf("skip %s: in baseline but not run under -short\n", name)
+				continue
+			}
 			fmt.Printf("FAIL %s: present in baseline but produced no result\n", name)
 			failed = true
 			continue

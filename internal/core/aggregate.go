@@ -82,6 +82,7 @@ func (h *Histogram[T]) Materialized() map[T]float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	out := make(map[T]float64, len(h.counts))
+	//wpinq:nondeterministic-ok map-to-map copy; the result is a map, so no iteration order is observable
 	for k, v := range h.counts {
 		out[k] = v
 	}
@@ -108,6 +109,7 @@ func HistogramFromMaterialized[T comparable](counts map[T]float64, eps float64, 
 		dist:   dist,
 		salt:   rng.Uint64(),
 	}
+	//wpinq:nondeterministic-ok map-to-map copy; the result is a map, so no iteration order is observable
 	for k, v := range counts {
 		h.counts[k] = v
 	}

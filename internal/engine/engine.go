@@ -107,6 +107,8 @@ type processor interface {
 // within a process; across processes the seed differs, so sharded-run
 // scores agree only to accumulation tolerance (the serial engine and
 // single-shard engines are bit-reproducible across processes too).
+//
+//wpinq:nondeterministic-ok the one sanctioned random seed: process-wide shard routing, documented above; drawn once at init, never on a scoring path
 var processSeed = maphash.MakeSeed()
 
 // New returns an engine that partitions operator state into the given

@@ -178,9 +178,11 @@ func (n *JoinNode[A, B, K, R]) SlowKeys() int64 { return n.stats.slowKeys }
 // all keys: the node's memory footprint in records.
 func (n *JoinNode[A, B, K, R]) StateSize() int {
 	total := 0
+	//wpinq:nondeterministic-ok integer sum over group sizes is order-independent; diagnostics only
 	for _, g := range n.left {
 		total += g.len()
 	}
+	//wpinq:nondeterministic-ok integer sum over group sizes is order-independent; diagnostics only
 	for _, g := range n.right {
 		total += g.len()
 	}

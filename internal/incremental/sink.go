@@ -172,6 +172,8 @@ func (s *NoisyCountSink[T]) Weight(x T) float64 { return s.q[x] }
 // RecomputeL1 re-derives the distance from scratch and returns it; it also
 // replaces the maintained value, squashing any accumulated floating-point
 // drift. Long MCMC runs call this periodically.
+//
+//wpinq:txn-exempt callers invoke this between transactions; the recomputed l1 is the ground truth both commit and abort converge to, so no pre-image is needed
 func (s *NoisyCountSink[T]) RecomputeL1() float64 {
 	// Records with weight but no cached observation cannot exist: onInput
 	// always caches the observation first, so s.order covers the sum.

@@ -225,6 +225,7 @@ func (n *GroupByNode[T, K, R]) onInput(batch []Delta[T]) {
 // StateSize returns the number of records indexed across all groups.
 func (n *GroupByNode[T, K, R]) StateSize() int {
 	total := 0
+	//wpinq:nondeterministic-ok integer sum over group sizes is order-independent; diagnostics only
 	for _, g := range n.groups {
 		total += g.len()
 	}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrSink is an errcheck-style pass scoped to the HTTP surface (cmd/
+// and internal/service): response writes whose error is silently
+// dropped hide broken clients and truncated responses from the logs.
+// It flags statement-position calls to Write on a ResponseWriter-like
+// receiver and Encode on *json.Encoder whose error result is
+// discarded.
+//
+// A deliberate drop (e.g. a best-effort trailer) carries
+// //wpinq:unchecked-ok <reason> on the line.
+var ErrSink = &Analyzer{
+	Name: "errsink",
+	Doc:  "flag dropped w.Write / json Encode errors on the HTTP surface",
+	Run:  runErrSink,
+}
+
+const uncheckedVerb = "unchecked-ok"
+
+// errSinkScope lists the packages on the HTTP/CLI surface.
+var errSinkScope = []string{"wpinq/cmd", "wpinq/internal/service"}
+
+func runErrSink(pass *Pass) error {
+	if pass.Pkg == nil || !pathInAny(pass.Pkg.Path(), errSinkScope) {
+		return nil
+	}
+	pass.CheckDirectiveReasons(uncheckedVerb)
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			}
+			if call != nil {
+				checkErrSinkCall(pass, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkErrSinkCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Info.ObjectOf(sel.Sel).(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !returnsError(sig) {
+		return
+	}
+	var what string
+	switch {
+	case fn.Name() == "Encode" && fn.Pkg() != nil && fn.Pkg().Path() == "encoding/json":
+		what = "json Encoder.Encode"
+	case fn.Name() == "Write" && isResponseWriterLike(sig.Recv().Type()):
+		what = "ResponseWriter.Write"
+	default:
+		return
+	}
+	if pass.Suppressed(uncheckedVerb, call.Pos()) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s error is dropped: log or propagate the write error (//wpinq:%s <reason> to sanction)",
+		what, uncheckedVerb)
+}
+
+// returnsError reports whether sig's last result is the error type.
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	named, ok := res.At(res.Len() - 1).Type().(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// isResponseWriterLike reports whether t's method set carries the
+// http.ResponseWriter trio, without requiring net/http in the import
+// graph.
+func isResponseWriterLike(t types.Type) bool {
+	ms := types.NewMethodSet(t)
+	need := map[string]bool{"Header": false, "Write": false, "WriteHeader": false}
+	for i := 0; i < ms.Len(); i++ {
+		name := ms.At(i).Obj().Name()
+		if _, ok := need[name]; ok {
+			need[name] = true
+		}
+	}
+	return need["Header"] && need["Write"] && need["WriteHeader"]
+}

@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Errs holds type-check errors; analyzers still run on packages
+	// with partial type information, matching go vet's behavior for
+	// code that is mid-edit.
+	Errs []error
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir          string
+	ImportPath   string
+	ForTest      string
+	Export       string
+	Standard     bool
+	Module       *struct{ Path string }
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	ImportMap    map[string]string
+	DepsErrors   []*struct{ Err string }
+	Error        *struct{ Err string }
+}
+
+// Load lists patterns in dir with `go list -export -test -deps`,
+// type-checks every in-module package against its dependencies' gc
+// export data, and returns the analyzable packages.
+//
+// Test handling mirrors `go vet`: when a package has in-package test
+// files, the test-expanded variant ("p [p.test]") is analyzed instead
+// of the bare package, external test packages ("p_test [p.test]") are
+// analyzed as their own unit, and generated ".test" mains are skipped.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-test", "-deps",
+		"-json=Dir,ImportPath,ForTest,Export,Standard,Module,GoFiles,TestGoFiles,XTestGoFiles,ImportMap,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.Bytes())
+	}
+
+	var listed []*listPkg
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		listed = append(listed, &p)
+	}
+
+	// Select analysis targets: in-module, non-generated, and — when a
+	// test-expanded variant exists — the variant rather than the base.
+	hasVariant := map[string]bool{}
+	for _, p := range listed {
+		if p.ForTest != "" && basePath(p.ImportPath) == p.ForTest {
+			hasVariant[p.ForTest] = true
+		}
+	}
+	var targets []*listPkg
+	for _, p := range listed {
+		switch {
+		case p.Standard || p.Module == nil:
+			continue
+		case strings.HasSuffix(p.ImportPath, ".test"):
+			continue // generated test main
+		case p.ForTest == "" && hasVariant[p.ImportPath]:
+			continue // superseded by its test-expanded variant
+		case len(p.GoFiles) == 0:
+			continue
+		}
+		targets = append(targets, p)
+	}
+
+	var pkgs []*Package
+	for _, p := range targets {
+		pkg, err := typeCheck(p, exports)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// basePath strips a test-variant suffix: "p [p.test]" -> "p".
+func basePath(ip string) string {
+	if i := strings.Index(ip, " ["); i >= 0 {
+		return ip[:i]
+	}
+	return ip
+}
+
+// typeCheck parses and checks one listed package against gc export
+// data. Each package gets a fresh importer: a shared one would collide
+// on test variants, which carry their base import path inside their
+// export data.
+func typeCheck(p *listPkg, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		af, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := p.ImportMap[path]; ok {
+			path = mapped
+		}
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	}
+	pkg := &Package{Path: p.ImportPath, Fset: fset, Files: files}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(err error) { pkg.Errs = append(pkg.Errs, err) },
+	}
+	pkg.Info = newInfo()
+	pkg.Types, _ = conf.Check(basePath(p.ImportPath), fset, files, pkg.Info)
+	return pkg, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Run loads patterns under dir and applies the analyzers, returning
+// every finding sorted by position.
+func Run(analyzers []*Analyzer, dir string, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if err := runAnalyzers(analyzers, pkg, &diags); err != nil {
+			return nil, err
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	// Insertion sort keeps this dependency-free and the diagnostic
+	// counts are tiny.
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && diagLess(ds[j], ds[j-1]); j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+func diagLess(a, b Diagnostic) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	return a.Analyzer < b.Analyzer
+}

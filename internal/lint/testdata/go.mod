@@ -1,0 +1,3 @@
+module wpinq
+
+go 1.24

@@ -1,0 +1,12 @@
+// Package barefix holds bare //wpinq: directives — suppressions with
+// no reason string. Each owning analyzer must turn its bare directive
+// into a finding, so the audit trail cannot silently erode.
+package barefix
+
+//wpinq:nondeterministic-ok
+
+//wpinq:txn-exempt
+
+//wpinq:alias-ok
+
+var _ = 0

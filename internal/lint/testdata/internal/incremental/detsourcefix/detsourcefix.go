@@ -1,0 +1,44 @@
+// Package detsourcefix exercises the detsource analyzer: no wall-clock
+// or process-global randomness in determinism-pinned packages.
+package detsourcefix
+
+import (
+	"hash/maphash"
+	"math/rand"
+	"time"
+)
+
+// stamp reads the wall clock: flagged.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now`
+}
+
+// draw uses the process-global rand source: flagged.
+func draw() float64 {
+	return rand.Float64() // want `process-global`
+}
+
+// seeded threads an explicitly seeded generator: the constructor and
+// its methods are the sanctioned pattern.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// route draws a random per-process seed: flagged.
+func route() maphash.Seed {
+	return maphash.MakeSeed() // want `MakeSeed`
+}
+
+// hashed uses the self-seeding maphash.Hash type: flagged.
+func hashed(s string) uint64 {
+	var h maphash.Hash // want `maphash.Hash`
+	h.WriteString(s)
+	return h.Sum64()
+}
+
+// sanctioned carries the reasoned directive.
+func sanctioned() int64 {
+	//wpinq:nondeterministic-ok observability timestamp outside any scoring path
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,76 @@
+// Package poolfix exercises the poolalias analyzer: takeBatch results
+// alias a pooled accumulator and must not outlive the flush scope.
+package poolfix
+
+// diff mimics orderedDiff's pooled batch accumulator.
+type diff struct {
+	buf []int
+}
+
+func (d *diff) takeBatch() []int {
+	b := d.buf
+	d.buf = d.buf[:0]
+	return b
+}
+
+type holder struct{ kept []int }
+
+// retain stores the pooled slice in a field: flagged.
+func retain(d *diff, h *holder) {
+	h.kept = d.takeBatch() // want `stored in a struct field`
+}
+
+// stash stores the pooled slice in a map element, through an alias:
+// flagged.
+func stash(d *diff, all map[string][]int) {
+	b := d.takeBatch()
+	all["k"] = b // want `stored in a map or slice element`
+}
+
+// send puts the pooled slice on a channel: flagged.
+func send(d *diff, ch chan []int) {
+	ch <- d.takeBatch() // want `sent on a channel`
+}
+
+// leak returns the pooled slice: flagged.
+func leak(d *diff) []int {
+	return d.takeBatch() // want `returned from the function`
+}
+
+// nest appends the pooled slice (unspread) into a longer-lived slice:
+// flagged.
+func nest(d *diff, all [][]int) [][]int {
+	b := d.takeBatch()
+	return append(all, b) // want `appended as an element`
+}
+
+// spawn hands the pooled slice to a goroutine: flagged.
+func spawn(d *diff, f func([]int)) {
+	go f(d.takeBatch()) // want `passed to a goroutine`
+}
+
+// process reads the batch synchronously: the sanctioned use.
+func process(d *diff) int {
+	b := d.takeBatch()
+	t := 0
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// consume passes the batch onward synchronously: allowed.
+func consume(d *diff, f func([]int)) {
+	f(d.takeBatch())
+}
+
+// spread flattens element-wise with ..., which copies: allowed.
+func spread(d *diff, into []int) []int {
+	return append(into, d.takeBatch()...)
+}
+
+// keep is a deliberate retention with the reasoned directive.
+func keep(d *diff, h *holder) {
+	//wpinq:alias-ok fixture caller clones the batch before the next push
+	h.kept = d.takeBatch()
+}

@@ -1,0 +1,58 @@
+// Package txnfix exercises the txnundo analyzer: methods on
+// undo-logged structs must maintain the log when writing replayed
+// state.
+package txnfix
+
+type record struct{ w float64 }
+
+// logged mimics stateMap: an undo field marks the struct as
+// participating in abort replay.
+type logged struct {
+	recs    map[string]record
+	total   float64
+	logging bool
+	undo    []record
+}
+
+// set logs a pre-image before writing: allowed.
+func (m *logged) set(k string, r record) {
+	if m.logging {
+		m.undo = append(m.undo, m.recs[k])
+	}
+	m.recs[k] = r
+}
+
+// bump writes replayed state without touching the log: flagged.
+func (m *logged) bump(k string, w float64) {
+	rec := m.recs[k]
+	rec.w += w
+	m.recs[k] = rec // want `without consulting the undo log`
+}
+
+// drop deletes from a replayed map without logging: flagged.
+func (m *logged) drop(k string) {
+	delete(m.recs, k) // want `without consulting the undo log`
+}
+
+// grow increments a replayed counter without logging: flagged.
+func (m *logged) grow() {
+	m.total++ // want `without consulting the undo log`
+}
+
+// reset is declared outside transaction scope and carries the reasoned
+// declaration directive.
+//
+//wpinq:txn-exempt fixture reset runs only between transactions, when no undo frame is open
+func (m *logged) reset() {
+	m.total = 0
+	m.recs = map[string]record{}
+}
+
+// plain has no undo field: its methods are out of scope.
+type plain struct {
+	recs map[string]record
+}
+
+func (p *plain) set(k string, r record) {
+	p.recs[k] = r
+}

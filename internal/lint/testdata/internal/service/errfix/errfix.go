@@ -1,0 +1,38 @@
+// Package errfix exercises the errsink analyzer: response-write errors
+// on the HTTP surface must be checked.
+package errfix
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// handler drops the Write error: flagged.
+func handler(w http.ResponseWriter, r *http.Request) {
+	w.Write([]byte("ok")) // want `Write error is dropped`
+}
+
+// encode drops the Encode error: flagged.
+func encode(w http.ResponseWriter, v any) {
+	json.NewEncoder(w).Encode(v) // want `Encode error is dropped`
+}
+
+// checked handles the error: allowed.
+func checked(w http.ResponseWriter, v any) error {
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+// counted consumes the error another way: allowed.
+func counted(w http.ResponseWriter, data []byte) int {
+	n, _ := w.Write(data)
+	return n
+}
+
+// sanctioned carries the reasoned directive.
+func sanctioned(w http.ResponseWriter) {
+	//wpinq:unchecked-ok best-effort trailer; the response is already committed
+	w.Write([]byte("bye"))
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TxnUndo guards the transactional undo-logging invariant (DESIGN.md
+// "Transactional scoring"): any struct that carries an undo log — a
+// field named "undo", as stateMap, NoisyCountSink, and CollectorUndo do
+// — participates in abort replay, so every method that writes one of
+// its replayed fields must also maintain the log (reference the undo
+// log or the logging flag on the transaction-open path). A method that
+// mutates replayed state without touching the log would leave aborts
+// restoring stale pre-images — exactly the class of bug the golden
+// trace tests catch only after the fact.
+//
+// Methods whose writes are provably outside transaction scope carry a
+// //wpinq:txn-exempt <reason> directive on their declaration.
+var TxnUndo = &Analyzer{
+	Name: "txnundo",
+	Doc:  "require undo-log maintenance in methods writing undo-replayed state",
+	Run:  runTxnUndo,
+}
+
+const txnVerb = "txn-exempt"
+
+// txnBookkeeping lists the fields that are the transaction machinery
+// itself (or are deliberately kept across aborts); writes to them never
+// need a log entry.
+var txnBookkeeping = map[string]bool{
+	"undo": true, "logging": true, "gate": true,
+	"seen": true, "txnSeen": true, "savedL1": true, "savedOrder": true,
+}
+
+func runTxnUndo(pass *Pass) error {
+	if pass.Pkg == nil {
+		return nil
+	}
+	pass.CheckDirectiveReasons(txnVerb)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			checkTxnMethod(pass, fn)
+		}
+	}
+	return nil
+}
+
+// undoLogged reports whether t (a method receiver's base type) is a
+// struct carrying an undo log.
+func undoLogged(t types.Type) bool {
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "undo" {
+			return true
+		}
+	}
+	return false
+}
+
+func checkTxnMethod(pass *Pass, fn *ast.FuncDecl) {
+	if len(fn.Recv.List) != 1 || len(fn.Recv.List[0].Names) != 1 {
+		return // unnamed receiver: no field writes possible
+	}
+	recvIdent := fn.Recv.List[0].Names[0]
+	recv := pass.Info.Defs[recvIdent]
+	if recv == nil {
+		return
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if !undoLogged(t) {
+		return
+	}
+
+	var offending []struct {
+		pos   ast.Node
+		field string
+	}
+	touchesLog := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if isRecvField(pass, n, recv) {
+				if name := n.Sel.Name; name == "undo" || name == "logging" {
+					touchesLog = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if field, ok := writtenRecvField(pass, lhs, recv); ok && !txnBookkeeping[field] {
+					offending = append(offending, struct {
+						pos   ast.Node
+						field string
+					}{lhs, field})
+				}
+			}
+		case *ast.IncDecStmt:
+			if field, ok := writtenRecvField(pass, n.X, recv); ok && !txnBookkeeping[field] {
+				offending = append(offending, struct {
+					pos   ast.Node
+					field string
+				}{n.X, field})
+			}
+		case *ast.CallExpr:
+			// delete(recv.f, k) and clear(recv.f) mutate the field's
+			// map just as an indexed assignment would.
+			if id, ok := n.Fun.(*ast.Ident); ok && (id.Name == "delete" || id.Name == "clear") && len(n.Args) >= 1 {
+				if field, ok := writtenRecvField(pass, n.Args[0], recv); ok && !txnBookkeeping[field] {
+					offending = append(offending, struct {
+						pos   ast.Node
+						field string
+					}{n.Args[0], field})
+				}
+			}
+		}
+		return true
+	})
+	if len(offending) == 0 || touchesLog {
+		return
+	}
+	if _, ok := pass.FuncDirective(fn, txnVerb); ok {
+		return
+	}
+	first := offending[0]
+	pass.Reportf(first.pos.Pos(),
+		"method %s writes undo-replayed field %q without consulting the undo log: log a pre-image on the txn-open path or annotate the declaration //wpinq:%s <reason>",
+		fn.Name.Name, first.field, txnVerb)
+}
+
+// writtenRecvField resolves an assignment target to a field of the
+// receiver: recv.f, recv.f[i], recv.f[i].g, *recv.f, ... all count as
+// writes to f.
+func writtenRecvField(pass *Pass, lhs ast.Expr, recv types.Object) (string, bool) {
+	for {
+		switch e := lhs.(type) {
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			if isRecvField(pass, e, recv) {
+				return e.Sel.Name, true
+			}
+			lhs = e.X
+		default:
+			return "", false
+		}
+	}
+}
+
+// isRecvField reports whether sel is recv.<field> for the given
+// receiver object.
+func isRecvField(pass *Pass, sel *ast.SelectorExpr, recv types.Object) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return pass.Info.ObjectOf(id) == recv
+}

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// This file implements the `go vet -vettool` command-line protocol on
+// the standard library, mirroring golang.org/x/tools/go/analysis/
+// unitchecker: the go command probes the tool with -V=full (build ID)
+// and -flags (supported flags, JSON), then invokes it once per package
+// with the path of a JSON config file ("vet.cfg") describing the
+// package's sources and its dependencies' export data. The tool
+// type-checks the unit, runs its analyzers, writes an (empty) facts
+// file to VetxOutput, and exits 2 when it reported findings.
+
+// vetConfig matches the JSON written by cmd/go's buildVetConfig.
+type vetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoVersion  string
+	GoFiles    []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for cmd/wpinqlint. Modes:
+//
+//	wpinqlint -V=full          # print tool build ID (go vet protocol)
+//	wpinqlint -flags           # print supported flags, JSON (go vet protocol)
+//	wpinqlint path/to/vet.cfg  # analyze one unit (go vet protocol)
+//	wpinqlint [packages]       # standalone driver over package patterns
+//
+// In standalone mode patterns default to ./... and findings print to
+// stderr with exit status 1; unit mode exits 2 on findings, matching
+// unitchecker.
+func Main(analyzers []*Analyzer) {
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "--V=full":
+			printVersion()
+			return
+		case args[0] == "-flags" || args[0] == "--flags":
+			// No tool-specific flags: every analyzer always runs.
+			fmt.Println("[]")
+			return
+		case args[0] == "help" || args[0] == "-h" || args[0] == "--help":
+			printUsage(analyzers)
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			code := unitCheck(args[0], analyzers)
+			os.Exit(code)
+		}
+	}
+	diags, err := Run(analyzers, ".", args...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wpinqlint: %v\n", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func printUsage(analyzers []*Analyzer) {
+	fmt.Println("wpinqlint checks wpinq's hand-maintained invariants.")
+	fmt.Println()
+	fmt.Println("Usage: wpinqlint [packages]       (standalone)")
+	fmt.Println("       go vet -vettool=$(command -v wpinqlint) ./...")
+	fmt.Println()
+	fmt.Println("Registered analyzers:")
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Printf("  %-12s %s\n", a.Name, doc)
+	}
+}
+
+// printVersion emits the -V=full line the go command's tool-ID probe
+// expects: content-addressed by the executable so editing an analyzer
+// invalidates vet's result cache.
+func printVersion() {
+	progname := "wpinqlint"
+	sum := [sha256.Size]byte{}
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum = sha256.Sum256(data)
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, sum)
+}
+
+// unitCheck analyzes one vet unit described by the config file.
+func unitCheck(cfgPath string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wpinqlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "wpinqlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The go command caches and reuses facts files; we compute no
+	// facts, but the (empty) output must exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "wpinqlint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		af, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "wpinqlint: %v\n", err)
+			return 1
+		}
+		files = append(files, af)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		e, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	}
+	pkg := &Package{Path: cfg.ImportPath, Fset: fset, Files: files}
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		GoVersion: cfg.GoVersion,
+		Error:     func(err error) { pkg.Errs = append(pkg.Errs, err) },
+	}
+	pkg.Info = newInfo()
+	pkg.Types, err = conf.Check(basePath(cfg.ImportPath), fset, files, pkg.Info)
+	if err != nil && cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+
+	var diags []Diagnostic
+	if err := runAnalyzers(analyzers, pkg, &diags); err != nil {
+		fmt.Fprintf(os.Stderr, "wpinqlint: %v\n", err)
+		return 1
+	}
+	sortDiagnostics(diags)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -48,6 +48,7 @@ func engineDegreesCore(pe engine.Source[PEdge], bucket int) engine.Source[PDeg] 
 			return len(es)
 		})
 	return engine.Select(grouped, func(g weighted.Grouped[uint64, int]) PDeg {
+		//wpinq:packed-ok g.Key is the GroupBy key produced by e.srcKey(), a packed accessor; the generic Grouped plumbing hides the provenance
 		return packedDeg(g.Key, g.Result)
 	})
 }

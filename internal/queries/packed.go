@@ -106,6 +106,10 @@ func (e PEdge) dstKey() uint64 { return uint64(e) & nodeMask }
 // PPath is a length-two path packed as a<<42 | b<<21 | c.
 type PPath uint64
 
+// packedPath assembles a path word from three already-packed node
+// codes.
+//
+//wpinq:packed-kernel assembles raw 21-bit codes; every call site passes packNode results or packed accessors, which the analyzer verifies
 func packedPath(a, b, c uint64) PPath {
 	return PPath(a<<(2*nodeBits) | b<<nodeBits | c)
 }
@@ -134,6 +138,10 @@ func packPath(p Path) PPath {
 // form of the degrees fragment's Grouped[graph.Node, int] output.
 type PDeg uint64
 
+// packedDeg assembles a (node, degree) word from an already-packed node
+// code; the degree is ranged-checked here via packDeg.
+//
+//wpinq:packed-kernel assembles a raw 21-bit node code; every call site passes packNode results or packed accessors, which the analyzer verifies
 func packedDeg(node uint64, deg int) PDeg {
 	return PDeg(node<<nodeBits | packDeg(deg))
 }

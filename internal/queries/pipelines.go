@@ -55,6 +55,7 @@ func degreesCore(pe incremental.Source[PEdge], bucket int) incremental.Source[PD
 			return len(es)
 		})
 	return incremental.Select(grouped, func(g weighted.Grouped[uint64, int]) PDeg {
+		//wpinq:packed-ok g.Key is the GroupBy key produced by e.srcKey(), a packed accessor; the generic Grouped plumbing hides the provenance
 		return packedDeg(g.Key, g.Result)
 	})
 }

@@ -167,6 +167,7 @@ func JDDCounts(released map[DegPair]float64) map[[2]int]float64 {
 // by the 2+2da+2db factor — cheap, principled post-processing.
 func JDDCountsThresholded(released map[DegPair]float64, minWeight float64) map[[2]int]float64 {
 	out := make(map[[2]int]float64, len(released))
+	//wpinq:nondeterministic-ok map-to-map transform with per-key outputs; no cross-key accumulation, so order cannot leak
 	for p, w := range released {
 		if w < minWeight {
 			continue

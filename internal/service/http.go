@@ -71,7 +71,9 @@ func (s *Service) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write(data)
+		if _, err := w.Write(data); err != nil {
+			httpWriteErrors.Inc()
+		}
 	})
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -155,7 +157,9 @@ func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		httpWriteErrors.Inc()
+	}
 }
 
 // badRequest wraps a validation error so writeErr maps it to 400.

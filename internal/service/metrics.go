@@ -16,6 +16,8 @@ var (
 		"route", "method", "status")
 	httpLatency = obs.Default.HistogramVec("wpinq_http_request_seconds",
 		"API request latency in seconds, by route pattern.", nil, "route")
+	httpWriteErrors = obs.Default.Counter("wpinq_http_response_write_errors_total",
+		"Response bodies that failed mid-write (client gone or connection reset); the status line was already sent.")
 
 	jobsTotal = obs.Default.CounterVec("wpinq_jobs_total",
 		"Synthesis job state transitions (queued at submit, then one terminal state).", "state")

@@ -11,6 +11,7 @@
 //	go run ./tools/benchsmoke -update         # rewrite the baseline from this machine
 //	go run ./tools/benchsmoke -bench 'BenchmarkRejectHeavy' -benchtime 3x
 //	go run ./tools/benchsmoke -short          # CI profile: skips the 1e6-edge scale run
+//	go run ./tools/benchsmoke -lint-clean     # require zero wpinqlint findings first (implied by -update)
 //
 // The committed baseline is a smoke threshold, not a precision
 // measurement: single-iteration benchmark runs on shared CI machines are
@@ -106,7 +107,16 @@ func main() {
 	outPath := flag.String("out", "BENCH_mcmc.json", "where to write this run's results")
 	threshold := flag.Float64("threshold", 2.0, "fail when a gated metric exceeds baseline by this factor")
 	update := flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+	lintClean := flag.Bool("lint-clean", false,
+		"assert the repo is wpinqlint-clean before benchmarking (implied by -update: a baseline must not be cut from a tree violating the checked invariants)")
 	flag.Parse()
+
+	if *lintClean || *update {
+		if err := assertLintClean(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsmoke: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	results, err := run(*bench, *benchtime, *pkgs, *short)
 	if err != nil {
@@ -139,6 +149,20 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// assertLintClean runs the wpinqlint invariant suite (standalone
+// driver) over the module and fails if it reports anything: benchmark
+// numbers measured on a tree that breaks the determinism, undo, or
+// pooling invariants are not comparable to the baseline's.
+func assertLintClean() error {
+	cmd := exec.Command("go", "run", "./cmd/wpinqlint", "./...")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("wpinqlint findings block the benchmark gate:\n%s", out)
+	}
+	fmt.Println("benchsmoke: wpinqlint clean")
+	return nil
 }
 
 // run executes the benchmarks and parses every per-op metric per

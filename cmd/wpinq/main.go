@@ -132,6 +132,7 @@ workflow tools:
 remote verbs (clients of a wpinqd curator server; see `+"`wpinqd -h`"+`):
   remote measure     upload an edge list and take DP measurements server-side
   remote synthesize  run an async synthesis job against a stored release
+  remote resume      re-attach to (or re-queue) a durable job after a restart
   remote status      inspect dataset ledgers, releases, and jobs
 
 flags (after the experiment name): -scale -epinions-scale -steps -eps -pow -seed -samples -repeats -shards -chains -fuse

@@ -4,10 +4,12 @@ package main
 // service: `wpinq remote measure` uploads an edge list and takes DP
 // measurements of it on the server (which then discards the graph),
 // `wpinq remote synthesize` fits a synthetic graph to a stored release
-// as an asynchronous server-side job, and `wpinq remote status`
-// inspects ledgers, releases, and jobs. Machine-readable output (the
-// measurement ID, the synthetic edge list) goes to stdout or -out;
-// diagnostics go to stderr, so the verbs compose in scripts.
+// as an asynchronous server-side job, `wpinq remote resume` re-attaches
+// to (and if necessary re-queues) a durable job after a daemon restart,
+// and `wpinq remote status` inspects ledgers, releases, and jobs.
+// Machine-readable output (the measurement ID, the synthetic edge list)
+// goes to stdout or -out; diagnostics go to stderr, so the verbs
+// compose in scripts.
 
 import (
 	"flag"
@@ -23,13 +25,15 @@ import (
 
 func runRemote(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("remote: a verb is required: measure, synthesize, status, audit, or health")
+		return fmt.Errorf("remote: a verb is required: measure, synthesize, resume, status, audit, or health")
 	}
 	switch args[0] {
 	case "measure":
 		return runRemoteMeasure(args[1:])
 	case "synthesize":
 		return runRemoteSynthesize(args[1:])
+	case "resume":
+		return runRemoteResume(args[1:])
 	case "status":
 		return runRemoteStatus(args[1:])
 	case "audit":
@@ -37,7 +41,7 @@ func runRemote(args []string) error {
 	case "health":
 		return runRemoteHealth(args[1:])
 	}
-	return fmt.Errorf("remote: unknown verb %q (want measure, synthesize, status, audit, or health)", args[0])
+	return fmt.Errorf("remote: unknown verb %q (want measure, synthesize, resume, status, audit, or health)", args[0])
 }
 
 func runRemoteMeasure(args []string) error {
@@ -106,6 +110,8 @@ func runRemoteSynthesize(args []string) error {
 	swapEvery := fs.Int("swap-every", 0, "steps between replica swap attempts (0 = default 1024)")
 	fuse := fs.Bool("fuse", true,
 		"fuse shared pipeline prefixes across fit workloads (omit to use the server default)")
+	checkpointEvery := fs.Int("checkpoint-every", 0,
+		"checkpoint cadence in MCMC steps: >0 makes the job durable across daemon restarts, <0 forces off (0 = server default)")
 	seed := fs.Int64("seed", 0, "job seed (0 = server-derived)")
 	poll := fs.Duration("poll", 500*time.Millisecond, "progress polling interval")
 	if err := fs.Parse(args); err != nil {
@@ -119,13 +125,14 @@ func runRemoteSynthesize(args []string) error {
 		return fmt.Errorf("remote synthesize: %w", err)
 	}
 	req := service.JobRequest{
-		Measurement: *measurement,
-		Workloads:   workloads,
-		Steps:       *steps,
-		Pow:         *pow,
-		Chains:      *chains,
-		SwapEvery:   *swapEvery,
-		Seed:        *seed,
+		Measurement:     *measurement,
+		Workloads:       workloads,
+		Steps:           *steps,
+		Pow:             *pow,
+		Chains:          *chains,
+		SwapEvery:       *swapEvery,
+		CheckpointEvery: *checkpointEvery,
+		Seed:            *seed,
 	}
 	// Only override the server's default shard and fusion configuration
 	// when the flags were explicitly given (shards 0 is a meaningful
@@ -144,7 +151,52 @@ func runRemoteSynthesize(args []string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "remote: job %s submitted (%d steps, shards=%d)\n", job.ID, job.Steps, job.Shards)
-	final, err := c.WaitJob(job.ID, *poll, func(st service.JobStatus) {
+	return waitJobResult(c, "remote synthesize", job.ID, *poll, *out)
+}
+
+// runRemoteResume re-attaches to a durable job after a daemon restart:
+// a job the server's boot recovery already re-queued (or that is still
+// running) is simply followed; a finished job's result is downloaded;
+// anything else is re-queued from its persisted checkpoint via the
+// resume endpoint.
+func runRemoteResume(args []string) error {
+	fs := flag.NewFlagSet("remote resume", flag.ContinueOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "wpinqd base URL")
+	jobID := fs.String("job", "", "job ID to resume (required)")
+	out := fs.String("out", "", "output synthetic edge list (default stdout)")
+	poll := fs.Duration("poll", 500*time.Millisecond, "progress polling interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *jobID == "" {
+		return fmt.Errorf("remote resume: -job is required")
+	}
+	c := service.NewClient(*server)
+	st, err := c.Job(*jobID)
+	switch {
+	case err == nil && st.State == service.JobDone:
+		fmt.Fprintf(os.Stderr, "remote: job %s already done\n", st.ID)
+		return waitJobResult(c, "remote resume", st.ID, *poll, *out)
+	case err == nil && !st.Terminal():
+		fmt.Fprintf(os.Stderr, "remote: job %s already live (%s, step %d/%d)\n",
+			st.ID, st.State, st.Step, st.Steps)
+		return waitJobResult(c, "remote resume", st.ID, *poll, *out)
+	}
+	// Unknown or terminal-but-unfinished job: ask the server to re-queue
+	// it from its checkpoint.
+	st, err = c.ResumeJob(*jobID)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "remote: job %s resumed from step %d (%d steps total)\n",
+		st.ID, st.ResumedFrom, st.Steps)
+	return waitJobResult(c, "remote resume", st.ID, *poll, *out)
+}
+
+// waitJobResult follows a job to termination, prints its diagnostics to
+// stderr, and writes the synthetic edge list to out (empty = stdout).
+func waitJobResult(c *service.Client, verb, id string, poll time.Duration, out string) error {
+	final, err := c.WaitJob(id, poll, func(st service.JobStatus) {
 		if st.State == service.JobRunning {
 			fmt.Fprintf(os.Stderr, "remote: %s step %d/%d score %.6g accept %.1f%%\n",
 				st.ID, st.Step, st.Steps, st.Score, 100*st.AcceptRate)
@@ -154,13 +206,13 @@ func runRemoteSynthesize(args []string) error {
 		return err
 	}
 	if final.State != service.JobDone {
-		return fmt.Errorf("remote synthesize: job %s finished %s: %s", final.ID, final.State, final.Error)
+		return fmt.Errorf("%s: job %s finished %s: %s", verb, final.ID, final.State, final.Error)
 	}
 	fmt.Fprintf(os.Stderr, "remote: job %s done, final score %.6g (%d/%d accepted)\n",
 		final.ID, final.Score, final.Accepted, final.Steps)
-	for _, c := range final.Chains {
+	for _, ch := range final.Chains {
 		fmt.Fprintf(os.Stderr, "remote:   chain %d pow %-8.4g score %.6g accepted %d swaps %d\n",
-			c.Chain, c.Pow, c.Score, c.Accepted, c.Swaps)
+			ch.Chain, ch.Pow, ch.Score, ch.Accepted, ch.Swaps)
 	}
 	printResiduals(os.Stderr, "remote:   ", final.Residuals)
 	g, err := c.JobResult(final.ID)
@@ -168,8 +220,8 @@ func runRemoteSynthesize(args []string) error {
 		return err
 	}
 	w := os.Stdout
-	if *out != "" {
-		file, err := os.Create(*out)
+	if out != "" {
+		file, err := os.Create(out)
 		if err != nil {
 			return err
 		}

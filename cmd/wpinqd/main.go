@@ -6,7 +6,8 @@
 // Usage:
 //
 //	wpinqd [-addr :8080] [-data DIR] [-shards N] [-chains K] [-workers N]
-//	       [-fuse] [-seed N] [-log-format text|json] [-debug-addr ADDR]
+//	       [-fuse] [-checkpoint-every N] [-seed N] [-log-format text|json]
+//	       [-debug-addr ADDR]
 //
 // The API is documented on service.Handler; `wpinq remote` is the
 // matching command-line client. See README.md, "Serving".
@@ -50,6 +51,8 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "synthesis worker pool size (0 = GOMAXPROCS divided by per-job shards)")
 	fuse := fs.Bool("fuse", true,
 		"default plan fusion for synthesis jobs: fuse shared pipeline prefixes across fit workloads")
+	checkpointEvery := fs.Int("checkpoint-every", 0,
+		"default checkpoint cadence in MCMC steps for synthesis jobs (durable jobs survive daemon restarts; 0 = not durable)")
 	seed := fs.Int64("seed", 1, "base seed for requests that do not supply one")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	debugAddr := fs.String("debug-addr", "", "separate listen address for /metrics and /debug/pprof (empty = disabled)")
@@ -69,13 +72,14 @@ func run(args []string) error {
 	logger := slog.New(handler)
 
 	svc, err := service.New(service.Options{
-		Dir:     *data,
-		Shards:  *shards,
-		Chains:  *chains,
-		Workers: *workers,
-		NoFuse:  !*fuse,
-		Seed:    *seed,
-		Logger:  logger,
+		Dir:             *data,
+		Shards:          *shards,
+		Chains:          *chains,
+		Workers:         *workers,
+		NoFuse:          !*fuse,
+		CheckpointEvery: *checkpointEvery,
+		Seed:            *seed,
+		Logger:          logger,
 	})
 	if err != nil {
 		return err

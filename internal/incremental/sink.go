@@ -1,6 +1,8 @@
 package incremental
 
 import (
+	"encoding/json"
+	"fmt"
 	"math"
 )
 
@@ -169,6 +171,25 @@ func (s *NoisyCountSink[T]) Epsilon() float64 { return s.eps }
 // Weight returns the current query output weight q(x), for tests.
 func (s *NoisyCountSink[T]) Weight(x T) float64 { return s.q[x] }
 
+// ObservedKeys returns the sink's observation history — every record
+// with a cached released value, serialized as canonical JSON, in
+// first-observation order. Rebuilding a sink with exactly this list as
+// its domain (NewNoisyCountSink Gets memoized, record-keyed noise, so
+// the values reproduce) restores m, order, and the |m(x)| terms of l1
+// bit-for-bit: the serializable half of the sink's state, used by
+// checkpoint/resume.
+func (s *NoisyCountSink[T]) ObservedKeys() ([]json.RawMessage, error) {
+	out := make([]json.RawMessage, len(s.order))
+	for i, x := range s.order {
+		b, err := json.Marshal(x)
+		if err != nil {
+			return nil, fmt.Errorf("incremental: encoding observed record %v: %w", x, err)
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
 // RecomputeL1 re-derives the distance from scratch and returns it; it also
 // replaces the maintained value, squashing any accumulated floating-point
 // drift. Long MCMC runs call this periodically.
@@ -235,6 +256,15 @@ func (sc *Scorer) Add(s SinkScore) { sc.AddNamed("", s) }
 // Residuals can report its score contribution by name.
 func (sc *Scorer) AddNamed(name string, s SinkScore) {
 	sc.sinks = append(sc.sinks, namedSink{name: name, s: s})
+}
+
+// Each visits every registered sink in attach order, with its workload
+// attribution. Checkpointing walks the sinks this way to serialize
+// their observation histories.
+func (sc *Scorer) Each(f func(name string, s SinkScore)) {
+	for _, e := range sc.sinks {
+		f(e.name, e.s)
+	}
 }
 
 // Score returns sum_i eps_i * L1_i: lower is a better fit. (The MCMC

@@ -230,6 +230,34 @@ type GaugeVec struct{ f *family }
 // With returns the gauge for the given label values.
 func (v GaugeVec) With(labelValues ...string) Gauge { return Gauge{v.f.get(labelValues)} }
 
+// Remove drops the series for the given label values from the family,
+// so it stops appearing in expositions. Removing an absent series is a
+// no-op. Use it for per-entity gauges whose entity has gone away (e.g.
+// a job's checkpoint gauge after the checkpoint is deleted); a Gauge
+// handle obtained before the removal keeps working but writes to a
+// detached series.
+func (v GaugeVec) Remove(labelValues ...string) { v.f.remove(labelValues) }
+
+// remove deletes one series from the family's map and order slice.
+func (f *family) remove(values []string) {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q takes %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := seriesKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.series[key]; !ok {
+		return
+	}
+	delete(f.series, key)
+	for i, k := range f.order {
+		if k == key {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+}
+
 // HistogramVec is a histogram family with labels.
 type HistogramVec struct{ f *family }
 

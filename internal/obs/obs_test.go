@@ -191,3 +191,27 @@ func TestSizeBuckets(t *testing.T) {
 		}
 	}
 }
+
+func TestGaugeVecRemove(t *testing.T) {
+	r := NewRegistry()
+	gv := r.GaugeVec("step", "per-job step", "job")
+	gv.With("j1").Set(500)
+	gv.With("j2").Set(900)
+	if !strings.Contains(r.Text(), `step{job="j1"} 500`) {
+		t.Fatalf("series missing before removal:\n%s", r.Text())
+	}
+	gv.Remove("j1")
+	text := r.Text()
+	if strings.Contains(text, `job="j1"`) {
+		t.Errorf("removed series still exposed:\n%s", text)
+	}
+	if !strings.Contains(text, `step{job="j2"} 900`) {
+		t.Errorf("removal dropped an unrelated series:\n%s", text)
+	}
+	// Removing an absent series is a no-op; re-adding starts fresh.
+	gv.Remove("j1")
+	gv.With("j1").Set(7)
+	if !strings.Contains(r.Text(), `step{job="j1"} 7`) {
+		t.Errorf("series did not come back after removal:\n%s", r.Text())
+	}
+}

@@ -129,6 +129,15 @@ func (c *Client) CancelJob(id string) (JobStatus, error) {
 	return out, err
 }
 
+// ResumeJob re-queues a durable job from its persisted checkpoint.
+// Resuming a job that is already live (e.g. re-queued by the server's
+// own boot recovery) returns its current status unchanged.
+func (c *Client) ResumeJob(id string) (JobStatus, error) {
+	var out JobStatus
+	err := c.do(http.MethodPost, "/v1/jobs/"+url.PathEscape(id)+"/resume", nil, "", &out)
+	return out, err
+}
+
 // JobResult downloads and parses a finished job's synthetic edge list.
 func (c *Client) JobResult(id string) (*graph.Graph, error) {
 	data, err := c.raw(http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/result")

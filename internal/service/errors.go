@@ -25,6 +25,11 @@ var (
 	// ErrJobFinished reports a cancellation of a job that already
 	// reached a terminal state.
 	ErrJobFinished = errors.New("service: job already finished")
+	// ErrManagerClosed reports a submission to a job manager that has
+	// been Closed (the daemon is shutting down). Without this guard a
+	// late submission would enqueue onto a queue no worker will ever
+	// drain again and sit "queued" forever.
+	ErrManagerClosed = errors.New("service: job manager closed")
 	// ErrInternal marks server-side faults (e.g. persistence I/O): the
 	// caller's input was fine and the request may be retried.
 	ErrInternal = errors.New("service: internal error")
@@ -54,5 +59,7 @@ const (
 	CodeQueueFull          = "queue_full"
 	CodeJobNotDone         = "job_not_done"
 	CodeJobFinished        = "job_finished"
+	CodeShuttingDown       = "shutting_down"
+	CodeCheckpointStale    = "checkpoint_stale"
 	CodeInternal           = "internal"
 )

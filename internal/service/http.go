@@ -10,6 +10,7 @@ import (
 	"wpinq/internal/budget"
 	"wpinq/internal/graph"
 	"wpinq/internal/obs"
+	"wpinq/internal/synth"
 )
 
 // Handler returns the HTTP JSON API over the service:
@@ -27,6 +28,7 @@ import (
 //	GET    /v1/jobs                       list jobs
 //	GET    /v1/jobs/{id}                  poll one job's progress
 //	DELETE /v1/jobs/{id}                  cancel a job
+//	POST   /v1/jobs/{id}/resume           re-queue a durable job from its checkpoint
 //	GET    /v1/jobs/{id}/result           download the synthetic edge list
 //
 // Errors are JSON APIError bodies; budget overdraw maps to
@@ -94,6 +96,14 @@ func (s *Service) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("POST /v1/jobs/{id}/resume", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.ResumeJob(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
 		g, _, err := s.jobs.Result(r.PathValue("id"))
@@ -191,6 +201,10 @@ func writeErr(w http.ResponseWriter, err error) {
 		api = &APIError{Status: http.StatusConflict, Code: CodeJobNotDone, Message: err.Error()}
 	case errors.Is(err, ErrJobFinished):
 		api = &APIError{Status: http.StatusConflict, Code: CodeJobFinished, Message: err.Error()}
+	case errors.Is(err, ErrManagerClosed):
+		api = &APIError{Status: http.StatusServiceUnavailable, Code: CodeShuttingDown, Message: err.Error()}
+	case errors.Is(err, synth.ErrCheckpointStale):
+		api = &APIError{Status: http.StatusConflict, Code: CodeCheckpointStale, Message: err.Error()}
 	case errors.Is(err, ErrInternal):
 		api = &APIError{Status: http.StatusInternalServerError, Code: CodeInternal, Message: err.Error()}
 	default:

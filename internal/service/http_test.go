@@ -209,6 +209,7 @@ func TestHTTPErrorShapes(t *testing.T) {
 		{"unknown dataset", func() error { _, err := client.Dataset("d404"); return err }(), CodeNotFound},
 		{"unknown measurement", func() error { _, err := client.Measurement("m404"); return err }(), CodeNotFound},
 		{"unknown job", func() error { _, err := client.Job("j404"); return err }(), CodeNotFound},
+		{"resume without checkpoint", func() error { _, err := client.ResumeJob("j404"); return err }(), CodeNotFound},
 		{"bad upload", func() error {
 			_, err := client.Upload("x", 1, bytes.NewReader([]byte("not numbers here\n")))
 			return err

@@ -1,9 +1,14 @@
 package service
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"math/rand"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -67,6 +72,16 @@ type JobRequest struct {
 	// uses the service default; false fits each workload on a private
 	// pipeline.
 	Fuse *bool `json:"fuse,omitempty"`
+	// CheckpointEvery makes the job durable: every that many steps it
+	// persists a resumable checkpoint through the store, and a daemon
+	// restart re-queues it from the last one (synth.Config.CheckpointEvery
+	// semantics; see DESIGN.md "Durable jobs"). 0 uses the service
+	// default; a negative value disables checkpointing explicitly.
+	CheckpointEvery int `json:"checkpointEvery,omitempty"`
+	// Resume, when set, ignores every other field and re-queues the
+	// named job from its persisted checkpoint (the same operation boot
+	// recovery performs automatically for interrupted jobs).
+	Resume string `json:"resume,omitempty"`
 }
 
 // WorkloadResidual and BinResidual re-export the synth residual views
@@ -93,6 +108,11 @@ type JobStatus struct {
 	SeedEdges   int     `json:"seedEdges,omitempty"`
 	ResultNodes int     `json:"resultNodes,omitempty"`
 	ResultEdges int     `json:"resultEdges,omitempty"`
+	// CheckpointEvery is the job's resolved checkpoint cadence in steps
+	// (0 = not durable); ResumedFrom is the checkpoint step the job was
+	// re-queued from, for recovered or explicitly resumed jobs.
+	CheckpointEvery int `json:"checkpointEvery,omitempty"`
+	ResumedFrom     int `json:"resumedFrom,omitempty"`
 	// Chains is the per-chain progress of a replica-exchange job (pow
 	// assignment, accepted proposals and swaps, current score), in chain
 	// order; absent for single-chain jobs. The top-level Step, Score,
@@ -115,7 +135,8 @@ func (js JobStatus) Terminal() bool {
 
 // Job is one asynchronous synthesis run.
 type Job struct {
-	req JobRequest // immutable after Submit
+	req    JobRequest        // immutable after Submit
+	resume *synth.Checkpoint // non-nil for recovered/resumed jobs
 
 	mu        sync.Mutex
 	status    JobStatus
@@ -128,13 +149,15 @@ type Job struct {
 // the pool size queue; cancellation reaches queued jobs immediately and
 // running jobs at their next progress checkpoint.
 type JobManager struct {
-	store         *Store
-	defaultShards int
-	defaultChains int
-	defaultNoFuse bool
-	log           *slog.Logger
+	store           *Store
+	defaultShards   int
+	defaultChains   int
+	defaultNoFuse   bool
+	defaultCkptEvry int
+	log             *slog.Logger
 
 	mu     sync.Mutex
+	closed bool
 	jobs   map[string]*Job
 	order  []string
 	nextID int
@@ -149,26 +172,32 @@ type JobManager struct {
 // defaultChains is the replica-exchange chain count applied to jobs that
 // do not set one (values below 1 mean a single chain). defaultNoFuse
 // disables multi-workload plan fusion for jobs that do not set
-// JobRequest.Fuse. A nil logger discards job lifecycle logs.
-func NewJobManager(store *Store, defaultShards, defaultChains, workers int, defaultNoFuse bool, logger *slog.Logger) *JobManager {
+// JobRequest.Fuse. defaultCheckpointEvery is the checkpoint cadence for
+// jobs that do not set one (0 leaves jobs non-durable). A nil logger
+// discards job lifecycle logs.
+func NewJobManager(store *Store, defaultShards, defaultChains, workers int, defaultNoFuse bool, defaultCheckpointEvery int, logger *slog.Logger) *JobManager {
 	if workers < 1 {
 		workers = 1
 	}
 	if defaultChains < 1 {
 		defaultChains = 1
 	}
+	if defaultCheckpointEvery < 0 {
+		defaultCheckpointEvery = 0
+	}
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
 	}
 	jm := &JobManager{
-		store:         store,
-		defaultShards: defaultShards,
-		defaultChains: defaultChains,
-		defaultNoFuse: defaultNoFuse,
-		log:           logger,
-		jobs:          make(map[string]*Job),
-		queue:         make(chan *Job, jobQueueDepth),
-		quit:          make(chan struct{}),
+		store:           store,
+		defaultShards:   defaultShards,
+		defaultChains:   defaultChains,
+		defaultNoFuse:   defaultNoFuse,
+		defaultCkptEvry: defaultCheckpointEvery,
+		log:             logger,
+		jobs:            make(map[string]*Job),
+		queue:           make(chan *Job, jobQueueDepth),
+		quit:            make(chan struct{}),
 	}
 	jm.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -180,8 +209,12 @@ func NewJobManager(store *Store, defaultShards, defaultChains, workers int, defa
 // Close cancels every live job and waits for the workers to exit.
 // Jobs still queued are finished as cancelled, so waiters on their
 // Done channels unblock. Closing an already-closed manager is a no-op.
+// After Close, Submit and Resume refuse with ErrManagerClosed: the
+// workers are gone, so anything enqueued later would sit queued
+// forever.
 func (jm *JobManager) Close() {
 	jm.mu.Lock()
+	jm.closed = true
 	for _, j := range jm.jobs {
 		j.cancelled.Store(true)
 	}
@@ -250,6 +283,14 @@ func (jm *JobManager) Submit(req JobRequest) (JobStatus, error) {
 	if req.SwapEvery < 0 {
 		return JobStatus{}, fmt.Errorf("job SwapEvery must be non-negative, got %d", req.SwapEvery)
 	}
+	if req.CheckpointEvery == 0 {
+		req.CheckpointEvery = jm.defaultCkptEvry
+	}
+	if req.CheckpointEvery < 0 {
+		// Negative is the explicit "off" spelling (0 means "server
+		// default"); normalize so everything downstream tests > 0.
+		req.CheckpointEvery = 0
+	}
 
 	fuse := !jm.defaultNoFuse
 	if req.Fuse != nil {
@@ -259,33 +300,48 @@ func (jm *JobManager) Submit(req JobRequest) (JobStatus, error) {
 	run := req
 	run.Shards = &shards
 	run.Fuse = &fuse
+	// The closed check and the enqueue sit under one critical section
+	// with Close's closed=true: either Submit sees closed and refuses, or
+	// Close's queue drain happens after this enqueue and finishes the job
+	// as cancelled. No interleaving leaves a job on a queue nobody will
+	// drain.
 	jm.mu.Lock()
+	if jm.closed {
+		jm.mu.Unlock()
+		return JobStatus{}, ErrManagerClosed
+	}
 	jm.nextID++
 	j := &Job{
 		req: run,
 		status: JobStatus{
-			ID:          fmt.Sprintf("j%d", jm.nextID),
-			Measurement: req.Measurement,
-			State:       JobQueued,
-			Steps:       req.Steps,
-			Shards:      shards,
-			Fused:       fuse,
-			Seed:        req.Seed,
+			ID:              fmt.Sprintf("j%d", jm.nextID),
+			Measurement:     req.Measurement,
+			State:           JobQueued,
+			Steps:           req.Steps,
+			Shards:          shards,
+			Fused:           fuse,
+			Seed:            req.Seed,
+			CheckpointEvery: req.CheckpointEvery,
 		},
 		done: make(chan struct{}),
 	}
 	jm.jobs[j.status.ID] = j
 	jm.order = append(jm.order, j.status.ID)
-	jm.mu.Unlock()
 	recordJobState(JobQueued)
 	jobsActive.Add(1)
-	jm.log.Info("job queued", "job", j.status.ID,
-		"measurement", req.Measurement, "steps", req.Steps,
-		"chains", run.Chains, "shards", shards, "fused", fuse)
-
+	queued := false
 	select {
 	case jm.queue <- j:
+		queued = true
 	default:
+	}
+	jm.mu.Unlock()
+	jm.log.Info("job queued", "job", j.status.ID,
+		"measurement", req.Measurement, "steps", req.Steps,
+		"chains", run.Chains, "shards", shards, "fused", fuse,
+		"checkpointEvery", req.CheckpointEvery)
+
+	if !queued {
 		j.finish(func(st *JobStatus) {
 			st.State = JobFailed
 			st.Error = ErrQueueFull.Error()
@@ -313,6 +369,13 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 func (j *Job) finish(update func(*JobStatus)) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.finishLocked(update)
+}
+
+// finishLocked is finish for callers already holding j.mu (Cancel
+// finishes queued jobs in the same critical section that inspects
+// their state).
+func (j *Job) finishLocked(update func(*JobStatus)) {
 	if j.status.Terminal() {
 		return
 	}
@@ -320,6 +383,21 @@ func (j *Job) finish(update func(*JobStatus)) {
 	recordJobState(j.status.State)
 	jobsActive.Add(-1)
 	close(j.done)
+}
+
+// tryStart transitions a queued job to running, returning its ID and
+// whether it actually started. A job already finished — cancelled while
+// queued, or drained at shutdown — reports false and must not run: the
+// terminal check and the state transition share one critical section so
+// a concurrent Cancel cannot land between them.
+func (j *Job) tryStart() (string, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.Terminal() {
+		return j.status.ID, false
+	}
+	j.status.State = JobRunning
+	return j.status.ID, true
 }
 
 // Get returns a job's status.
@@ -368,19 +446,30 @@ func (jm *JobManager) List() []JobStatus {
 	return out
 }
 
-// Cancel requests cancellation: queued jobs stop before starting,
-// running jobs stop at their next progress checkpoint (keeping the
-// partial synthetic graph as their result).
+// Cancel requests cancellation: queued jobs finish as cancelled
+// immediately, running jobs stop at their next progress checkpoint
+// (keeping the partial synthetic graph as their result). Finishing
+// queued jobs here — rather than leaving them queued until a worker
+// drains them — keeps Active() and wpinq_jobs_active honest: a
+// cancelled job stops counting as live the moment the cancel returns.
 func (jm *JobManager) Cancel(id string) (JobStatus, error) {
 	j, err := jm.get(id)
 	if err != nil {
 		return JobStatus{}, err
 	}
-	if j.Status().Terminal() {
-		return j.Status(), fmt.Errorf("%w: job %s", ErrJobFinished, id)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.Terminal() {
+		return j.status, fmt.Errorf("%w: job %s", ErrJobFinished, id)
 	}
 	j.cancelled.Store(true)
-	return j.Status(), nil
+	if j.status.State == JobQueued {
+		// No worker is looking at a queued job, so nothing else will
+		// observe the flag; finish it now. The worker that eventually
+		// drains it from the queue skips already-terminal jobs.
+		j.finishLocked(func(st *JobStatus) { st.State = JobCancelled })
+	}
+	return j.status, nil
 }
 
 // Result returns the synthetic graph of a finished job. Cancelled jobs
@@ -421,33 +510,46 @@ func (jm *JobManager) worker() {
 	}
 }
 
+// checkpointMeta is the service's Checkpoint.Meta envelope: which job
+// owns the checkpoint and the exact (default-resolved) request it ran
+// under, so boot recovery can rebuild the run without any other state.
+type checkpointMeta struct {
+	Job     string     `json:"job"`
+	Request JobRequest `json:"request"`
+}
+
 // run executes one job: load the release, build the seed graph, fit.
 // The whole pipeline shares one rng seeded from the request, so a job
 // is reproducible given (stored bytes, seed, shard config) — the same
-// guarantee the in-process workflow gives.
+// guarantee the in-process workflow gives. A job with a checkpoint
+// attached (boot recovery, explicit resume) replays the identical
+// prefix — rng, measurement load, seed graph — and then continues from
+// the checkpoint instead of step 0.
 func (jm *JobManager) run(j *Job) {
 	req := j.req
 	seed := req.Seed
 	shards := *req.Shards
-	j.mu.Lock()
-	j.status.State = JobRunning
-	id := j.status.ID
-	j.mu.Unlock()
+	id, started := j.tryStart()
+	if !started {
+		return
+	}
 	recordJobState(JobRunning)
 	log := jm.log.With("job", id)
 	log.Info("job running", "measurement", req.Measurement, "seed", seed)
+	fail := func(stage string, err error) {
+		log.Error("job failed", "stage", stage, "err", err)
+		j.finish(func(st *JobStatus) { st.State = JobFailed; st.Error = err.Error() })
+	}
 
 	rng := rand.New(rand.NewSource(seed))
 	m, err := jm.store.Load(req.Measurement, rng)
 	if err != nil {
-		log.Error("job failed", "stage", "load", "err", err)
-		j.finish(func(st *JobStatus) { st.State = JobFailed; st.Error = err.Error() })
+		fail("load", err)
 		return
 	}
 	seedG, err := synth.SeedGraph(m, rng)
 	if err != nil {
-		log.Error("job failed", "stage", "seed", "err", err)
-		j.finish(func(st *JobStatus) { st.State = JobFailed; st.Error = err.Error() })
+		fail("seed", err)
 		return
 	}
 	j.mu.Lock()
@@ -482,11 +584,65 @@ func (jm *JobManager) run(j *Job) {
 			return !j.cancelled.Load()
 		},
 	}
-	res, err := synth.Synthesize(m, seedG, cfg, rng)
+	durable := req.CheckpointEvery > 0
+	if durable {
+		data, err := jm.store.Bytes(req.Measurement)
+		if err != nil {
+			fail("checkpoint-parent", err)
+			return
+		}
+		meta, err := json.Marshal(checkpointMeta{Job: id, Request: req})
+		if err != nil {
+			fail("checkpoint-meta", err)
+			return
+		}
+		cfg.CheckpointEvery = req.CheckpointEvery
+		cfg.ParentHash = ContentHash(data)
+		cfg.OnCheckpoint = func(ck *synth.Checkpoint) bool {
+			ck.Meta = meta
+			var buf bytes.Buffer
+			err := ck.Save(&buf)
+			if err == nil {
+				err = jm.store.PutCheckpoint(id, buf.Bytes())
+			}
+			if err != nil {
+				// A failed checkpoint write degrades durability, not the
+				// fit: the job keeps running and the previous checkpoint
+				// (if any) stays the recovery point.
+				jobCheckpoints.With("error").Inc()
+				log.Error("checkpoint write failed", "step", ck.Step, "err", err)
+				return true
+			}
+			jobCheckpoints.With("ok").Inc()
+			jobCheckpointStep.With(id).Set(float64(ck.Step))
+			return true
+		}
+	}
+
+	var res *synth.Result
+	if j.resume != nil {
+		j.mu.Lock()
+		j.status.Step = j.resume.Step
+		j.mu.Unlock()
+		res, err = synth.SynthesizeResume(m, seedG, j.resume, cfg, rng)
+	} else {
+		res, err = synth.Synthesize(m, seedG, cfg, rng)
+	}
 	if err != nil {
-		log.Error("job failed", "stage", "synthesize", "err", err)
-		j.finish(func(st *JobStatus) { st.State = JobFailed; st.Error = err.Error() })
+		if j.resume != nil {
+			if errors.Is(err, synth.ErrCheckpointStale) {
+				jobRestores.With("stale").Inc()
+			} else {
+				jobRestores.With("error").Inc()
+			}
+		}
+		// The checkpoint (if any) is deliberately kept on failure: it may
+		// still be the best recovery point if the failure was transient.
+		fail("synthesize", err)
 		return
+	}
+	if j.resume != nil {
+		jobRestores.With("ok").Inc()
 	}
 	j.mu.Lock()
 	j.result = res.Synthetic
@@ -507,6 +663,165 @@ func (jm *JobManager) run(j *Job) {
 		st.Residuals = res.Residuals
 	})
 	st := j.Status()
+	if durable {
+		// A clean terminal state retires the checkpoint; an interrupt at
+		// shutdown keeps it so the next boot's Recover can re-queue the
+		// job. The quit channel — not the cancelled flag — is the
+		// discriminator, because Close sets cancelled on every job, so a
+		// cancelled state alone cannot distinguish a user's cancel (retire)
+		// from a shutdown interrupt (keep).
+		interrupted := false
+		select {
+		case <-jm.quit:
+			interrupted = true
+		default:
+		}
+		if interrupted {
+			log.Info("job interrupted by shutdown; checkpoint kept", "step", st.Step)
+		} else {
+			if err := jm.store.DeleteCheckpoint(id); err != nil {
+				log.Error("deleting retired checkpoint", "err", err)
+			} else {
+				jobCheckpointStep.Remove(id)
+			}
+		}
+	}
 	log.Info("job finished", "state", st.State, "score", st.Score,
 		"accepted", st.Accepted, "steps", st.Step)
+}
+
+// Recover re-queues every job with a persisted checkpoint under its
+// original job ID, advancing the ID counter past them. The service
+// calls it once at boot, after the workers are up: a daemon killed
+// mid-job comes back with the job queued at its last checkpoint rather
+// than silently forgotten. An unusable checkpoint (corrupt, or metadata
+// that does not match its file) is logged and counted but left on disk
+// for inspection; it never blocks boot.
+func (jm *JobManager) Recover() {
+	for _, id := range jm.store.Checkpoints() {
+		ck, req, err := jm.loadCheckpoint(id)
+		if err != nil {
+			jobRestores.With("error").Inc()
+			jm.log.Error("job checkpoint unusable; leaving file", "job", id, "err", err)
+			continue
+		}
+		if _, err := jm.requeue(id, req, ck); err != nil {
+			jobRestores.With("error").Inc()
+			jm.log.Error("re-queueing recovered job", "job", id, "err", err)
+		}
+	}
+}
+
+// Resume re-queues a job from its persisted checkpoint on demand. A
+// live (queued or running) job with the ID is returned as-is — boot
+// recovery re-queues interrupted jobs automatically, so resuming an
+// already-recovered job is an idempotent no-op. A terminal job with a
+// checkpoint (e.g. one whose recovery attempt failed transiently) is
+// re-queued under its original ID.
+func (jm *JobManager) Resume(id string) (JobStatus, error) {
+	jm.mu.Lock()
+	closed := jm.closed
+	j := jm.jobs[id]
+	jm.mu.Unlock()
+	if closed {
+		return JobStatus{}, ErrManagerClosed
+	}
+	if j != nil {
+		if st := j.Status(); !st.Terminal() {
+			return st, nil
+		}
+	}
+	ck, req, err := jm.loadCheckpoint(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return jm.requeue(id, req, ck)
+}
+
+// loadCheckpoint fetches and fully validates a job's stored checkpoint,
+// returning it with the original (default-resolved) request recovered
+// from its metadata envelope.
+func (jm *JobManager) loadCheckpoint(id string) (*synth.Checkpoint, JobRequest, error) {
+	data, err := jm.store.Checkpoint(id)
+	if err != nil {
+		return nil, JobRequest{}, err
+	}
+	ck, err := synth.LoadCheckpoint(bytes.NewReader(data))
+	if err != nil {
+		return nil, JobRequest{}, fmt.Errorf("%w: job %s checkpoint: %v", ErrInternal, id, err)
+	}
+	if len(ck.Meta) == 0 {
+		return nil, JobRequest{}, fmt.Errorf("%w: job %s checkpoint has no job metadata", ErrInternal, id)
+	}
+	var meta checkpointMeta
+	if err := json.Unmarshal(ck.Meta, &meta); err != nil {
+		return nil, JobRequest{}, fmt.Errorf("%w: job %s checkpoint metadata: %v", ErrInternal, id, err)
+	}
+	if meta.Job != id {
+		return nil, JobRequest{}, fmt.Errorf("%w: checkpoint stored for job %s belongs to job %s", ErrInternal, id, meta.Job)
+	}
+	if meta.Request.Shards == nil || meta.Request.Fuse == nil {
+		return nil, JobRequest{}, fmt.Errorf("%w: job %s checkpoint request is missing resolved defaults", ErrInternal, id)
+	}
+	return ck, meta.Request, nil
+}
+
+// requeue registers and enqueues a recovered job under its original ID.
+func (jm *JobManager) requeue(id string, req JobRequest, ck *synth.Checkpoint) (JobStatus, error) {
+	j := &Job{
+		req:    req,
+		resume: ck,
+		status: JobStatus{
+			ID:              id,
+			Measurement:     req.Measurement,
+			State:           JobQueued,
+			Steps:           req.Steps,
+			Step:            ck.Step,
+			Shards:          *req.Shards,
+			Fused:           *req.Fuse,
+			Seed:            req.Seed,
+			CheckpointEvery: req.CheckpointEvery,
+			ResumedFrom:     ck.Step,
+		},
+		done: make(chan struct{}),
+	}
+	jm.mu.Lock()
+	if jm.closed {
+		jm.mu.Unlock()
+		return JobStatus{}, ErrManagerClosed
+	}
+	if old, ok := jm.jobs[id]; ok {
+		// Racing resumes of the same job: the first registration wins and
+		// the loser returns it, so one checkpoint never feeds two runs.
+		if st := old.Status(); !st.Terminal() {
+			jm.mu.Unlock()
+			return st, nil
+		}
+	} else {
+		jm.order = append(jm.order, id)
+	}
+	jm.jobs[id] = j
+	// Keep fresh submissions from ever colliding with a recovered ID.
+	if n, err := strconv.Atoi(strings.TrimPrefix(id, "j")); err == nil && n > jm.nextID {
+		jm.nextID = n
+	}
+	recordJobState(JobQueued)
+	jobsActive.Add(1)
+	queued := false
+	select {
+	case jm.queue <- j:
+		queued = true
+	default:
+	}
+	jm.mu.Unlock()
+	if !queued {
+		j.finish(func(st *JobStatus) {
+			st.State = JobFailed
+			st.Error = ErrQueueFull.Error()
+		})
+		return j.Status(), ErrQueueFull
+	}
+	jm.log.Info("job resumed from checkpoint", "job", id,
+		"step", ck.Step, "steps", req.Steps, "measurement", req.Measurement)
+	return j.Status(), nil
 }

@@ -33,6 +33,15 @@ var (
 		"Releases added to the measurement store (idempotent re-puts excluded).")
 	provenanceRecords = obs.Default.Counter("wpinq_store_provenance_records_total",
 		"Records appended to the provenance ledger.")
+	provenanceTornTails = obs.Default.Counter("wpinq_store_provenance_torn_tails_total",
+		"Torn final ledger lines (crash mid-append) truncated and discarded at boot.")
+
+	jobCheckpoints = obs.Default.CounterVec("wpinq_job_checkpoints_total",
+		"Durable-job checkpoints written, by outcome (ok or error).", "outcome")
+	jobRestores = obs.Default.CounterVec("wpinq_job_restores_total",
+		"Durable-job resume attempts (boot recovery and explicit resume), by outcome (ok, stale, or error).", "outcome")
+	jobCheckpointStep = obs.Default.GaugeVec("wpinq_job_checkpoint_step",
+		"Step count of a job's most recent checkpoint; the series is removed when the checkpoint is deleted.", "job")
 )
 
 // recordLedger publishes one dataset's budget gauges from a consistent

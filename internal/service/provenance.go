@@ -1,7 +1,6 @@
 package service
 
 import (
-	"bufio"
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
@@ -130,9 +129,16 @@ func (st *Store) AppendProvenance(rec ProvenanceRecord) (ProvenanceRecord, error
 		if err != nil {
 			return ProvenanceRecord{}, fmt.Errorf("%w: opening provenance ledger: %v", ErrInternal, err)
 		}
+		// One Write call for line+newline: a crash can tear the suffix of
+		// this single append but can never interleave two records, which is
+		// what lets loadProvenance classify an unterminated final line as a
+		// torn tail rather than tampering. The fsync bounds the loss to the
+		// record being appended — earlier records are durable.
 		_, werr := f.Write(append(line, '\n'))
-		cerr := f.Close()
-		if werr == nil {
+		if serr := f.Sync(); werr == nil {
+			werr = serr
+		}
+		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}
 		if werr != nil {
@@ -172,28 +178,27 @@ func (st *Store) ProvenanceDatasets() []string {
 // loadProvenance reads the persisted ledger back into memory,
 // verifying each dataset's chain as it goes: a service must not start
 // on a ledger it cannot vouch for.
+//
+// One failure mode is not tampering: a crash mid-append can leave a
+// torn final line (AppendProvenance writes each record in a single
+// write call, so only the file's very last line can be incomplete, and
+// a torn line necessarily lacks the trailing newline). Such a tail is
+// truncated with a warning and counted under
+// wpinq_store_provenance_torn_tails_total — the record it belonged to
+// was never acknowledged durable. Everything else that fails to parse
+// or verify still refuses boot: an unparseable line *with* a newline,
+// or any chain-verification failure, cannot be produced by a torn
+// append and means the ledger was edited.
 func (st *Store) loadProvenance() error {
 	path := filepath.Join(st.dir, provenanceFile)
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil
 	}
 	if err != nil {
-		return fmt.Errorf("service: opening provenance ledger: %w", err)
+		return fmt.Errorf("service: reading provenance ledger: %w", err)
 	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
-			continue
-		}
-		var rec ProvenanceRecord
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			return fmt.Errorf("service: provenance ledger line %d: %w", line, err)
-		}
+	verify := func(rec ProvenanceRecord, line int) error {
 		chain := st.prov[rec.Dataset]
 		if rec.Seq != len(chain) {
 			return fmt.Errorf("service: provenance ledger line %d: dataset %s record out of order (seq %d, want %d)",
@@ -215,8 +220,71 @@ func (st *Store) loadProvenance() error {
 			st.prov = make(map[string][]ProvenanceRecord)
 		}
 		st.prov[rec.Dataset] = append(chain, rec)
+		return nil
 	}
-	return sc.Err()
+	line := 0
+	for off := 0; off < len(data); {
+		line++
+		end := bytes.IndexByte(data[off:], '\n')
+		terminated := end >= 0
+		var raw []byte
+		if terminated {
+			raw = data[off : off+end]
+		} else {
+			raw = data[off:]
+		}
+		lineStart := off
+		if terminated {
+			off += end + 1
+		} else {
+			off = len(data)
+		}
+		if len(bytes.TrimSpace(raw)) == 0 {
+			continue
+		}
+		var rec ProvenanceRecord
+		perr := json.Unmarshal(raw, &rec)
+		if perr == nil {
+			// A parseable record that fails chain verification is refused
+			// even as an unterminated tail: a torn append yields a JSON
+			// prefix that does not parse, so a parseable-but-wrong record
+			// means the ledger was edited.
+			if verr := verify(rec, line); verr != nil {
+				return verr
+			}
+			if !terminated {
+				// The record is whole and chain-valid; only the newline was
+				// lost. Repair the terminator so the next append starts a
+				// fresh line instead of corrupting this record.
+				f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					return fmt.Errorf("service: repairing provenance ledger terminator: %w", err)
+				}
+				_, werr := f.Write([]byte{'\n'})
+				if cerr := f.Close(); werr == nil {
+					werr = cerr
+				}
+				if werr != nil {
+					return fmt.Errorf("service: repairing provenance ledger terminator: %w", werr)
+				}
+				st.log.Warn("provenance ledger tail missing newline; repaired", "line", line)
+			}
+			continue
+		}
+		if !terminated {
+			// Torn tail: crash mid-append. The record was never durable;
+			// truncate it away and continue boot.
+			if err := os.Truncate(path, int64(lineStart)); err != nil {
+				return fmt.Errorf("service: truncating torn provenance tail: %w", err)
+			}
+			st.log.Warn("provenance ledger has a torn final line (crash mid-append); truncated",
+				"line", line, "bytes", len(raw))
+			provenanceTornTails.Inc()
+			return nil
+		}
+		return fmt.Errorf("service: provenance ledger line %d: %w", line, perr)
+	}
+	return nil
 }
 
 // ProvenanceInfo is the provenance endpoint's response: the chain plus

@@ -59,6 +59,12 @@ type Options struct {
 	// synthesis jobs (synth.Config.NoFuse semantics). Individual jobs
 	// may override it via JobRequest.Fuse.
 	NoFuse bool
+	// CheckpointEvery makes synthesis jobs durable by default: every
+	// that many steps a job persists a resumable checkpoint, and a
+	// daemon restart re-queues interrupted jobs from their last one.
+	// 0 (the default) leaves jobs non-durable; individual jobs may
+	// override either way via JobRequest.CheckpointEvery.
+	CheckpointEvery int
 	// Seed is the base for deriving per-request noise/MCMC seeds when a
 	// request does not supply one. Defaults to 1.
 	Seed int64
@@ -95,7 +101,7 @@ func New(opts Options) (*Service, error) {
 	if opts.Logger == nil {
 		opts.Logger = slog.New(slog.DiscardHandler)
 	}
-	st, err := NewStore(opts.Dir)
+	st, err := NewStore(opts.Dir, opts.Logger)
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +121,12 @@ func New(opts Options) (*Service, error) {
 			s.registry.nextID = n
 		}
 	}
-	s.jobs = NewJobManager(st, opts.Shards, opts.Chains, workerCount(opts), opts.NoFuse, opts.Logger)
+	s.jobs = NewJobManager(st, opts.Shards, opts.Chains, workerCount(opts), opts.NoFuse, opts.CheckpointEvery, opts.Logger)
+	// Boot-time crash recovery: any job with a persisted checkpoint was
+	// interrupted (cleanly finished jobs retire theirs); re-queue each
+	// under its original ID so a killed daemon's work resumes instead of
+	// vanishing.
+	s.jobs.Recover()
 	return s, nil
 }
 
@@ -217,12 +228,23 @@ func (s *Service) Audit(id string) (AuditReport, error) {
 func (s *Service) Close() { s.jobs.Close() }
 
 // SubmitJob fills the request defaults the service owns (the derived
-// seed) and enqueues a synthesis job.
+// seed) and enqueues a synthesis job. A request with Resume set is a
+// resume, not a fresh submission: every other field is ignored and the
+// named job is re-queued from its persisted checkpoint.
 func (s *Service) SubmitJob(req JobRequest) (JobStatus, error) {
+	if req.Resume != "" {
+		return s.jobs.Resume(req.Resume)
+	}
 	if req.Seed == 0 {
 		req.Seed = s.nextSeed()
 	}
 	return s.jobs.Submit(req)
+}
+
+// ResumeJob re-queues a job from its persisted checkpoint (idempotent
+// for jobs that are already live; see JobManager.Resume).
+func (s *Service) ResumeJob(id string) (JobStatus, error) {
+	return s.jobs.Resume(id)
 }
 
 // nextSeed derives a deterministic per-request seed for requests that

@@ -53,7 +53,7 @@ func TestStorePersistsAcrossRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st1, err := NewStore(dir)
+	st1, err := NewStore(dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestStorePersistsAcrossRestart(t *testing.T) {
 
 	// A fresh store over the same directory sees the same release,
 	// byte-for-byte, under the same content-addressed ID.
-	st2, err := NewStore(dir)
+	st2, err := NewStore(dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -25,11 +26,13 @@ import (
 // analyst-facing half of the service — nothing in it is sensitive.
 type Store struct {
 	dir string
+	log *slog.Logger
 
 	mu      sync.Mutex
 	entries map[string]storeEntry
 	order   []string // insertion order, for stable listings
 	prov    map[string][]ProvenanceRecord
+	ckpts   map[string][]byte // job ID -> serialized checkpoint
 }
 
 type storeEntry struct {
@@ -52,10 +55,19 @@ type MeasurementInfo struct {
 }
 
 // NewStore opens (and if needed creates) a store rooted at dir, loading
-// every previously persisted measurement. An empty dir keeps the store
-// in memory only.
-func NewStore(dir string) (*Store, error) {
-	st := &Store{dir: dir, entries: make(map[string]storeEntry)}
+// every previously persisted measurement and job checkpoint. An empty
+// dir keeps the store in memory only. logger receives boot-time repair
+// warnings (torn provenance tails); nil discards them.
+func NewStore(dir string, logger *slog.Logger) (*Store, error) {
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	st := &Store{
+		dir:     dir,
+		log:     logger,
+		entries: make(map[string]storeEntry),
+		ckpts:   make(map[string][]byte),
+	}
 	if dir == "" {
 		return st, nil
 	}
@@ -86,7 +98,108 @@ func NewStore(dir string) (*Store, error) {
 	if err := st.loadProvenance(); err != nil {
 		return nil, err
 	}
+	if err := st.loadCheckpoints(); err != nil {
+		return nil, err
+	}
 	return st, nil
+}
+
+// checkpointFile names a job's persisted checkpoint under the store
+// dir. Job IDs are j<N>, so the name set is disjoint from measurement
+// blobs (m<hash>.json) and the provenance ledger.
+func checkpointFile(jobID string) string { return "ckpt-" + jobID + ".json" }
+
+// loadCheckpoints reads every persisted job checkpoint back into
+// memory. The bytes are not validated here — Recover parses and
+// verifies each one, and must be able to report (rather than refuse
+// boot over) an individually unusable checkpoint.
+func (st *Store) loadCheckpoints() error {
+	names, err := filepath.Glob(filepath.Join(st.dir, "ckpt-*.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return fmt.Errorf("service: reading job checkpoint: %w", err)
+		}
+		id := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(name), "ckpt-"), ".json")
+		st.ckpts[id] = data
+	}
+	return nil
+}
+
+// PutCheckpoint persists a job's serialized checkpoint, replacing any
+// previous one. The write is atomic (temp file, fsync, rename): a crash
+// mid-checkpoint leaves the previous checkpoint intact, never a torn
+// half-document.
+func (st *Store) PutCheckpoint(jobID string, data []byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.dir != "" {
+		path := filepath.Join(st.dir, checkpointFile(jobID))
+		tmp := path + ".tmp"
+		f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fmt.Errorf("%w: creating checkpoint temp file: %v", ErrInternal, err)
+		}
+		_, werr := f.Write(data)
+		if serr := f.Sync(); werr == nil {
+			werr = serr
+		}
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr == nil {
+			werr = os.Rename(tmp, path)
+		}
+		if werr != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("%w: persisting checkpoint: %v", ErrInternal, werr)
+		}
+	}
+	st.ckpts[jobID] = append([]byte(nil), data...)
+	return nil
+}
+
+// Checkpoint returns a job's persisted checkpoint bytes.
+func (st *Store) Checkpoint(jobID string) ([]byte, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	data, ok := st.ckpts[jobID]
+	if !ok {
+		return nil, fmt.Errorf("%w: no checkpoint for job %s", ErrNotFound, jobID)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// DeleteCheckpoint removes a job's checkpoint (no-op if absent).
+func (st *Store) DeleteCheckpoint(jobID string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.ckpts[jobID]; !ok {
+		return nil
+	}
+	delete(st.ckpts, jobID)
+	if st.dir != "" {
+		if err := os.Remove(filepath.Join(st.dir, checkpointFile(jobID))); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("%w: deleting checkpoint: %v", ErrInternal, err)
+		}
+	}
+	return nil
+}
+
+// Checkpoints returns the job IDs with a persisted checkpoint, sorted.
+func (st *Store) Checkpoints() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]string, 0, len(st.ckpts))
+	for id := range st.ckpts {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // contentID derives the content-addressed ID of a saved release.

@@ -1,0 +1,239 @@
+package synth
+
+// Fault-injection coverage for durable Phase 2: kill a fixed-seed run
+// at a checkpoint boundary, resume it in "another process" (a fresh
+// master rng replaying the same load/seed prefix), and require the
+// resumed run to be bit-identical to an unbroken one — same final edge
+// list, same accept/reject trace, same score bits — on both executors
+// the determinism contract covers (serial and 1-shard). Plus rejection
+// paths: stale seeds, mismatched parent hashes, tampered documents.
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// durableFixture measures a small clustered graph and returns the
+// serialized release: every run in these tests loads the same bytes,
+// exactly as service jobs load the same stored measurement.
+func durableFixture(t *testing.T) []byte {
+	t.Helper()
+	g := clusteredGraph(t, 60)
+	m, err := Measure(g, Config{Eps: 1.0, Workloads: []string{"tbi"}}, testRng(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// stepTrace is one chain-0 proposal decision: the full accept/reject
+// trace of a run, with scores compared at the bit level.
+type stepTrace struct {
+	step     int
+	accepted bool
+	score    uint64
+}
+
+// runDurable executes a durable fit over the fixture bytes with master
+// seed, capturing the chain-0 decision trace and every checkpoint's
+// serialized form. If stopAt > 0 the run is cancelled at that boundary
+// (simulating a kill: the checkpoint is written, the process dies).
+func runDurable(t *testing.T, data []byte, seed int64, cfg Config, stopAt int) (*Result, []stepTrace, map[int][]byte) {
+	t.Helper()
+	rng := testRng(seed)
+	m, err := LoadMeasurements(bytes.NewReader(data), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedG, err := SeedGraph(m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []stepTrace
+	cfg.OnStep = func(step int, accepted bool, score float64) {
+		trace = append(trace, stepTrace{step, accepted, math.Float64bits(score)})
+	}
+	ckpts := make(map[int][]byte)
+	cfg.OnCheckpoint = func(ck *Checkpoint) bool {
+		var buf bytes.Buffer
+		if err := ck.Save(&buf); err != nil {
+			t.Errorf("saving checkpoint at step %d: %v", ck.Step, err)
+			return false
+		}
+		ckpts[ck.Step] = buf.Bytes()
+		return stopAt == 0 || ck.Step != stopAt
+	}
+	res, err := Synthesize(m, seedG, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, trace, ckpts
+}
+
+// resumeDurable continues a run from serialized checkpoint bytes,
+// replaying the same master-rng prefix a fresh process would.
+func resumeDurable(t *testing.T, data []byte, seed int64, ckBytes []byte, cfg Config) (*Result, []stepTrace, error) {
+	t.Helper()
+	ck, err := LoadCheckpoint(bytes.NewReader(ckBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := testRng(seed)
+	m, err := LoadMeasurements(bytes.NewReader(data), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedG, err := SeedGraph(m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []stepTrace
+	cfg.OnStep = func(step int, accepted bool, score float64) {
+		trace = append(trace, stepTrace{step, accepted, math.Float64bits(score)})
+	}
+	res, err := SynthesizeResume(m, seedG, ck, cfg, rng)
+	return res, trace, err
+}
+
+func TestDurableKillResumeBitIdentical(t *testing.T) {
+	data := durableFixture(t)
+	cases := []struct {
+		name   string
+		shards int
+		chains int
+		steps  int
+		stopAt int
+	}{
+		// Steps deliberately not a multiple of CheckpointEvery: the final
+		// partial chunk must replay identically too.
+		{"serial-1chain", -1, 1, 1700, 500},
+		{"1shard-1chain", 1, 1, 1700, 1000},
+		{"serial-2chain", -1, 2, 1700, 500},
+		{"1shard-2chain", 1, 2, 1700, 1000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{
+				Eps:             1.0,
+				Pow:             2000,
+				Steps:           tc.steps,
+				Shards:          tc.shards,
+				Chains:          tc.chains,
+				SwapEvery:       512, // deliberately not a divisor of CheckpointEvery
+				CheckpointEvery: 500,
+			}
+			const seed = 77
+			unbroken, unbrokenTrace, _ := runDurable(t, data, seed, cfg, 0)
+			killed, _, ckpts := runDurable(t, data, seed, cfg, tc.stopAt)
+			if !killed.Cancelled {
+				t.Fatal("interrupted run did not report cancellation")
+			}
+			ckBytes, ok := ckpts[tc.stopAt]
+			if !ok {
+				t.Fatalf("no checkpoint captured at step %d (have %v)", tc.stopAt, len(ckpts))
+			}
+			resumed, resumedTrace, err := resumeDurable(t, data, seed, ckBytes, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resumed.Cancelled {
+				t.Fatal("resumed run reported cancellation")
+			}
+			sameEdges(t, "resumed vs unbroken", edgeListOf(resumed.Synthetic), edgeListOf(unbroken.Synthetic))
+			if got, want := math.Float64bits(resumed.Stats.FinalScore), math.Float64bits(unbroken.Stats.FinalScore); got != want {
+				t.Errorf("final score bits %x, want %x", got, want)
+			}
+			if resumed.Stats.Accepted != unbroken.Stats.Accepted ||
+				resumed.Stats.Rejected != unbroken.Stats.Rejected ||
+				resumed.Stats.Invalid != unbroken.Stats.Invalid {
+				t.Errorf("walk statistics diverged: resumed %+v, unbroken %+v", resumed.Stats, unbroken.Stats)
+			}
+			if len(resumedTrace) == 0 || len(resumedTrace) >= len(unbrokenTrace) {
+				t.Fatalf("resumed trace has %d entries, unbroken %d", len(resumedTrace), len(unbrokenTrace))
+			}
+			suffix := unbrokenTrace[len(unbrokenTrace)-len(resumedTrace):]
+			for i := range resumedTrace {
+				if resumedTrace[i] != suffix[i] {
+					t.Fatalf("decision trace diverges at resumed entry %d: %+v vs %+v",
+						i, resumedTrace[i], suffix[i])
+				}
+			}
+			if tc.chains > 1 && len(resumed.Chains) != tc.chains {
+				t.Errorf("resumed result has %d chain stats, want %d", len(resumed.Chains), tc.chains)
+			}
+		})
+	}
+}
+
+func TestResumeRejectsWrongMasterSeed(t *testing.T) {
+	data := durableFixture(t)
+	cfg := Config{Eps: 1.0, Pow: 2000, Steps: 1500, Shards: -1, CheckpointEvery: 500}
+	_, _, ckpts := runDurable(t, data, 77, cfg, 500)
+	if _, _, err := resumeDurable(t, data, 78, ckpts[500], Config{}); !errors.Is(err, ErrCheckpointStale) {
+		t.Fatalf("resume under a different master seed: got %v, want ErrCheckpointStale", err)
+	}
+}
+
+func TestResumeRejectsMismatchedParentHash(t *testing.T) {
+	data := durableFixture(t)
+	cfg := Config{
+		Eps: 1.0, Pow: 2000, Steps: 1500, Shards: -1,
+		CheckpointEvery: 500, ParentHash: "aaaa",
+	}
+	_, _, ckpts := runDurable(t, data, 77, cfg, 500)
+	ck, err := LoadCheckpoint(bytes.NewReader(ckpts[500]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.ParentHash != "aaaa" {
+		t.Fatalf("checkpoint parent hash = %q, want the configured one", ck.ParentHash)
+	}
+	if _, _, err := resumeDurable(t, data, 77, ckpts[500], Config{ParentHash: "bbbb"}); !errors.Is(err, ErrCheckpointStale) {
+		t.Fatalf("resume against a different parent: got %v, want ErrCheckpointStale", err)
+	}
+	// The matching parent hash is accepted.
+	if _, _, err := resumeDurable(t, data, 77, ckpts[500], Config{ParentHash: "aaaa"}); err != nil {
+		t.Fatalf("resume with the matching parent failed: %v", err)
+	}
+}
+
+func TestLoadCheckpointRejectsCorruption(t *testing.T) {
+	data := durableFixture(t)
+	cfg := Config{Eps: 1.0, Pow: 2000, Steps: 1000, Shards: -1, CheckpointEvery: 500}
+	_, _, ckpts := runDurable(t, data, 77, cfg, 500)
+	good := ckpts[500]
+
+	if _, err := LoadCheckpoint(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine checkpoint rejected: %v", err)
+	}
+	if _, err := LoadCheckpoint(bytes.NewReader([]byte("not a checkpoint\n{}"))); err == nil {
+		t.Error("bad header accepted")
+	}
+	if _, err := LoadCheckpoint(bytes.NewReader([]byte("wpinq-checkpoint v999\n{}"))); err == nil {
+		t.Error("unsupported version accepted")
+	}
+	// Flip one digit inside the JSON document: the self-hash must catch it.
+	tampered := bytes.Replace(good, []byte(`"step":500`), []byte(`"step":501`), 1)
+	if bytes.Equal(tampered, good) {
+		t.Fatal("tamper target not found in serialized checkpoint")
+	}
+	if _, err := LoadCheckpoint(bytes.NewReader(tampered)); err == nil {
+		t.Error("tampered checkpoint accepted")
+	}
+}
+
+func TestDurableConfigValidation(t *testing.T) {
+	if err := (&Config{Eps: 1, Workloads: []string{"tbi"}, CheckpointEvery: -1}).Validate(); err == nil {
+		t.Error("negative CheckpointEvery accepted")
+	}
+	sched := func(step int) float64 { return 100 }
+	if err := (&Config{Eps: 1, Workloads: []string{"tbi"}, CheckpointEvery: 10, PowSchedule: sched}).Validate(); err == nil {
+		t.Error("CheckpointEvery with PowSchedule accepted")
+	}
+}

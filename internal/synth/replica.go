@@ -68,7 +68,7 @@ func synthesizeReplicas(m *Measurements, seed *graph.Graph, cfg Config, names []
 		if i == 0 {
 			// OnStep/OnSample observe chain 0, the chain that starts on
 			// the coldest (target-pow) rung.
-			mcfg.OnStep = sampledOnStep(cfg, states[i])
+			mcfg.OnStep = sampledOnStep(cfg, states[i], true)
 		}
 		r, err := mcmc.NewRunner(states[i], plan.Scorer(), mcfg, chainRng)
 		if err != nil {

@@ -120,6 +120,25 @@ type Config struct {
 	// scoring") — the dominant cost saving in high-Pow and
 	// replica-exchange (cold chain) regimes where most steps reject.
 	Shards int
+	// CheckpointEvery > 0 makes Phase 2 durable: every that many steps
+	// the fit re-anchors (rebuilds its pipelines from the live edge
+	// list; see DESIGN.md "Durable jobs") and emits a Checkpoint to
+	// OnCheckpoint, from which SynthesizeResume can continue the run
+	// bit-identically in a fresh process. Durable runs draw from counted
+	// rngs and re-accumulate float state at each boundary, so their
+	// proposal trace differs from a CheckpointEvery=0 run of the same
+	// seed; 0 (the default) leaves the classic trace untouched.
+	// Incompatible with PowSchedule.
+	CheckpointEvery int
+	// OnCheckpoint receives each checkpoint of a durable run, with all
+	// chains parked. Returning false cancels the run at this boundary
+	// (the checkpoint is still valid to resume from).
+	OnCheckpoint func(*Checkpoint) bool
+	// ParentHash, when set, is stored in every emitted checkpoint and
+	// verified by SynthesizeResume: the content hash of the serialized
+	// measurement this fit runs against, so a checkpoint cannot be
+	// resumed against a different measurement.
+	ParentHash string
 	// NoFuse disables multi-workload plan fusion: each workload gets its
 	// own private pipeline, as in pre-fusion releases. The default
 	// (false) fuses shared operator prefixes across the configured
@@ -163,6 +182,12 @@ func (c *Config) Validate() error {
 	}
 	if c.Chains > 1 && c.PowSchedule != nil {
 		return errors.New("synth: PowSchedule cannot be combined with replica exchange (Chains > 1)")
+	}
+	if c.CheckpointEvery < 0 {
+		return errors.New("synth: CheckpointEvery must be non-negative")
+	}
+	if c.CheckpointEvery > 0 && c.PowSchedule != nil {
+		return errors.New("synth: PowSchedule cannot be combined with checkpointing (CheckpointEvery > 0)")
 	}
 	if c.SwapEvery < 0 {
 		return errors.New("synth: SwapEvery must be non-negative")
@@ -473,6 +498,9 @@ func Synthesize(m *Measurements, seed *graph.Graph, cfg Config, rng *rand.Rand) 
 	if len(names) == 0 {
 		return nil, errors.New("synth: measurements contain no fit workloads")
 	}
+	if cfg.CheckpointEvery > 0 {
+		return synthesizeDurable(m, seed, cfg, names, rng)
+	}
 	if cfg.Chains > 1 {
 		return synthesizeReplicas(m, seed, cfg, names, rng)
 	}
@@ -492,7 +520,7 @@ func Synthesize(m *Measurements, seed *graph.Graph, cfg Config, rng *rand.Rand) 
 		Pow:            cfg.Pow,
 		PowSchedule:    cfg.PowSchedule,
 		RecomputeEvery: cfg.RecomputeEvery,
-		OnStep:         sampledOnStep(cfg, state),
+		OnStep:         sampledOnStep(cfg, state, true),
 	}, rng)
 	if err != nil {
 		return nil, err
@@ -509,16 +537,20 @@ func Synthesize(m *Measurements, seed *graph.Graph, cfg Config, rng *rand.Rand) 
 }
 
 // sampledOnStep wraps cfg.OnStep with the SampleEvery/OnSample trigger
-// against state's live graph (emitting the step-0 sample immediately),
-// preserving the exact wrapper behavior of the single-chain path. With
-// no sampling configured it returns cfg.OnStep unchanged.
-func sampledOnStep(cfg Config, state *mcmc.GraphState) func(step int, accepted bool, score float64) {
+// against state's live graph, preserving the exact wrapper behavior of
+// the single-chain path. initial emits the step-0 sample immediately;
+// re-anchored and resumed states pass false so the sample stream is not
+// re-seeded mid-run. With no sampling configured it returns cfg.OnStep
+// unchanged.
+func sampledOnStep(cfg Config, state *mcmc.GraphState, initial bool) func(step int, accepted bool, score float64) {
 	onStep := cfg.OnStep
 	if cfg.SampleEvery > 0 && cfg.OnSample != nil {
 		every := cfg.SampleEvery
 		sample := cfg.OnSample
 		inner := onStep
-		sample(0, state.Graph())
+		if initial {
+			sample(0, state.Graph())
+		}
 		onStep = func(step int, accepted bool, score float64) {
 			if (step+1)%every == 0 {
 				sample(step+1, state.Graph())

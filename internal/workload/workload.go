@@ -98,6 +98,17 @@ func (m Measured) Attach(p *Plan, eps float64) error {
 	return m.Workload.impl.attach(p, m.Workload.Name, m.Hist, m.Bucket, eps)
 }
 
+// AttachWithDomain is Attach with an explicit sink domain: keys lists
+// the records the sink should materialize up front, in order, as
+// canonical JSON (the form ObservedKeys/Observations produce). The
+// ordinary Attach derives its domain from the histogram's materialized
+// records in sorted-key order; a resumed or re-anchored fit instead
+// replays a previous sink's exact first-observation order, because the
+// sink's L1 accumulator is order-sensitive and must match bit-for-bit.
+func (m Measured) AttachWithDomain(p *Plan, eps float64, keys []json.RawMessage) error {
+	return m.Workload.impl.attachDomain(p, m.Workload.Name, m.Hist, m.Bucket, eps, keys)
+}
+
 // Reseed returns a copy of the measurement whose histogram draws lazy
 // noise for never-materialized records from rng instead of sharing (and
 // consuming) the original's noise stream. Materialized released records
@@ -143,6 +154,7 @@ type impl interface {
 	measure(edges *core.Collection[graph.Edge], bucket int, eps float64, rng *rand.Rand) (Histogram, error)
 	load(entries []Entry, eps float64, rng *rand.Rand) (Histogram, error)
 	attach(p *Plan, name string, h Histogram, bucket int, eps float64) error
+	attachDomain(p *Plan, name string, h Histogram, bucket int, eps float64, keys []json.RawMessage) error
 	collect(p *Plan, bucket int) Collected
 	exact(g *graph.Graph, bucket int) (map[string]float64, error)
 }
@@ -256,6 +268,45 @@ func (p *Plan) Scorer() *incremental.Scorer { return p.scorer }
 // plan runs on the serial reference engine.
 func (p *Plan) Engine() *engine.Engine { return p.eng }
 
+// Observation is one attached sink's observation history: the workload
+// it was attached under and its records in first-observation order,
+// serialized as canonical JSON.
+type Observation struct {
+	Workload string            `json:"workload"`
+	Keys     []json.RawMessage `json:"keys"`
+}
+
+// Observations returns every attached sink's observation history, in
+// attach order. Feeding each entry's keys back through AttachWithDomain
+// on a fresh plan rebuilds the sinks' released-value state exactly —
+// the measurement half of a fit checkpoint.
+func (p *Plan) Observations() ([]Observation, error) {
+	var out []Observation
+	var firstErr error
+	p.scorer.Each(func(name string, s incremental.SinkScore) {
+		if firstErr != nil {
+			return
+		}
+		k, ok := s.(interface {
+			ObservedKeys() ([]json.RawMessage, error)
+		})
+		if !ok {
+			firstErr = fmt.Errorf("workload: sink for %q does not expose its observations", name)
+			return
+		}
+		keys, err := k.ObservedKeys()
+		if err != nil {
+			firstErr = err
+			return
+		}
+		out = append(out, Observation{Workload: name, Keys: keys})
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
 // Builders supplies the three executions of one query plan for record
 // type T. The bucket argument is the degree bucket width; workloads
 // that do not use it receive 0 and must ignore it.
@@ -356,6 +407,22 @@ func (bs builders[T]) attach(p *Plan, name string, h Histogram, bucket int, eps 
 		keys = append(keys, string(key))
 	}
 	sort.Sort(&domainByKey[T]{recs: domain, keys: keys})
+	sink := incremental.NewNoisyCountSink[T](bs.source(p, bucket), th.h, domain, eps)
+	p.scorer.AddNamed(name, sink)
+	return nil
+}
+
+func (bs builders[T]) attachDomain(p *Plan, name string, h Histogram, bucket int, eps float64, keys []json.RawMessage) error {
+	th, ok := h.(*typedHist[T])
+	if !ok {
+		return fmt.Errorf("workload: histogram has record type %T, want %T", h, &typedHist[T]{})
+	}
+	domain := make([]T, len(keys))
+	for i, k := range keys {
+		if err := json.Unmarshal(k, &domain[i]); err != nil {
+			return fmt.Errorf("workload: decoding domain record %s: %w", k, err)
+		}
+	}
 	sink := incremental.NewNoisyCountSink[T](bs.source(p, bucket), th.h, domain, eps)
 	p.scorer.AddNamed(name, sink)
 	return nil
